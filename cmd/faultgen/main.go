@@ -1,0 +1,130 @@
+// Command faultgen enumerates fault locations and generates fault lists —
+// the front end of Table 4. For a given program it prints the possible
+// assignment and checking locations found in the compiler's debug
+// information, or expands a chosen subset into the full fault list.
+//
+// Usage:
+//
+//	faultgen <program>                  # location summary (Table 4 inputs)
+//	faultgen -class check -n 5 <program>  # expanded fault list
+//	faultgen -metrics <program>           # complexity-guided location weights
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/locator"
+	"repro/internal/metrics"
+	"repro/internal/programs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultgen", flag.ContinueOnError)
+	class := fs.String("class", "", "expand faults for one class: assign or check")
+	n := fs.Int("n", 5, "number of locations to choose")
+	seed := fs.Int64("seed", 2000, "random seed for location choice")
+	withMetrics := fs.Bool("metrics", false, "print complexity-guided location weights (§6.1)")
+	asJSON := fs.Bool("json", false, "emit the expanded fault list as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: faultgen [flags] <program>")
+	}
+	p, ok := programs.ByName(rest[0])
+	if !ok {
+		return fmt.Errorf("unknown program %q", rest[0])
+	}
+	c, err := p.Compile()
+	if err != nil {
+		return err
+	}
+
+	if *withMetrics {
+		rep := metrics.Analyze(p.Name, c.AST)
+		fmt.Printf("%s: complexity-guided weights for assignment locations\n", p.Name)
+		funcs := metrics.AssignFuncs(c)
+		w := metrics.LocationWeights(rep, funcs)
+		for i, a := range c.Debug.Assigns {
+			fmt.Printf("  loc %3d  %-14s line %3d  %-10s weight %.1f\n", i, a.Func, a.Line, a.LHS, w[i])
+		}
+		return nil
+	}
+
+	switch *class {
+	case "":
+		fmt.Printf("%s: %d possible assignment locations, %d possible checking locations\n",
+			p.Name, len(c.Debug.Assigns), len(c.Debug.Checks))
+		for _, a := range c.Debug.Assigns {
+			fmt.Printf("  assign  %-14s line %3d  %s = ...  store at %#x\n", a.Func, a.Line, a.LHS, a.StoreAddr)
+		}
+		for _, ck := range c.Debug.Checks {
+			arrays := ""
+			if len(ck.ArrayLoads) > 0 {
+				arrays = fmt.Sprintf("  (%d array loads)", len(ck.ArrayLoads))
+			}
+			fmt.Printf("  check   %-14s line %3d  op %-5q bc at %#x%s\n", ck.Func, ck.Line, ck.Op, ck.BcAddr, arrays)
+		}
+	case "assign":
+		plan, err := locator.PlanAssignment(c, p.Name, *n, *seed)
+		if err != nil {
+			return err
+		}
+		return emitPlan(plan, *asJSON)
+	case "check":
+		plan, err := locator.PlanChecking(c, p.Name, *n, *seed)
+		if err != nil {
+			return err
+		}
+		return emitPlan(plan, *asJSON)
+	case "hardware":
+		plan, err := locator.PlanHardware(c, p.Name, *n, *seed)
+		if err != nil {
+			return err
+		}
+		return emitPlan(plan, *asJSON)
+	default:
+		return fmt.Errorf("unknown class %q (assign, check or hardware)", *class)
+	}
+	return nil
+}
+
+// emitPlan prints the plan either human-readably or as JSON.
+func emitPlan(plan *locator.Plan, asJSON bool) error {
+	if !asJSON {
+		printPlan(plan)
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(plan)
+}
+
+func printPlan(plan *locator.Plan) {
+	fmt.Printf("%s %s faults: %d possible locations, %d chosen, %d faults\n",
+		plan.Program, plan.Class, plan.Possible, len(plan.Chosen), len(plan.Faults))
+	for i := range plan.Faults {
+		f := &plan.Faults[i]
+		fmt.Printf("  %-40s %-12s", f.ID, f.ErrType)
+		for _, c := range f.Corruptions {
+			fmt.Printf("  %s@%#x", corruptionName(c), c.Addr)
+		}
+		fmt.Println()
+	}
+}
+
+func corruptionName(c fault.Corruption) string {
+	return c.Kind.String()
+}

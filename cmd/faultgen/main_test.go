@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunSummary(t *testing.T) {
+	if err := run([]string{"JB.team11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlans(t *testing.T) {
+	for _, class := range []string{"assign", "check", "hardware"} {
+		if err := run([]string{"-class", class, "-n", "2", "JB.team11"}); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-class", "assign", "-n", "1", "-json", "JB.team11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	if err := run([]string{"-metrics", "C.team1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing program accepted")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if err := run([]string{"-class", "zap", "JB.team11"}); err == nil {
+		t.Error("unknown class accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command progrun compiles and runs one target program of the suite on the
+// virtual machine, with inputs from the command line. It is the debugging
+// front door for the toolchain.
+//
+// Usage:
+//
+//	progrun [-faulty] [-disasm] [-trace-cycles] <program> [int...]
+//	progrun -string "seed len text" JB.team6     # JamesB byte input
+//	progrun -programs                            # list suite programs
+//
+// Camelot example:
+//
+//	progrun C.team1 2 3 3 0 0 7 7    # 2 knights at (0,0) and (7,7), king (3,3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "progrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("progrun", flag.ContinueOnError)
+	faulty := fs.Bool("faulty", false, "run the program's original (buggy) version")
+	disasm := fs.Bool("disasm", false, "print the disassembly instead of running")
+	pretty := fs.Bool("pretty", false, "print the normalised (pretty-printed) source instead of running")
+	listP := fs.Bool("programs", false, "list the program suite and exit")
+	strIn := fs.String("string", "", "byte input for the character stream (JamesB programs)")
+	trace := fs.Int("trace", 0, "record and print the last N executed instructions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listP {
+		for _, p := range programs.All() {
+			fault := "-"
+			if p.Fault != nil {
+				fault = p.Fault.ODCType.String()
+			}
+			fmt.Printf("%-10s %-8s %4d lines  fault: %-12s %s\n", p.Name, p.Kind, p.LineCount(), fault, p.Features)
+		}
+		return nil
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("no program given (try -programs)")
+	}
+	p, ok := programs.ByName(rest[0])
+	if !ok {
+		return fmt.Errorf("unknown program %q (try -programs)", rest[0])
+	}
+	c, err := p.Compile()
+	if *faulty {
+		c, err = p.CompileFaulty()
+	}
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		fmt.Print(asm.Disassemble(c.Prog))
+		return nil
+	}
+	if *pretty {
+		fmt.Print(cc.Print(c.AST))
+		return nil
+	}
+
+	var ints []int32
+	for _, a := range rest[1:] {
+		v, err := strconv.ParseInt(a, 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad integer input %q", a)
+		}
+		ints = append(ints, int32(v))
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		return err
+	}
+	m.SetInput(ints)
+	m.SetByteInput([]byte(*strIn))
+	if *trace > 0 {
+		m.EnableTrace(*trace)
+	}
+	state, err := m.Run()
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(m.Output())
+	if !strings.HasSuffix(string(m.Output()), "\n") {
+		fmt.Println()
+	}
+	switch state {
+	case vm.StateHalted:
+		fmt.Fprintf(os.Stderr, "[halted, exit %d, %d cycles]\n", m.ExitStatus(), m.Cycles())
+	case vm.StateCrashed:
+		exc, at := m.Exception()
+		fmt.Fprintf(os.Stderr, "[crashed: %s at %#x after %d cycles]\n", exc, at, m.Cycles())
+	case vm.StateHung:
+		fmt.Fprintf(os.Stderr, "[hung after %d cycles]\n", m.Cycles())
+	}
+	if *trace > 0 {
+		fmt.Fprintln(os.Stderr, "trace (oldest first):")
+		for _, e := range m.Trace() {
+			fmt.Fprintf(os.Stderr, "  %s\n", asm.FormatWord(c.Prog, e.PC, e.Word))
+		}
+	}
+	return nil
+}

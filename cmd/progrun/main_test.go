@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunListPrograms(t *testing.T) {
+	if err := run([]string{"-programs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCamelot(t *testing.T) {
+	if err := run([]string{"C.team1", "1", "0", "0", "7", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultyAndTrace(t *testing.T) {
+	if err := run([]string{"-faulty", "-trace", "4", "JB.team7", "5", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDisasm(t *testing.T) {
+	if err := run([]string{"-disasm", "JB.team11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no program accepted")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if err := run([]string{"C.team1", "abc"}); err == nil {
+		t.Error("bad integer accepted")
+	}
+	if err := run([]string{"-faulty", "SOR"}); err == nil {
+		t.Error("faulty SOR accepted (has no fault)")
+	}
+}

@@ -1,0 +1,88 @@
+// Command swifi regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	swifi [-scale 0.1] [-seed 2000] [-mode hw|trap] <experiment>...
+//	swifi -list
+//	swifi verify <program>
+//
+// Experiments are named after the paper: table1..table4, fig2, fig7..fig10,
+// summary5, fielddist, metrics, or "all". -scale 1.0 reproduces the paper's
+// full run counts (108,600 injections for the §6 campaign).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/injector"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swifi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swifi", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.1, "fraction of the paper's run counts (1.0 = full scale)")
+	seed := fs.Int64("seed", 2000, "random seed for location choice and input generation")
+	mode := fs.String("mode", "hw", "injector trigger mode: hw (breakpoint registers) or trap")
+	list := fs.Bool("list", false, "list experiment identifiers and exit")
+	verifyCases := fs.Int("verify-cases", 50, "input count for 'verify <program>'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(core.ExperimentIDs(), "\n"))
+		return nil
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("no experiment given; try -list, 'all', or 'verify <program>'")
+	}
+
+	e := core.New(*scale)
+	e.Seed = *seed
+	switch *mode {
+	case "hw":
+		e.Mode = injector.ModeHardware
+	case "trap":
+		e.Mode = injector.ModeTrap
+	default:
+		return fmt.Errorf("unknown mode %q (hw or trap)", *mode)
+	}
+
+	if rest[0] == "verify" {
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: swifi verify <program>")
+		}
+		out, err := e.VerifyRealFault(rest[1], *verifyCases)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	ids := rest
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = core.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := e.Experiment(id)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

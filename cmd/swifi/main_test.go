@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStaticExperiments(t *testing.T) {
+	if err := run([]string{"table2", "table3", "fielddist"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	if err := run([]string{"-verify-cases", "2", "verify", "C.team4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no experiment accepted")
+	}
+	if err := run([]string{"table99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-mode", "zap", "table2"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"verify"}); err == nil {
+		t.Error("verify without program accepted")
+	}
+}

@@ -1,0 +1,25 @@
+// Package repro is a full reproduction of "On the Emulation of Software
+// Faults by Software Fault Injection" (Madeira, Costa, Vieira — DSN 2000).
+//
+// The repository builds every system the paper's experiments depend on:
+//
+//   - internal/vm — a PowerPC-flavoured 32-bit machine with binary
+//     instruction encoding, two hardware breakpoint registers and bus
+//     hooks, standing in for the Parsytec PowerXplorer / PowerPC 601;
+//   - internal/cc — a mini-C compiler producing machine code plus the
+//     symbol tables and statement-level debug information the fault
+//     locator needs;
+//   - internal/injector — the Xception-equivalent SWIFI engine (hardware
+//     breakpoints vs trap insertion);
+//   - internal/fault, internal/locator, internal/odc — the
+//     What/Where/Which/When fault model, Table 3 error types and ODC;
+//   - internal/programs, internal/workload — the target-program suite with
+//     the seven real faults of §5 and the input generators;
+//   - internal/campaign, internal/stats, internal/metrics, internal/core —
+//     the experiment manager, report renderers, §6.1 complexity metrics
+//     and the top-level engine.
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure; cmd/swifi prints them.
+package repro

@@ -1,0 +1,48 @@
+// Classcampaign runs a scaled-down version of the §6 experiment on two
+// JamesB programs and prints the Figure 7/8-style failure-mode breakdown,
+// demonstrating the What/Where/Which/When pipeline end to end:
+// enumerate locations -> choose randomly -> expand Table 3 error types ->
+// inject per input -> classify outcomes.
+//
+//	go run ./examples/classcampaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/campaign"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := campaign.Config{
+		Programs:      []string{"JB.team6", "JB.team11"},
+		CasesPerFault: 25,
+		Seed:          2000,
+	}
+	fmt.Println("running a scaled §6 class campaign on JB.team6 and JB.team11 ...")
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done: %d injected runs\n\n", res.Runs)
+
+	fmt.Println(stats.Table4(res).Render())
+	fmt.Println(stats.Figure7(res).Render())
+	fmt.Println(stats.Figure8(res).Render())
+	fmt.Println(stats.Figure9(res).Render())
+	fmt.Println(stats.Figure10(res).Render())
+
+	fmt.Println("Note how much harder the injected faults hit than the real ones:")
+	fmt.Println("the faulty JB.team6 produced 0.05% wrong results under intensive")
+	fmt.Println("test (Table 1), while injected faults leave only a fraction of")
+	fmt.Println("runs correct — the paper attributes the gap to the fault triggers.")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Metricsguided demonstrates the §6.1 proposal: when no field data about
+// real faults exists, software-complexity metrics can guide the injection —
+// choosing where to inject and how many faults per module — instead of a
+// uniform random draw.
+//
+// It analyses C.team1, prints the per-function complexity profile, and
+// compares the location distribution of uniform versus complexity-weighted
+// selection.
+//
+//	go run ./examples/metricsguided
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/locator"
+	"repro/internal/metrics"
+	"repro/internal/programs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, ok := programs.ByName("C.team1")
+	if !ok {
+		return fmt.Errorf("C.team1 missing")
+	}
+	c, err := p.Compile()
+	if err != nil {
+		return err
+	}
+	rep := metrics.Analyze(p.Name, c.AST)
+
+	fmt.Printf("complexity profile of %s:\n", p.Name)
+	funcs := append([]metrics.FuncMetrics(nil), rep.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Score() > funcs[j].Score() })
+	for _, f := range funcs {
+		fmt.Printf("  %-15s cyclomatic %2d  nesting %d  Halstead volume %6.0f  score %6.1f\n",
+			f.Name, f.Cyclomatic, f.MaxNesting, f.HalsteadVolume(), f.Score())
+	}
+
+	// Distribution of assignment fault locations under the two policies,
+	// averaged over many seeds.
+	locFuncs := metrics.AssignFuncs(c)
+	weights := metrics.LocationWeights(rep, locFuncs)
+	const picks = 8
+	uniform := map[string]int{}
+	guided := map[string]int{}
+	for seed := int64(0); seed < 200; seed++ {
+		for _, i := range locator.ChooseLocations(len(locFuncs), picks, seed) {
+			uniform[locFuncs[i]]++
+		}
+		for _, i := range metrics.ChooseWeighted(weights, picks, seed) {
+			guided[locFuncs[i]]++
+		}
+	}
+
+	fmt.Printf("\nassignment-location selection over 200 seeds (%d locations per seed):\n", picks)
+	fmt.Printf("  %-15s %-10s %-10s\n", "function", "uniform", "guided")
+	var names []string
+	for name := range uniform {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-15s %-10d %-10d\n", name, uniform[name], guided[name])
+	}
+	fmt.Println("\nguided selection concentrates injections in the complex functions,")
+	fmt.Println("which the studies cited in §6.1 found to be the fault-prone ones;")
+	fmt.Println("uniform selection mirrors the code's location counts instead.")
+	return nil
+}

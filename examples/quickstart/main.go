@@ -1,0 +1,102 @@
+// Quickstart: compile a small program with the mini-C toolchain, enumerate
+// its fault locations, inject one checking fault Xception-style, and watch
+// the failure mode change.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/injector"
+	"repro/internal/locator"
+	"repro/internal/vm"
+)
+
+const src = `
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 10; i++) {
+        sum = sum + i;
+    }
+    print_int(sum);
+    return 0;
+}`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Compile: the source-level program becomes machine code plus the
+	// debug information that locates assignment and checking statements.
+	c, err := cc.Compile(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled: %d instructions, %d assignment locations, %d checking locations\n",
+		len(c.Prog.Image.Text), len(c.Debug.Assigns), len(c.Debug.Checks))
+
+	// 2. Clean run.
+	out, state, err := execute(c, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clean run:    state=%v output=%q\n", state, out)
+
+	// 3. Pick the loop condition (i < 10) and mutate "<" into "<=" — the
+	// Table 3 checking error type "< <=" — injected as a fetch-bus
+	// corruption of the conditional branch, triggered at its own address.
+	var mutation *fault.Fault
+	for _, ck := range c.Debug.Checks {
+		if ck.Op != "<" {
+			continue
+		}
+		faults, err := locator.CheckingFaults(c, ck)
+		if err != nil {
+			return err
+		}
+		for i := range faults {
+			if faults[i].ErrType == fault.ErrLtLe {
+				mutation = &faults[i]
+			}
+		}
+	}
+	if mutation == nil {
+		return fmt.Errorf("no < check found")
+	}
+	fmt.Printf("injecting:    %s at %#x (%s)\n",
+		mutation.ErrType, mutation.Corruptions[0].Addr, mutation.Corruptions[0].Kind)
+
+	out, state, err = execute(c, mutation)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected run: state=%v output=%q  (one extra iteration: 45 -> 55)\n", state, out)
+	return nil
+}
+
+// execute runs the compiled program on a fresh machine, optionally with a
+// fault armed through the injector.
+func execute(c *cc.Compiled, f *fault.Fault) (string, vm.State, error) {
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		return "", 0, err
+	}
+	if f != nil {
+		if _, err := injector.Arm(m, injector.ModeHardware, f); err != nil {
+			return "", 0, err
+		}
+	}
+	state, err := m.Run()
+	if err != nil {
+		return "", 0, err
+	}
+	return string(m.Output()), state, nil
+}

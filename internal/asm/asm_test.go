@@ -1,0 +1,467 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+// runProgram loads and runs an assembled program, failing the test on any
+// machine-level error.
+func runProgram(t *testing.T, p *Program, input []int32) *vm.Machine {
+	t.Helper()
+	m := vm.New(vm.Config{})
+	if err := m.Load(p.Image); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m.SetInput(input)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+const sumSource = `
+; sum the first n integers read from input
+        .text
+main:   li r10,2            ; SysReadInt
+        sc
+        mr r8,r3            ; n
+        li r7,0             ; acc
+loop:   cmpwi cr0,r8,0
+        bc le,cr0,done
+        add r7,r7,r8
+        addi r8,r8,-1
+        b loop
+done:   mr r3,r7
+        li r10,3            ; SysWriteInt
+        sc
+        li r3,0
+        li r10,1            ; SysExit
+        sc
+`
+
+func TestAssembleAndRunSum(t *testing.T) {
+	p, err := AssembleText(sumSource, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runProgram(t, p, []int32{10})
+	if m.State() != vm.StateHalted {
+		t.Fatalf("state = %v", m.State())
+	}
+	if got := string(m.Output()); got != "55\n" {
+		t.Errorf("output = %q, want \"55\\n\"", got)
+	}
+}
+
+func TestCallAndData(t *testing.T) {
+	src := `
+        .text
+main:   la r9,tab
+        lwz r4,0(r9)
+        lwz r5,4(r9)
+        bl addfn
+        li r10,3
+        sc
+        li r3,0
+        li r10,1
+        sc
+addfn:  add r3,r4,r5
+        blr
+        .data
+tab:    .word 40,2
+`
+	p, err := AssembleText(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runProgram(t, p, nil)
+	if got := string(m.Output()); got != "42\n" {
+		t.Errorf("output = %q, want \"42\\n\"", got)
+	}
+}
+
+func TestRecursiveFactorial(t *testing.T) {
+	// fact(n): classic save-LR-on-stack recursion; exercises the full
+	// call/stack protocol the compiler will use.
+	src := `
+        .text
+main:   li r10,2
+        sc
+        bl fact
+        li r10,3
+        sc
+        li r3,0
+        li r10,1
+        sc
+fact:   cmpwi cr0,r3,1
+        bc gt,cr0,rec
+        li r3,1
+        blr
+rec:    mflr r9
+        addi r1,r1,-8
+        stw r9,0(r1)
+        stw r3,4(r1)
+        addi r3,r3,-1
+        bl fact
+        lwz r4,4(r1)
+        mullw r3,r3,r4
+        lwz r9,0(r1)
+        addi r1,r1,8
+        mtlr r9
+        blr
+`
+	p, err := AssembleText(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runProgram(t, p, []int32{7})
+	if got := string(m.Output()); got != "5040\n" {
+		t.Errorf("fact(7) output = %q, want \"5040\\n\"", got)
+	}
+}
+
+func TestByteDataAndAscii(t *testing.T) {
+	src := `
+        .text
+main:   la r9,msg
+next:   lbzx r3,r9,r0
+        cmpwi cr0,r3,0
+        bc eq,cr0,done
+        li r10,4
+        sc
+        addi r9,r9,1
+        b next
+done:   li r3,0
+        li r10,1
+        sc
+        .data
+msg:    .ascii "hi!"
+        .word 0
+`
+	p, err := AssembleText(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runProgram(t, p, nil)
+	if got := string(m.Output()); got != "hi!" {
+		t.Errorf("output = %q, want \"hi!\"", got)
+	}
+}
+
+func TestLargeImmediate(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 32767, -32768, 32768, -32769, 70000, -70000, 1 << 30, -(1 << 30), int32(^uint32(0) >> 1)} {
+		b := NewBuilder()
+		b.MustLabel("main")
+		b.EmitLoadImm32(3, v)
+		b.Emit(vm.Inst{Op: vm.OpAddi, RD: vm.RegSys, RA: vm.RegZero, Imm: vm.SysExit})
+		b.Emit(vm.Inst{Op: vm.OpSc})
+		p, err := b.Assemble("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := runProgram(t, p, nil)
+		if m.ExitStatus() != v {
+			t.Errorf("li %d produced %d", v, m.ExitStatus())
+		}
+	}
+}
+
+// TestLoadImm32Property checks EmitLoadImm32 for arbitrary values.
+func TestLoadImm32Property(t *testing.T) {
+	f := func(v int32) bool {
+		b := NewBuilder()
+		b.MustLabel("main")
+		b.EmitLoadImm32(3, v)
+		b.Emit(vm.Inst{Op: vm.OpAddi, RD: vm.RegSys, RA: vm.RegZero, Imm: vm.SysExit})
+		b.Emit(vm.Inst{Op: vm.OpSc})
+		p, err := b.Assemble("main")
+		if err != nil {
+			return false
+		}
+		m := vm.New(vm.Config{})
+		if err := m.Load(p.Image); err != nil {
+			return false
+		}
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		return m.ExitStatus() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	src := `
+        .text
+main:   nop
+f:      blr
+        .data
+buf:    .space 8
+tab:    .word 1
+`
+	p, err := AssembleText(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainSym, ok := p.Lookup("main")
+	if !ok || mainSym.Addr != vm.TextBase || mainSym.Kind != SymText {
+		t.Errorf("main symbol = %+v, ok=%v", mainSym, ok)
+	}
+	fSym, ok := p.Lookup("f")
+	if !ok || fSym.Addr != vm.TextBase+4 {
+		t.Errorf("f symbol = %+v", fSym)
+	}
+	buf, ok := p.Lookup("buf")
+	if !ok || buf.Kind != SymData {
+		t.Errorf("buf symbol = %+v", buf)
+	}
+	tab, ok := p.Lookup("tab")
+	if !ok || tab.Addr != buf.Addr+8 {
+		t.Errorf("tab at %#x, want buf+8=%#x", tab.Addr, buf.Addr+8)
+	}
+	if _, ok := p.Lookup("nope"); ok {
+		t.Error("Lookup of undefined symbol succeeded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "main: frobnicate r1,r2"},
+		{"bad register", "main: addi rx,r0,1"},
+		{"register out of range", "main: addi r32,r0,1"},
+		{"bad immediate", "main: addi r3,r0,zzz"},
+		{"bad memory operand", "main: lwz r3,8[r1]"},
+		{"bad condition", "main: cmpwi cr0,r3,0\n bc zz,cr0,main"},
+		{"bad crf", "main: cmpwi cr9,r3,0"},
+		{"duplicate label", "main: nop\nmain: nop"},
+		{"instruction in data", ".data\nx: addi r3,r0,1"},
+		{"operand count", "main: add r3,r4"},
+		{"bad ascii", `.data` + "\n" + `s: .ascii "unterminated`},
+		{"blr with operand", "main: blr r3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Errorf("Parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	t.Run("missing entry", func(t *testing.T) {
+		b := NewBuilder()
+		if _, err := b.Assemble("main"); err == nil {
+			t.Error("want error for missing entry")
+		}
+	})
+	t.Run("undefined branch target", func(t *testing.T) {
+		b := NewBuilder()
+		b.MustLabel("main")
+		b.EmitBranch(vm.Inst{Op: vm.OpB}, "nowhere")
+		if _, err := b.Assemble("main"); err == nil {
+			t.Error("want error for undefined label")
+		}
+	})
+	t.Run("undefined data symbol", func(t *testing.T) {
+		b := NewBuilder()
+		b.MustLabel("main")
+		b.EmitLoadAddr(3, "nodata")
+		if _, err := b.Assemble("main"); err == nil {
+			t.Error("want error for undefined data symbol")
+		}
+	})
+	t.Run("bc out of range", func(t *testing.T) {
+		b := NewBuilder()
+		b.MustLabel("main")
+		b.EmitBranch(vm.Inst{Op: vm.OpBc, RD: uint8(vm.CondEQ)}, "far")
+		for i := 0; i < 10000; i++ {
+			b.Emit(vm.Inst{Op: vm.OpNop})
+		}
+		b.MustLabel("far")
+		if _, err := b.Assemble("main"); err == nil {
+			t.Error("want error for bc out of 16-bit range")
+		}
+	})
+	t.Run("non-branch with target", func(t *testing.T) {
+		b := NewBuilder()
+		b.MustLabel("main")
+		b.EmitBranch(vm.Inst{Op: vm.OpAddi, RD: 3}, "main")
+		if _, err := b.Assemble("main"); err == nil {
+			t.Error("want error for label on non-branch")
+		}
+	})
+}
+
+func TestDisassemble(t *testing.T) {
+	src := `
+        .text
+main:   addi r3,r0,1
+        cmpwi cr0,r3,10
+        bc lt,cr0,main
+        bl f
+        sc
+f:      blr
+`
+	p, err := AssembleText(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(p)
+	for _, want := range []string{"main:", "f:", "addi r3,r0,1", "cmpwi cr0,r3,10", "bc lt,cr0,main", "bl f", "blr"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestDisassembleIllegalWord(t *testing.T) {
+	p := &Program{Image: vm.Image{Text: []uint32{0xffffffff}, Entry: vm.TextBase}}
+	dis := Disassemble(p)
+	if !strings.Contains(dis, ".illegal") {
+		t.Errorf("disassembly of illegal word: %q", dis)
+	}
+}
+
+func TestDataAlignment(t *testing.T) {
+	b := NewBuilder()
+	b.MustLabel("main")
+	b.Emit(vm.Inst{Op: vm.OpNop})
+	b.Bytes([]byte{1, 2, 3})
+	b.AlignData()
+	if err := b.DataLabel("w"); err != nil {
+		t.Fatal(err)
+	}
+	b.Word(9)
+	p, err := b.Assemble("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := p.Lookup("w")
+	if w.Addr%vm.WordSize != 0 {
+		t.Errorf("aligned data symbol at %#x not word-aligned", w.Addr)
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	src := "a: b: nop"
+	p, err := AssembleText(src, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSym, ok := p.Lookup("b")
+	if !ok || bSym.Addr != vm.TextBase {
+		t.Errorf("b symbol = %+v, ok=%v", bSym, ok)
+	}
+}
+
+// TestDisassembleParseRoundTrip: disassembling an assembled program and
+// feeding the mnemonic column back through the instruction printer must be
+// stable — every decoded instruction re-encodes to the identical word.
+func TestEncodeStability(t *testing.T) {
+	p, err := AssembleText(sumSource, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Image.Text {
+		in, err := vm.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d (%#08x): %v", i, w, err)
+		}
+		if vm.Encode(in) != w {
+			t.Errorf("word %d: %#08x re-encodes to %#08x (%s)", i, w, vm.Encode(in), in)
+		}
+	}
+}
+
+// TestParseFormatRoundTrip feeds each instruction's printed form back into
+// the parser and checks the encodings match — the assembler and the
+// disassembler agree on the syntax.
+func TestParseFormatRoundTrip(t *testing.T) {
+	src := `
+main:   addi r3,r0,1
+        addis r4,r0,-2
+        mulli r5,r3,100
+        andi r6,r5,255
+        ori r6,r6,4096
+        xori r7,r6,65535
+        lwz r8,8(r1)
+        stw r8,-4(r30)
+        lbz r9,0(r8)
+        stb r9,1(r8)
+        cmpwi cr3,r9,-1
+        add r10,r9,r8
+        subf r11,r10,r9
+        mullw r12,r11,r10
+        divw r13,r12,r3
+        mod r14,r13,r3
+        and r15,r14,r13
+        or r16,r15,r14
+        xor r17,r16,r15
+        slw r18,r17,r3
+        srw r19,r18,r3
+        sraw r20,r19,r3
+        neg r21,r20
+        cmpw cr7,r21,r20
+        lwzx r22,r1,r3
+        stwx r22,r1,r3
+        lbzx r23,r1,r3
+        stbx r23,r1,r3
+        mflr r24
+        mtlr r24
+        blr
+        sc
+        trap
+        nop
+`
+	p, err := AssembleText(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Image.Text {
+		in, err := vm.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d: %v", i, err)
+		}
+		// Re-parse the printed instruction in isolation.
+		b := NewBuilder()
+		b.MustLabel("x")
+		if err := parseInst(b, firstWord(in.String()), restOf(in.String())); err != nil {
+			t.Fatalf("word %d (%q): %v", i, in.String(), err)
+		}
+		q, err := b.Assemble("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Image.Text) != 1 || q.Image.Text[0] != w {
+			t.Errorf("word %d: %q parsed to %#08x, want %#08x", i, in.String(), q.Image.Text[0], w)
+		}
+	}
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func restOf(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[i+1:]
+		}
+	}
+	return ""
+}

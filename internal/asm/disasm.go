@@ -1,0 +1,66 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// Disassemble renders the text segment of a program as an address-annotated
+// listing, resolving branch targets to symbol names where possible. This is
+// the format used by the §5 case studies (paper Figures 3–6) to show the
+// machine code corresponding to a source-level fault.
+func Disassemble(p *Program) string {
+	labelAt := make(map[uint32][]string)
+	for _, s := range p.Symbols {
+		if s.Kind == SymText {
+			labelAt[s.Addr] = append(labelAt[s.Addr], s.Name)
+		}
+	}
+	var sb strings.Builder
+	for i, w := range p.Image.Text {
+		addr := TextAddr(i)
+		for _, l := range labelAt[addr] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		sb.WriteString(FormatWord(p, addr, w))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatWord renders a single instruction word at addr, annotating branch
+// targets with the nearest symbol.
+func FormatWord(p *Program, addr, w uint32) string {
+	in, err := vm.Decode(w)
+	if err != nil {
+		return fmt.Sprintf("  %06x:  %08x  .illegal", addr, w)
+	}
+	text := in.String()
+	switch in.Op {
+	case vm.OpB, vm.OpBl:
+		text = fmt.Sprintf("%s %s", in.Op, symFor(p, addr+uint32(in.Off26)))
+	case vm.OpBc:
+		text = fmt.Sprintf("bc %s,cr%d,%s", vm.Cond(in.RD), in.RA, symFor(p, addr+uint32(in.Imm)))
+	}
+	return fmt.Sprintf("  %06x:  %08x  %s", addr, w, text)
+}
+
+// symFor names an address as "symbol" or "symbol+off" or a raw hex address.
+func symFor(p *Program, addr uint32) string {
+	if p == nil || len(p.Symbols) == 0 {
+		return fmt.Sprintf("%#x", addr)
+	}
+	// Symbols are sorted by address; find the last one at or below addr.
+	i := sort.Search(len(p.Symbols), func(i int) bool { return p.Symbols[i].Addr > addr })
+	if i == 0 {
+		return fmt.Sprintf("%#x", addr)
+	}
+	s := p.Symbols[i-1]
+	if s.Addr == addr {
+		return s.Name
+	}
+	return fmt.Sprintf("%s+%#x", s.Name, addr-s.Addr)
+}

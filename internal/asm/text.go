@@ -1,0 +1,373 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// Parse assembles textual assembly source into a Builder. The syntax is the
+// classic two-column form used in the paper's listings:
+//
+//	        .text
+//	main:   addi r3,r0,1
+//	        cmpwi cr0,r3,10
+//	        bc lt,cr0,main
+//	        bl helper
+//	        lwz r4,8(r1)
+//	        la r5,buf          ; load data address (expands to addis+ori)
+//	        li r6,70000        ; load 32-bit immediate
+//	        .data
+//	buf:    .space 64
+//	tab:    .word 1,2,3
+//	msg:    .ascii "hi"
+//
+// Comments start with ';' or '#'. Labels end with ':'.
+func Parse(src string) (*Builder, error) {
+	b := NewBuilder()
+	inData := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			name := line[:i]
+			var err error
+			if inData {
+				err = b.DataLabel(name)
+			} else {
+				err = b.Label(name)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := fields[0]
+		rest := strings.TrimSpace(strings.TrimPrefix(line, mnem))
+		switch mnem {
+		case ".text":
+			inData = false
+			continue
+		case ".data":
+			inData = true
+			continue
+		case ".word":
+			for _, tok := range splitOperands(rest) {
+				v, err := parseImm(tok)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+				}
+				b.Word(uint32(v))
+			}
+			continue
+		case ".space":
+			v, err := parseImm(rest)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("line %d: bad .space size %q", lineNo+1, rest)
+			}
+			b.Space(uint32(v))
+			continue
+		case ".ascii":
+			s, err := strconv.Unquote(rest)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad .ascii string: %w", lineNo+1, err)
+			}
+			b.Bytes([]byte(s))
+			continue
+		case ".align":
+			b.AlignData()
+			continue
+		}
+		if inData {
+			return nil, fmt.Errorf("line %d: instruction %q in data segment", lineNo+1, mnem)
+		}
+		if err := parseInst(b, mnem, rest); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	return b, nil
+}
+
+// AssembleText parses and assembles source with the given entry label.
+func AssembleText(src, entry string) (*Program, error) {
+	b, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return b.Assemble(entry)
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseCRF(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "cr") {
+		return 0, fmt.Errorf("bad condition field %q", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n > 7 {
+		return 0, fmt.Errorf("bad condition field %q", s)
+	}
+	return uint8(n), nil
+}
+
+var mnemonicOps = map[string]vm.Opcode{
+	"addi": vm.OpAddi, "addis": vm.OpAddis, "mulli": vm.OpMulli,
+	"andi": vm.OpAndi, "ori": vm.OpOri, "xori": vm.OpXori,
+	"lwz": vm.OpLwz, "stw": vm.OpStw, "lbz": vm.OpLbz, "stb": vm.OpStb,
+	"cmpwi": vm.OpCmpwi,
+	"add":   vm.OpAdd, "subf": vm.OpSubf, "mullw": vm.OpMullw,
+	"divw": vm.OpDivw, "mod": vm.OpMod,
+	"and": vm.OpAnd, "or": vm.OpOr, "xor": vm.OpXor,
+	"slw": vm.OpSlw, "srw": vm.OpSrw, "sraw": vm.OpSraw,
+	"neg": vm.OpNeg, "cmpw": vm.OpCmpw,
+	"lwzx": vm.OpLwzx, "stwx": vm.OpStwx, "lbzx": vm.OpLbzx, "stbx": vm.OpStbx,
+	"b": vm.OpB, "bl": vm.OpBl, "bc": vm.OpBc,
+	"blr": vm.OpBlr, "mflr": vm.OpMflr, "mtlr": vm.OpMtlr,
+	"sc": vm.OpSc, "trap": vm.OpTrap, "nop": vm.OpNop,
+}
+
+var condByName = map[string]vm.Cond{
+	"lt": vm.CondLT, "le": vm.CondLE, "eq": vm.CondEQ,
+	"ge": vm.CondGE, "gt": vm.CondGT, "ne": vm.CondNE,
+}
+
+// parseInst assembles one instruction line onto the builder.
+func parseInst(b *Builder, mnem, rest string) error {
+	ops := splitOperands(rest)
+	// Pseudo-instructions first.
+	switch mnem {
+	case "li": // li rD,imm32
+		if len(ops) != 2 {
+			return fmt.Errorf("li needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.EmitLoadImm32(rd, int32(v))
+		return nil
+	case "la": // la rD,datasym
+		if len(ops) != 2 {
+			return fmt.Errorf("la needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.EmitLoadAddr(rd, ops[1])
+		return nil
+	case "mr": // mr rD,rA  ->  or rD,rA,rA
+		if len(ops) != 2 {
+			return fmt.Errorf("mr needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(vm.Inst{Op: vm.OpOr, RD: rd, RA: ra, RB: ra})
+		return nil
+	}
+
+	op, ok := mnemonicOps[mnem]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	in := vm.Inst{Op: op}
+	switch op {
+	case vm.OpLwz, vm.OpStw, vm.OpLbz, vm.OpStb:
+		// rD, d(rA)
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs 2 operands", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		open := strings.Index(ops[1], "(")
+		closeP := strings.Index(ops[1], ")")
+		if open < 0 || closeP < open {
+			return fmt.Errorf("bad memory operand %q", ops[1])
+		}
+		d, err := parseImm(ops[1][:open])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1][open+1 : closeP])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA, in.Imm = rd, ra, int32(d)
+	case vm.OpAddi, vm.OpAddis, vm.OpMulli, vm.OpAndi, vm.OpOri, vm.OpXori:
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA, in.Imm = rd, ra, int32(v)
+	case vm.OpCmpwi:
+		if len(ops) != 3 {
+			return fmt.Errorf("cmpwi needs 3 operands")
+		}
+		crf, err := parseCRF(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA, in.Imm = crf<<2, ra, int32(v)
+	case vm.OpCmpw:
+		if len(ops) != 3 {
+			return fmt.Errorf("cmpw needs 3 operands")
+		}
+		crf, err := parseCRF(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA, in.RB = crf<<2, ra, rb
+	case vm.OpAdd, vm.OpSubf, vm.OpMullw, vm.OpDivw, vm.OpMod,
+		vm.OpAnd, vm.OpOr, vm.OpXor, vm.OpSlw, vm.OpSrw, vm.OpSraw,
+		vm.OpLwzx, vm.OpStwx, vm.OpLbzx, vm.OpStbx:
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA, in.RB = rd, ra, rb
+	case vm.OpNeg:
+		if len(ops) != 2 {
+			return fmt.Errorf("neg needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA = rd, ra
+	case vm.OpB, vm.OpBl:
+		if len(ops) != 1 {
+			return fmt.Errorf("%s needs 1 operand", mnem)
+		}
+		b.EmitBranch(in, ops[0])
+		return nil
+	case vm.OpBc:
+		if len(ops) != 3 {
+			return fmt.Errorf("bc needs 3 operands (cond,crf,label)")
+		}
+		cond, ok := condByName[ops[0]]
+		if !ok {
+			return fmt.Errorf("bad branch condition %q", ops[0])
+		}
+		crf, err := parseCRF(ops[1])
+		if err != nil {
+			return err
+		}
+		in.RD, in.RA = uint8(cond), crf
+		b.EmitBranch(in, ops[2])
+		return nil
+	case vm.OpMflr, vm.OpMtlr:
+		if len(ops) != 1 {
+			return fmt.Errorf("%s needs 1 operand", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		in.RD = rd
+	case vm.OpBlr, vm.OpSc, vm.OpTrap, vm.OpNop:
+		if len(ops) != 0 {
+			return fmt.Errorf("%s takes no operands", mnem)
+		}
+	}
+	b.Emit(in)
+	return nil
+}

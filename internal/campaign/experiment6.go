@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/injector"
+	"repro/internal/locator"
+	"repro/internal/metrics"
+	"repro/internal/programs"
+	"repro/internal/workload"
+)
+
+// This file implements the paper's second experiment (§6): emulation of
+// whole classes of software faults. Fault locations are enumerated from the
+// compiler's debug information, a random subset is chosen per program, each
+// chosen location is expanded into every applicable Table 3 error type, and
+// each resulting fault is injected once per input data set with the target
+// rebooted in between.
+
+// PaperChosenAssign reproduces the "Chosen locations" column of Table 4 for
+// assignment faults.
+var PaperChosenAssign = map[string]int{
+	"C.team1": 8, "C.team2": 5, "C.team8": 8, "C.team9": 9,
+	"C.team10": 9, "JB.team6": 5, "JB.team11": 5, "SOR": 12,
+}
+
+// PaperChosenCheck reproduces the "Chosen locations" column of Table 4 for
+// checking faults.
+var PaperChosenCheck = map[string]int{
+	"C.team1": 8, "C.team2": 6, "C.team8": 9, "C.team9": 9,
+	"C.team10": 8, "JB.team6": 5, "JB.team11": 5, "SOR": 12,
+}
+
+// PaperCasesPerFault is the paper's test-case size: each fault is injected
+// once per input data set, 300 data sets per program kind.
+const PaperCasesPerFault = 300
+
+// Config parameterises a class campaign.
+type Config struct {
+	// Programs lists target program names; empty means the Table 4 set.
+	Programs []string
+	// Classes lists the fault classes to inject; empty means both.
+	Classes []fault.Class
+	// CasesPerFault scales the experiment; 0 means PaperCasesPerFault.
+	CasesPerFault int
+	// ChosenAssign/ChosenCheck give the number of locations per program;
+	// missing entries fall back to the paper's Table 4 columns.
+	ChosenAssign map[string]int
+	ChosenCheck  map[string]int
+	Seed         int64
+	// Mode selects the trigger mechanism; 0 means hardware breakpoints
+	// (every §6 fault is single-location, so the two IABRs suffice).
+	Mode injector.Mode
+	// MetricGuided selects fault locations weighted by the enclosing
+	// function's complexity score instead of uniformly — the §6.1 policy
+	// for when no field data exists.
+	MetricGuided bool
+}
+
+func (c *Config) fill() {
+	if len(c.Programs) == 0 {
+		for _, p := range programs.Table4Programs() {
+			c.Programs = append(c.Programs, p.Name)
+		}
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = []fault.Class{fault.ClassAssignment, fault.ClassChecking}
+	}
+	if c.CasesPerFault == 0 {
+		c.CasesPerFault = PaperCasesPerFault
+	}
+	if c.Mode == 0 {
+		c.Mode = injector.ModeHardware
+	}
+	if c.Seed == 0 {
+		c.Seed = 2000 // the year of the paper
+	}
+}
+
+func (c *Config) chosen(class fault.Class, program string) int {
+	var m, def map[string]int
+	switch class {
+	case fault.ClassAssignment, fault.ClassHardware:
+		// Hardware-fault plans reuse the assignment location budgets.
+		m, def = c.ChosenAssign, PaperChosenAssign
+	default:
+		m, def = c.ChosenCheck, PaperChosenCheck
+	}
+	if n, ok := m[program]; ok {
+		return n
+	}
+	if n, ok := def[program]; ok {
+		return n
+	}
+	return 5
+}
+
+// Entry aggregates the outcomes of every injection of one (program, class,
+// error type) combination.
+type Entry struct {
+	Program string
+	Class   fault.Class
+	ErrType fault.ErrType
+	Runs    int
+	// Counts is indexed by FailureMode.
+	Counts map[FailureMode]int
+	// Activated counts runs in which the fault's corruption actually
+	// applied at least once (the faulty code was executed).
+	Activated int
+}
+
+// PlanInfo is one row of Table 4.
+type PlanInfo struct {
+	Program  string
+	Class    fault.Class
+	Possible int
+	Chosen   int
+	Faults   int // chosen locations × applicable error types
+	Injected int // Faults × cases (the paper's "Injected faults" column)
+}
+
+// Result is the outcome of a class campaign.
+type Result struct {
+	Entries []Entry
+	Plans   []PlanInfo
+	Runs    int
+}
+
+// Run executes the campaign. It is deterministic for a given Config.
+func Run(cfg Config) (*Result, error) {
+	cfg.fill()
+	res := &Result{}
+	entries := make(map[string]*Entry)
+
+	// All programs of the same kind run the same test case (§6.2).
+	casesByKind := make(map[programs.Kind][]workload.Case)
+
+	for _, name := range cfg.Programs {
+		p, ok := programs.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown program %q", name)
+		}
+		c, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		cases, ok := casesByKind[p.Kind]
+		if !ok {
+			cases, err = workload.Generate(p.Kind, cfg.CasesPerFault, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			casesByKind[p.Kind] = cases
+		}
+		budgets, err := CalibrateCycles(c, cases)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: calibrate %s: %w", name, err)
+		}
+
+		var rep *metrics.Report
+		if cfg.MetricGuided {
+			rep = metrics.Analyze(name, c.AST)
+		}
+		for _, class := range cfg.Classes {
+			var plan *locator.Plan
+			n := cfg.chosen(class, name)
+			switch class {
+			case fault.ClassAssignment:
+				if cfg.MetricGuided {
+					w := metrics.LocationWeights(rep, metrics.AssignFuncs(c))
+					plan, err = locator.PlanAssignmentChosen(c, name, metrics.ChooseWeighted(w, n, cfg.Seed), cfg.Seed)
+				} else {
+					plan, err = locator.PlanAssignment(c, name, n, cfg.Seed)
+				}
+			case fault.ClassChecking:
+				if cfg.MetricGuided {
+					w := metrics.LocationWeights(rep, metrics.CheckFuncs(c))
+					plan, err = locator.PlanCheckingChosen(c, name, metrics.ChooseWeighted(w, n, cfg.Seed), cfg.Seed)
+				} else {
+					plan, err = locator.PlanChecking(c, name, n, cfg.Seed)
+				}
+			case fault.ClassHardware:
+				plan, err = locator.PlanHardware(c, name, n, cfg.Seed)
+			default:
+				err = fmt.Errorf("campaign: class %v has no §6 plan", class)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Plans = append(res.Plans, PlanInfo{
+				Program: name, Class: class,
+				Possible: plan.Possible, Chosen: len(plan.Chosen),
+				Faults:   len(plan.Faults),
+				Injected: len(plan.Faults) * len(cases),
+			})
+			for fi := range plan.Faults {
+				f := &plan.Faults[fi]
+				key := name + "|" + class.String() + "|" + string(f.ErrType)
+				e, ok := entries[key]
+				if !ok {
+					e = &Entry{
+						Program: name, Class: class, ErrType: f.ErrType,
+						Counts: make(map[FailureMode]int),
+					}
+					entries[key] = e
+				}
+				for ci := range cases {
+					r, err := RunWithFault(c, cases[ci].Input, cases[ci].Golden, f, cfg.Mode, budgets[ci])
+					if err != nil {
+						return nil, fmt.Errorf("campaign: %s %s case %d: %w", name, f.ID, ci, err)
+					}
+					e.Runs++
+					e.Counts[r.Mode]++
+					if r.Activations > 0 {
+						e.Activated++
+					}
+					res.Runs++
+				}
+			}
+		}
+	}
+
+	for _, e := range entries {
+		res.Entries = append(res.Entries, *e)
+	}
+	sort.Slice(res.Entries, func(i, j int) bool {
+		a, b := res.Entries[i], res.Entries[j]
+		if a.Program != b.Program {
+			return a.Program < b.Program
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.ErrType < b.ErrType
+	})
+	return res, nil
+}
+
+// Dist is a failure-mode distribution.
+type Dist struct {
+	Runs      int
+	Counts    map[FailureMode]int
+	Activated int
+}
+
+// Pct returns the percentage of runs with the given mode.
+func (d Dist) Pct(m FailureMode) float64 {
+	if d.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(d.Counts[m]) / float64(d.Runs)
+}
+
+func (r *Result) accumulate(filter func(*Entry) (string, bool)) map[string]Dist {
+	out := make(map[string]Dist)
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		key, ok := filter(e)
+		if !ok {
+			continue
+		}
+		d, exists := out[key]
+		if !exists {
+			d = Dist{Counts: make(map[FailureMode]int)}
+		}
+		d.Runs += e.Runs
+		d.Activated += e.Activated
+		for m, n := range e.Counts {
+			d.Counts[m] += n
+		}
+		out[key] = d
+	}
+	return out
+}
+
+// ByProgram aggregates failure modes per program for one fault class
+// (Figures 7 and 8).
+func (r *Result) ByProgram(class fault.Class) map[string]Dist {
+	return r.accumulate(func(e *Entry) (string, bool) {
+		return e.Program, e.Class == class
+	})
+}
+
+// ByErrType aggregates failure modes per error type for one fault class
+// (Figures 9 and 10).
+func (r *Result) ByErrType(class fault.Class) map[string]Dist {
+	return r.accumulate(func(e *Entry) (string, bool) {
+		return string(e.ErrType), e.Class == class
+	})
+}
+
+// Total aggregates everything for one class.
+func (r *Result) Total(class fault.Class) Dist {
+	agg := r.accumulate(func(e *Entry) (string, bool) { return "all", e.Class == class })
+	return agg["all"]
+}

@@ -1,0 +1,155 @@
+// Package campaign is the experiment-management layer (the paper's
+// "Experiment Management software"): it executes target programs on fresh
+// virtual machines, arms faults through the injector, collects outcomes and
+// classifies them into the paper's failure modes, and drives the §5
+// equivalence experiments and §6 class campaigns.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/injector"
+	"repro/internal/programs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// FailureMode is the outcome classification of one run (§6.2).
+type FailureMode int
+
+// Failure modes, in the order of the paper's figures.
+const (
+	Correct   FailureMode = iota + 1 // terminated normally, output correct
+	Incorrect                        // terminated normally, output wrong
+	Hang                             // watchdog expired (dead loop)
+	Crash                            // terminated abnormally (hardware exception)
+)
+
+var modeNames = map[FailureMode]string{
+	Correct:   "correct",
+	Incorrect: "incorrect",
+	Hang:      "hang",
+	Crash:     "crash",
+}
+
+// String names the failure mode.
+func (f FailureMode) String() string {
+	if s, ok := modeNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(f))
+}
+
+// Modes lists the failure modes in presentation order.
+func Modes() []FailureMode { return []FailureMode{Correct, Incorrect, Hang, Crash} }
+
+// RunResult is the outcome of a single program run.
+type RunResult struct {
+	Mode        FailureMode
+	State       vm.State
+	Exc         vm.Exc
+	Output      string
+	Cycles      uint64
+	Activations uint64 // 0 for clean runs
+	ExitStatus  int32
+}
+
+// newMachine builds a fresh machine (the per-injection "reboot") with the
+// given cycle budget and the program plus input loaded.
+func newMachine(c *cc.Compiled, in programs.Input, maxCycles uint64) (*vm.Machine, error) {
+	m := vm.New(vm.Config{MaxCycles: maxCycles})
+	if err := m.Load(c.Prog.Image); err != nil {
+		return nil, err
+	}
+	m.SetInput(in.Ints)
+	m.SetByteInput(in.Bytes)
+	return m, nil
+}
+
+// classify maps a finished machine plus the golden output to a failure
+// mode. A normal termination with a non-zero exit status counts as a crash
+// (the system detected an error), matching the paper's "program terminated
+// abnormally" category.
+func classify(m *vm.Machine, golden string) (FailureMode, RunResult) {
+	res := RunResult{
+		State:      m.State(),
+		Output:     string(m.Output()),
+		Cycles:     m.Cycles(),
+		ExitStatus: m.ExitStatus(),
+	}
+	res.Exc, _ = m.Exception()
+	switch m.State() {
+	case vm.StateHung:
+		res.Mode = Hang
+	case vm.StateCrashed:
+		res.Mode = Crash
+	case vm.StateHalted:
+		switch {
+		case m.ExitStatus() != 0:
+			res.Mode = Crash
+		case res.Output == golden:
+			res.Mode = Correct
+		default:
+			res.Mode = Incorrect
+		}
+	default:
+		res.Mode = Crash
+	}
+	return res.Mode, res
+}
+
+// RunClean executes the program on one input with no fault armed.
+func RunClean(c *cc.Compiled, in programs.Input, golden string, maxCycles uint64) (RunResult, error) {
+	m, err := newMachine(c, in, maxCycles)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if _, err := m.Run(); err != nil {
+		return RunResult{}, err
+	}
+	_, res := classify(m, golden)
+	return res, nil
+}
+
+// RunWithFault executes the program on one input with the fault armed in
+// the given injector mode. Arm errors (e.g. breakpoint exhaustion) are
+// returned, not classified.
+func RunWithFault(c *cc.Compiled, in programs.Input, golden string, f *fault.Fault, mode injector.Mode, maxCycles uint64) (RunResult, error) {
+	m, err := newMachine(c, in, maxCycles)
+	if err != nil {
+		return RunResult{}, err
+	}
+	s, err := injector.Arm(m, mode, f)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if _, err := m.Run(); err != nil {
+		return RunResult{}, err
+	}
+	_, res := classify(m, golden)
+	res.Activations = s.Activations()
+	return res, nil
+}
+
+// CalibrateCycles measures the clean-run cycle count of every case and
+// returns per-case watchdog budgets: a multiple of the clean run plus
+// slack. Faulty runs exceeding the budget are classified as hangs — the
+// experiment manager's timeout of §6.2. The multiplier leaves room for
+// mutations that legitimately lengthen execution (an off-by-one loop bound
+// adds a single iteration) while keeping dead loops cheap to detect.
+func CalibrateCycles(c *cc.Compiled, cases []workload.Case) ([]uint64, error) {
+	budgets := make([]uint64, len(cases))
+	for i := range cases {
+		res, err := RunClean(c, cases[i].Input, cases[i].Golden, vm.DefaultMaxCycles)
+		if err != nil {
+			return nil, err
+		}
+		if res.Mode != Correct {
+			return nil, fmt.Errorf("campaign: clean run %d not correct (mode %v, state %v)", i, res.Mode, res.State)
+		}
+		budgets[i] = res.Cycles*3 + 50_000
+	}
+	return budgets, nil
+}

@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/injector"
+	"repro/internal/locator"
+	"repro/internal/programs"
+	"repro/internal/workload"
+)
+
+// This file implements the study the paper's conclusion calls for:
+// "a promising approach seems to be devising ways to perform an independent
+// evaluation of the accuracy of the fault types and the fault triggers."
+// It holds the fault types (What/Where) fixed and varies only the trigger's
+// When parameter, so differences in failure modes are attributable to the
+// trigger alone.
+
+// TriggerPolicy is one When setting.
+type TriggerPolicy struct {
+	Name string
+	Once bool
+	Skip int
+}
+
+// DefaultTriggerPolicies returns the three policies compared by the study:
+// the §6 always-on trigger, a first-execution-only trigger, and a
+// late-activation trigger that lets the program run warm before the error
+// appears (closer to a latent software fault exposed by a rare state).
+func DefaultTriggerPolicies() []TriggerPolicy {
+	return []TriggerPolicy{
+		{Name: "every execution (paper §6)", Once: false, Skip: 0},
+		{Name: "first execution only", Once: true, Skip: 0},
+		{Name: "single late activation (skip 24)", Once: true, Skip: 24},
+	}
+}
+
+// TriggerStudyResult aggregates failure modes per policy.
+type TriggerStudyResult struct {
+	Program  string
+	Policies []TriggerPolicy
+	Dists    []Dist // parallel to Policies
+	Faults   int
+	Cases    int
+}
+
+// RunTriggerStudy injects the same fault set (assignment plus checking,
+// nLocs locations each) under every policy and collects the failure-mode
+// distributions.
+func RunTriggerStudy(programName string, nLocs, nCases int, seed int64) (*TriggerStudyResult, error) {
+	p, ok := programs.ByName(programName)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown program %q", programName)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cases, err := workload.Generate(p.Kind, nCases, seed)
+	if err != nil {
+		return nil, err
+	}
+	budgets, err := CalibrateCycles(c, cases)
+	if err != nil {
+		return nil, err
+	}
+	pa, err := locator.PlanAssignment(c, programName, nLocs, seed)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := locator.PlanChecking(c, programName, nLocs, seed)
+	if err != nil {
+		return nil, err
+	}
+	faults := append(append([]fault.Fault(nil), pa.Faults...), pc.Faults...)
+
+	res := &TriggerStudyResult{
+		Program:  programName,
+		Policies: DefaultTriggerPolicies(),
+		Faults:   len(faults),
+		Cases:    len(cases),
+	}
+	for _, pol := range res.Policies {
+		d := Dist{Counts: make(map[FailureMode]int)}
+		for fi := range faults {
+			f := faults[fi] // copy: each policy gets its own trigger
+			f.Trigger.Once = pol.Once
+			f.Trigger.Skip = pol.Skip
+			for ci := range cases {
+				r, err := RunWithFault(c, cases[ci].Input, cases[ci].Golden, &f, injector.ModeHardware, budgets[ci])
+				if err != nil {
+					return nil, fmt.Errorf("campaign: trigger study %s/%s: %w", pol.Name, f.ID, err)
+				}
+				d.Runs++
+				d.Counts[r.Mode]++
+				if r.Activations > 0 {
+					d.Activated++
+				}
+			}
+		}
+		res.Dists = append(res.Dists, d)
+	}
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package cc
+
+// TypeKind classifies a Type.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota + 1
+	TypeChar
+	TypeVoid
+	TypePointer
+	TypeArray
+)
+
+// Type describes a mini-C type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // element type for pointers and arrays
+	Len  int32 // array length
+}
+
+// Canonical scalar types.
+var (
+	IntType  = &Type{Kind: TypeInt}
+	CharType = &Type{Kind: TypeChar}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// Size returns the storage size of the type in bytes.
+func (t *Type) Size() int32 {
+	switch t.Kind {
+	case TypeInt, TypePointer:
+		return 4
+	case TypeChar:
+		return 1
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsScalar reports whether the type fits in a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePointer
+}
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePointer:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// equalTypes reports structural type equality.
+func equalTypes(a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TypePointer:
+		return equalTypes(a.Elem, b.Elem)
+	case TypeArray:
+		return a.Len == b.Len && equalTypes(a.Elem, b.Elem)
+	}
+	return true
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global, local or parameter variable.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // optional initialiser (scalars only)
+	Line int
+
+	// Filled by codegen: stack offset from SP for locals/params, or the
+	// data-segment symbol for globals.
+	IsGlobal bool
+	Offset   int32
+	Sym      string
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *Block
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope. NoScope
+// marks synthetic groups (multi-declarator lines) that must share the
+// enclosing scope.
+type Block struct {
+	Stmts   []Stmt
+	Line    int
+	NoScope bool
+}
+
+// If is an if/else statement.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// For is a for loop; Init and Post may be nil, Cond may be nil (infinite).
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Line int
+}
+
+// Return is a return statement; E may be nil for void functions.
+type Return struct {
+	E    Expr
+	Line int
+}
+
+// Break terminates the innermost loop.
+type Break struct{ Line int }
+
+// Continue resumes the innermost loop.
+type Continue struct{ Line int }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+	Line int
+}
+
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. Types are filled in by
+// semantic analysis.
+type Expr interface {
+	exprNode()
+	TypeOf() *Type
+	Pos() (line, col int)
+}
+
+// exprBase carries the position and resolved type of an expression.
+type exprBase struct {
+	Line int
+	Col  int
+	Typ  *Type
+}
+
+func (b *exprBase) TypeOf() *Type   { return b.Typ }
+func (b *exprBase) Pos() (int, int) { return b.Line, b.Col }
+func (b *exprBase) exprNode()       {}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Val int32
+}
+
+// StrLit is a string literal; it compiles to a NUL-terminated byte array in
+// the data segment and has type char*.
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// Ident references a variable.
+type Ident struct {
+	exprBase
+	Name string
+	Decl *VarDecl // resolved by sema
+}
+
+// Unary is -x, !x, *x or &x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic, comparison and logical operators.
+type Binary struct {
+	exprBase
+	Op string
+	X  Expr
+	Y  Expr
+}
+
+// Assign is lhs = rhs (also the desugared form of +=, -=, ++ and --).
+type Assign struct {
+	exprBase
+	LHS Expr
+	RHS Expr
+}
+
+// CondExpr is the ternary c ? t : f.
+type CondExpr struct {
+	exprBase
+	C Expr
+	T Expr
+	F Expr
+}
+
+// Call invokes a function or builtin by name.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Fn   *FuncDecl // resolved by sema; nil for builtins
+}
+
+// Index is x[i].
+type Index struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}

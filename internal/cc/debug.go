@@ -1,0 +1,133 @@
+package cc
+
+import "repro/internal/vm"
+
+// This file defines the debug information emitted by the code generator.
+// It is the moral equivalent of the symbol tables and labels the paper used
+// to locate assignment and checking statements at machine-code level (§6.3,
+// step 1), plus the per-statement records needed by the §5 case studies.
+
+// AssignInfo records one assignment fault location: a source-level statement
+// that commits a value to a variable, and the machine instruction that
+// performs the store. The §6 assignment error types (value+1, value-1,
+// no-assign, random) all act on this store instruction.
+type AssignInfo struct {
+	Func string // enclosing function
+	Line int    // source line
+	Col  int
+	LHS  string // printable left-hand side ("i", "time[x][y]", "*p")
+
+	StoreAddr uint32 // address of the stw/stb/stwx/stbx
+	StoreByte bool   // true when the store is byte-sized
+	// ValueStart is the address of the first instruction of the RHS
+	// evaluation; the whole assignment occupies [ValueStart, StoreAddr+4).
+	ValueStart uint32
+	// InLoopHeader marks assignments inside for-headers (init/post); the
+	// Figure 3 fault lives in one of these.
+	InLoopHeader bool
+}
+
+// CheckInfo records one checking fault location: a source-level comparison
+// or logical connective and the cmp/bc instruction pair implementing it.
+// The §6 checking error types rewrite the bc condition field, force it
+// always/never taken, or offset the array loads feeding the comparison —
+// all single-instruction corruptions, as in the paper's Figure 5.
+type CheckInfo struct {
+	Func string
+	Line int
+	Col  int
+	Op   string // source operator: "<", "<=", ">", ">=", "==", "!=", "&&", "||", "truth"
+
+	CmpAddr uint32  // address of cmpw/cmpwi (0 when Op is a connective)
+	BcAddr  uint32  // address of the conditional branch
+	BcCond  vm.Cond // condition encoded in the bc
+	// Negated is true when the bc tests the negation of the source
+	// operator (branch-around-then pattern). A source-level operator
+	// mutation must then encode the negation of the mutated operator.
+	Negated bool
+	// TakenAddr and FallAddr are the two successor addresses of the bc;
+	// "stuck true"/"stuck false" mutations replace the bc with an
+	// unconditional branch to one of them. For connectives, the and<->or
+	// mutation rewrites the bc to branch to AltAddr under AltCond.
+	TakenAddr uint32
+	FallAddr  uint32
+	AltAddr   uint32  // valid only for "&&"/"||"
+	AltCond   vm.Cond // valid only for "&&"/"||"
+	// ArrayLoads lists the array-element load instructions that feed the
+	// comparison operands, enabling the [i]->[i±1] error types ("only for
+	// checking over arrays", Table 3).
+	ArrayLoads []ArrayLoad
+}
+
+// ArrayLoad is one array-element load instruction and its element size.
+type ArrayLoad struct {
+	Addr     uint32 // address of the lwzx/lbzx/lwz/lbz
+	ElemSize int32  // 4 for int elements, 1 for char
+}
+
+// LocalVar describes one stack-resident variable, giving the SP-relative
+// displacement that the Figure 4 stack-shift emulation manipulates.
+type LocalVar struct {
+	Name   string
+	Offset int32 // displacement from SP
+	Size   int32
+}
+
+// FuncInfo is the debug record of one compiled function.
+type FuncInfo struct {
+	Name      string
+	Entry     uint32 // address of the first instruction
+	End       uint32 // one past the last instruction
+	FrameSize int32
+	Locals    []LocalVar
+	Line      int
+}
+
+// StmtSpan maps a source line to the half-open address range of the code
+// generated for it (used to render the paper-style side-by-side listings).
+type StmtSpan struct {
+	Func  string
+	Line  int
+	Start uint32
+	End   uint32
+}
+
+// DebugInfo aggregates everything the locator and the case studies need.
+type DebugInfo struct {
+	Assigns []AssignInfo
+	Checks  []CheckInfo
+	Funcs   []FuncInfo
+	Spans   []StmtSpan
+}
+
+// FuncAt returns the function containing address a.
+func (d *DebugInfo) FuncAt(a uint32) *FuncInfo {
+	for i := range d.Funcs {
+		f := &d.Funcs[i]
+		if a >= f.Entry && a < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncByName returns the named function's record.
+func (d *DebugInfo) FuncByName(name string) *FuncInfo {
+	for i := range d.Funcs {
+		if d.Funcs[i].Name == name {
+			return &d.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// SpansForLine returns the address ranges generated for a source line.
+func (d *DebugInfo) SpansForLine(line int) []StmtSpan {
+	var out []StmtSpan
+	for _, s := range d.Spans {
+		if s.Line == line {
+			out = append(out, s)
+		}
+	}
+	return out
+}

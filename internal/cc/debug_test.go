@@ -1,0 +1,303 @@
+package cc_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+)
+
+const debugProbe = `
+int limit = 10;
+int square(int x) { return x * x; }
+int main() {
+    int i;
+    int total = 0;
+    int a[10];
+    for (i = 0; i < 10; i++) {
+        a[i] = square(i);
+    }
+    for (i = 0; i < 10; i++) {
+        if (a[i] >= 25 && a[i] < limit * 8) {
+            total = total + a[i];
+        }
+    }
+    print_int(total);
+    return 0;
+}`
+
+func compileProbe(t *testing.T) *cc.Compiled {
+	t.Helper()
+	c, err := cc.Compile(debugProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDebugFuncInfo(t *testing.T) {
+	c := compileProbe(t)
+	d := c.Debug
+	if len(d.Funcs) != 2 {
+		t.Fatalf("got %d functions, want 2", len(d.Funcs))
+	}
+	main := d.FuncByName("main")
+	if main == nil {
+		t.Fatal("no debug record for main")
+	}
+	if main.FrameSize%8 != 0 {
+		t.Errorf("frame size %d not 8-aligned", main.FrameSize)
+	}
+	var names []string
+	for _, l := range main.Locals {
+		names = append(names, l.Name)
+	}
+	want := []string{"i", "total", "a"}
+	if len(names) != len(want) {
+		t.Fatalf("locals %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("local %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	// Array a occupies 40 bytes after total.
+	a := main.Locals[2]
+	if a.Size != 40 {
+		t.Errorf("sizeof(a) = %d, want 40", a.Size)
+	}
+	if d.FuncAt(main.Entry) != main || d.FuncAt(main.End-4) != main {
+		t.Error("FuncAt does not cover main's range")
+	}
+	if d.FuncAt(0xdeadbeef) != nil {
+		t.Error("FuncAt of wild address should be nil")
+	}
+	if d.FuncByName("nosuch") != nil {
+		t.Error("FuncByName of unknown name should be nil")
+	}
+}
+
+func TestDebugAssignLocations(t *testing.T) {
+	c := compileProbe(t)
+	var lhs []string
+	inHeader := 0
+	for _, a := range c.Debug.Assigns {
+		lhs = append(lhs, a.LHS)
+		if a.InLoopHeader {
+			inHeader++
+		}
+		if a.StoreAddr == 0 {
+			t.Errorf("assign %s has zero store address", a.LHS)
+		}
+		// The recorded store must decode to a store instruction.
+		w, err := c.Prog.ReadTextWord(a.StoreAddr)
+		if err != nil {
+			t.Fatalf("assign %s: %v", a.LHS, err)
+		}
+		in, err := vm.Decode(w)
+		if err != nil {
+			t.Fatalf("assign %s: %v", a.LHS, err)
+		}
+		switch in.Op {
+		case vm.OpStw, vm.OpStb, vm.OpStwx, vm.OpStbx:
+		default:
+			t.Errorf("assign %s records %v, not a store", a.LHS, in.Op)
+		}
+	}
+	// total=0, a[i]=..., total=total+a[i], plus 4 loop-header i assignments.
+	wantLHS := map[string]int{"total": 2, "a[]": 1, "i": 4}
+	got := map[string]int{}
+	for _, n := range lhs {
+		got[n]++
+	}
+	for k, v := range wantLHS {
+		if got[k] != v {
+			t.Errorf("assignments to %s = %d, want %d (all: %v)", k, got[k], v, lhs)
+		}
+	}
+	if inHeader != 4 {
+		t.Errorf("loop-header assigns = %d, want 4", inHeader)
+	}
+}
+
+func TestDebugCheckLocations(t *testing.T) {
+	c := compileProbe(t)
+	ops := map[string]int{}
+	for _, ck := range c.Debug.Checks {
+		ops[ck.Op]++
+		w, err := c.Prog.ReadTextWord(ck.BcAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := vm.Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op != vm.OpBc {
+			t.Errorf("check %s at %#x records %v, not bc", ck.Op, ck.BcAddr, in.Op)
+		}
+		if vm.Cond(in.RD) != ck.BcCond {
+			t.Errorf("check %s: bc cond %v, recorded %v", ck.Op, vm.Cond(in.RD), ck.BcCond)
+		}
+		if ck.TakenAddr == 0 {
+			t.Errorf("check %s has no taken address", ck.Op)
+		}
+	}
+	// Two i<10 loop conditions, one >=, one <, one && connective.
+	if ops["<"] != 3 { // i<10 twice + a[i] < limit*8
+		t.Errorf("< checks = %d, want 3 (%v)", ops["<"], ops)
+	}
+	if ops[">="] != 1 {
+		t.Errorf(">= checks = %d, want 1 (%v)", ops[">="], ops)
+	}
+	if ops["&&"] != 1 {
+		t.Errorf("&& checks = %d, want 1 (%v)", ops["&&"], ops)
+	}
+}
+
+func TestDebugArrayLoadsInChecks(t *testing.T) {
+	c := compileProbe(t)
+	withArrays := 0
+	for _, ck := range c.Debug.Checks {
+		if len(ck.ArrayLoads) > 0 {
+			withArrays++
+			for _, al := range ck.ArrayLoads {
+				if al.ElemSize != 4 {
+					t.Errorf("array load elem size %d, want 4", al.ElemSize)
+				}
+				w, err := c.Prog.ReadTextWord(al.Addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in, err := vm.Decode(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if in.Op != vm.OpLwz && in.Op != vm.OpLbz {
+					t.Errorf("array load records %v", in.Op)
+				}
+			}
+		}
+	}
+	// a[i] >= 25 and a[i] < limit*8 both load a[i].
+	if withArrays < 2 {
+		t.Errorf("checks with array loads = %d, want >= 2", withArrays)
+	}
+}
+
+// TestCheckMutationSemantics flips the < in "i < 10" to <= by rewriting the
+// recorded bc condition (the paper's Figure 5 strategy 1) and checks the
+// program runs one extra iteration: the debug records must be precise enough
+// to drive real mutations.
+func TestCheckMutationSemantics(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    int n = 0;
+    for (i = 0; i < 10; i++) { n++; }
+    print_int(n);
+    return 0;
+}`
+	c, err := cc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *cc.CheckInfo
+	for i := range c.Debug.Checks {
+		if c.Debug.Checks[i].Op == "<" {
+			target = &c.Debug.Checks[i]
+		}
+	}
+	if target == nil {
+		t.Fatal("no < check found")
+	}
+
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate < to <=: with the Negated encoding this flips the bc condition
+	// from its recorded value to the negation of <=.
+	w, err := m.ReadWord(target.BcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := vm.Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newCond vm.Cond
+	if target.Negated {
+		newCond = vm.CondGT // !(<=)
+	} else {
+		newCond = vm.CondLE
+	}
+	in.RD = uint8(newCond)
+	m.SetTextWritable(true)
+	if err := m.WriteWord(target.BcAddr, vm.Encode(in)); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTextWritable(false)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(m.Output()); got != "11\n" {
+		t.Errorf("mutated output = %q, want \"11\\n\"", got)
+	}
+}
+
+// TestAssignMutationSemantics nops out the store of "n = n + 1" inside a
+// loop (the "unassigned" error type of Table 3): the final value must stay 0.
+func TestAssignMutationSemantics(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    int n = 0;
+    for (i = 0; i < 10; i++) { n = n + 1; }
+    print_int(n);
+    return 0;
+}`
+	c, err := cc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var store uint32
+	for _, a := range c.Debug.Assigns {
+		if a.LHS == "n" && !a.InLoopHeader && a.Line == 5 {
+			store = a.StoreAddr
+		}
+	}
+	if store == 0 {
+		t.Fatal("no store for n=n+1 found")
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTextWritable(true)
+	if err := m.WriteWord(store, vm.Encode(vm.Inst{Op: vm.OpNop})); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTextWritable(false)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(m.Output()); got != "0\n" {
+		t.Errorf("no-assign output = %q, want \"0\\n\"", got)
+	}
+}
+
+func TestDebugSpans(t *testing.T) {
+	c := compileProbe(t)
+	if len(c.Debug.Spans) == 0 {
+		t.Fatal("no statement spans recorded")
+	}
+	for _, s := range c.Debug.Spans {
+		if s.End < s.Start {
+			t.Errorf("span line %d has end %#x < start %#x", s.Line, s.End, s.Start)
+		}
+	}
+	if spans := c.Debug.SpansForLine(16); len(spans) == 0 {
+		t.Error("no span for print_int line")
+	}
+}

@@ -1,0 +1,216 @@
+package cc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// Edge cases in code generation: spill paths, condition shapes, decay
+// rules and the compiler's own limits.
+
+func TestTernaryAsCondition(t *testing.T) {
+	src := `
+int main() {
+    int a = 1; int b = 0; int c = 5;
+    if (a ? b : c) print_int(1); else print_int(2);
+    if (b ? a : c) print_int(3); else print_int(4);
+    return 0;
+}`
+	mustOutput(t, src, nil, "2\n3\n")
+}
+
+func TestNotOverCompound(t *testing.T) {
+	src := `
+int main() {
+    int a = 3; int b = 7;
+    if (!(a < b && b < 10)) print_int(1); else print_int(2);
+    if (!(a > b) || b == 0) print_int(3); else print_int(4);
+    while (!(a >= b)) a++;
+    print_int(a);
+    return 0;
+}`
+	mustOutput(t, src, nil, "2\n3\n7\n")
+}
+
+func TestCallInDeepExpression(t *testing.T) {
+	// The call sits deep in an expression: all live scratch registers must
+	// be spilled around it and restored.
+	src := `
+int f(int x) { return x * 2; }
+int main() {
+    int r = 1 + 2 * (3 + f(4 + 5 * f(1)));
+    print_int(r);
+    return 0;
+}`
+	// f(1)=2, 4+10=14, f(14)=28, 3+28=31, 2*31=62, +1=63.
+	mustOutput(t, src, nil, "63\n")
+}
+
+func TestRowDecayToPointerArgument(t *testing.T) {
+	src := `
+int rowsum(int *row, int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i++) s += row[i];
+    return s;
+}
+int m[3][4];
+int main() {
+    int i; int j;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i][j] = i * 4 + j;
+    print_int(rowsum(m[1], 4));
+    print_int(rowsum(m[2], 4));
+    return 0;
+}`
+	// Row 1: 4+5+6+7 = 22; row 2: 8+9+10+11 = 38.
+	mustOutput(t, src, nil, "22\n38\n")
+}
+
+func TestBreakInNestedLoops(t *testing.T) {
+	src := `
+int main() {
+    int i; int j; int n = 0;
+    for (i = 0; i < 5; i++) {
+        j = 0;
+        while (1) {
+            j++;
+            if (j > i) break;
+            n += 1;
+        }
+        if (i == 3) break;
+        n += 100;
+    }
+    print_int(n);
+    print_int(i);
+    return 0;
+}`
+	// i=0: inner adds 0, +100 -> 100; i=1: +1, +100 -> 201; i=2: +2, +100
+	// -> 303; i=3: +3, outer break -> 306. i stays 3.
+	mustOutput(t, src, nil, "306\n3\n")
+}
+
+func TestPointerComparisons(t *testing.T) {
+	src := `
+int a[4];
+int main() {
+    int *p = a;
+    int *q = a + 2;
+    if (p < q) print_int(1);
+    if (q - 0 == p + 2 - 0) print_int(2);
+    if (p != q) print_int(3);
+    p = p + 2;
+    if (p == q) print_int(4);
+    return 0;
+}`
+	mustOutput(t, src, nil, "1\n2\n3\n4\n")
+}
+
+func TestRecursionWithTernary(t *testing.T) {
+	src := `
+int gcd(int a, int b) {
+    return (b == 0) ? a : gcd(b, a % b);
+}
+int main() {
+    print_int(gcd(1071, 462));
+    print_int(gcd(17, 5));
+    return 0;
+}`
+	mustOutput(t, src, nil, "21\n1\n")
+}
+
+func TestCharGlobalArrays(t *testing.T) {
+	src := `
+char buf[8];
+int main() {
+    int i;
+    for (i = 0; i < 7; i++) buf[i] = 'A' + i;
+    buf[7] = 0;
+    for (i = 0; buf[i] != 0; i++) print_char(buf[i]);
+    print_char(10);
+    print_int(buf[2]);
+    return 0;
+}`
+	mustOutput(t, src, nil, "ABCDEFG\n67\n")
+}
+
+func TestByteTruncationOnCharArrayStore(t *testing.T) {
+	src := `
+char b[4];
+int main() {
+    b[0] = 321;  /* 321 & 0xff = 65 */
+    print_int(b[0]);
+    return 0;
+}`
+	mustOutput(t, src, nil, "65\n")
+}
+
+func TestExpressionTooComplex(t *testing.T) {
+	// Depth grows rightward: a right-leaning chain of binary operators
+	// needs one scratch register per level and must exhaust the bank.
+	expr := "1"
+	for i := 0; i < 20; i++ {
+		expr = "1 + (" + expr + ")"
+	}
+	_, err := cc.Compile("int main() { return " + expr + "; }")
+	if err == nil {
+		t.Fatal("deeply nested expression compiled; expected scratch exhaustion")
+	}
+	if !strings.Contains(err.Error(), "too complex") {
+		t.Errorf("error %q does not mention complexity", err)
+	}
+}
+
+func TestWhileConditionWithSideEffect(t *testing.T) {
+	src := `
+int n = 0;
+int tick() { n = n + 1; return n; }
+int main() {
+    while (tick() < 5) {}
+    print_int(n);
+    return 0;
+}`
+	mustOutput(t, src, nil, "5\n")
+}
+
+func TestModNegativeOperandsMatchC(t *testing.T) {
+	src := `
+int main() {
+    print_int(-7 % 3);
+    print_int(7 % -3);
+    print_int(-7 % -3);
+    return 0;
+}`
+	mustOutput(t, src, nil, "-1\n1\n-1\n")
+}
+
+func TestShortCircuitSkipsCrash(t *testing.T) {
+	// The right operand would divide by zero; short-circuit must skip it.
+	src := `
+int main() {
+    int z = 0;
+    if (z != 0 && 10 / z > 1) print_int(1); else print_int(2);
+    if (z == 0 || 10 / z > 1) print_int(3); else print_int(4);
+    return 0;
+}`
+	mustOutput(t, src, nil, "2\n3\n")
+}
+
+func TestEightLevelCalls(t *testing.T) {
+	src := `
+int f1(int x) { return x + 1; }
+int f2(int x) { return f1(x) + 1; }
+int f3(int x) { return f2(x) + 1; }
+int f4(int x) { return f3(x) + 1; }
+int f5(int x) { return f4(x) + 1; }
+int f6(int x) { return f5(x) + 1; }
+int f7(int x) { return f6(x) + 1; }
+int f8(int x) { return f7(x) + 1; }
+int main() {
+    print_int(f8(0));
+    return 0;
+}`
+	mustOutput(t, src, nil, "8\n")
+}

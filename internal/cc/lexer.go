@@ -1,0 +1,274 @@
+package cc
+
+import "strconv"
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(startLine, startCol, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.advance()
+	mk := func(k tokKind) (token, error) {
+		return token{kind: k, line: line, col: col}, nil
+	}
+	switch {
+	case isDigit(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && (isDigit(l.peekByte()) || isLetter(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil || v > 1<<31-1 {
+			return token{}, errf(line, col, "bad number %q", text)
+		}
+		return token{kind: tokNumber, text: text, val: int32(v), line: line, col: col}, nil
+	case isLetter(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && (isLetter(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen)
+	case ')':
+		return mk(tokRParen)
+	case '{':
+		return mk(tokLBrace)
+	case '}':
+		return mk(tokRBrace)
+	case '[':
+		return mk(tokLBracket)
+	case ']':
+		return mk(tokRBracket)
+	case ';':
+		return mk(tokSemi)
+	case ',':
+		return mk(tokComma)
+	case '?':
+		return mk(tokQuestion)
+	case ':':
+		return mk(tokColon)
+	case '+':
+		if l.peekByte() == '+' {
+			l.advance()
+			return mk(tokPlusPlus)
+		}
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokPlusEq)
+		}
+		return mk(tokPlus)
+	case '-':
+		if l.peekByte() == '-' {
+			l.advance()
+			return mk(tokMinusMinus)
+		}
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokMinusEq)
+		}
+		return mk(tokMinus)
+	case '*':
+		return mk(tokStar)
+	case '/':
+		return mk(tokSlash)
+	case '%':
+		return mk(tokPercent)
+	case '!':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokNe)
+		}
+		return mk(tokNot)
+	case '=':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokEq)
+		}
+		return mk(tokAssign)
+	case '<':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokLe)
+		}
+		return mk(tokLt)
+	case '>':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokGe)
+		}
+		return mk(tokGt)
+	case '&':
+		if l.peekByte() == '&' {
+			l.advance()
+			return mk(tokAndAnd)
+		}
+		return mk(tokAmp)
+	case '|':
+		if l.peekByte() == '|' {
+			l.advance()
+			return mk(tokOrOr)
+		}
+		return token{}, errf(line, col, "bitwise '|' is not supported")
+	case '\'':
+		v, err := l.charBody(line, col)
+		if err != nil {
+			return token{}, err
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return token{}, errf(line, col, "unterminated character literal")
+		}
+		return token{kind: tokChar, val: v, line: line, col: col}, nil
+	case '"':
+		var out []byte
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errf(line, col, "unterminated string literal")
+			}
+			if l.peekByte() == '"' {
+				l.advance()
+				break
+			}
+			v, err := l.charBody(line, col)
+			if err != nil {
+				return token{}, err
+			}
+			out = append(out, byte(v))
+		}
+		return token{kind: tokString, str: string(out), line: line, col: col}, nil
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+// charBody decodes one (possibly escaped) character.
+func (l *lexer) charBody(line, col int) (int32, error) {
+	if l.pos >= len(l.src) {
+		return 0, errf(line, col, "unterminated literal")
+	}
+	c := l.advance()
+	if c != '\\' {
+		return int32(c), nil
+	}
+	if l.pos >= len(l.src) {
+		return 0, errf(line, col, "unterminated escape")
+	}
+	e := l.advance()
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, errf(line, col, "unknown escape \\%c", e)
+}
+
+// lexAll tokenises the entire source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a checked or unchecked AST back to mini-C source. The
+// output re-parses to an equivalent AST (idempotent after one round trip),
+// which the tooling uses to display mutants and normalised program
+// listings.
+func Print(f *File) string {
+	var p printer
+	for _, g := range f.Globals {
+		p.varDecl(g)
+		p.buf.WriteString(";\n")
+	}
+	if len(f.Globals) > 0 {
+		p.buf.WriteByte('\n')
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.buf.WriteByte('\n')
+		}
+		p.funcDecl(fn)
+	}
+	return p.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) line(s string) {
+	for i := 0; i < p.indent; i++ {
+		p.buf.WriteString("    ")
+	}
+	p.buf.WriteString(s)
+	p.buf.WriteByte('\n')
+}
+
+// typePrefix renders the base-type-plus-stars part of a declaration.
+func typePrefix(t *Type) (base string, stars int, dims []int32) {
+	for t.Kind == TypeArray {
+		dims = append(dims, t.Len)
+		t = t.Elem
+	}
+	for t.Kind == TypePointer {
+		stars++
+		t = t.Elem
+	}
+	switch t.Kind {
+	case TypeInt:
+		base = "int"
+	case TypeChar:
+		base = "char"
+	case TypeVoid:
+		base = "void"
+	default:
+		base = "int"
+	}
+	return base, stars, dims
+}
+
+func declString(name string, t *Type) string {
+	base, stars, dims := typePrefix(t)
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte(' ')
+	sb.WriteString(strings.Repeat("*", stars))
+	sb.WriteString(name)
+	for _, d := range dims {
+		fmt.Fprintf(&sb, "[%d]", d)
+	}
+	return sb.String()
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	for i := 0; i < p.indent; i++ {
+		p.buf.WriteString("    ")
+	}
+	p.buf.WriteString(declString(d.Name, d.Type))
+	if d.Init != nil {
+		p.buf.WriteString(" = ")
+		p.buf.WriteString(exprString(d.Init))
+	}
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	var params []string
+	for _, pr := range fn.Params {
+		params = append(params, declString(pr.Name, pr.Type))
+	}
+	if len(params) == 0 {
+		params = []string{"void"}
+	}
+	base, stars, _ := typePrefix(fn.Ret)
+	p.line(fmt.Sprintf("%s %s%s(%s) {", base, strings.Repeat("*", stars), fn.Name, strings.Join(params, ", ")))
+	p.indent++
+	for _, s := range fn.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		if st.NoScope {
+			for _, sub := range st.Stmts {
+				p.stmt(sub)
+			}
+			return
+		}
+		p.line("{")
+		p.indent++
+		for _, sub := range st.Stmts {
+			p.stmt(sub)
+		}
+		p.indent--
+		p.line("}")
+	case *DeclStmt:
+		p.varDecl(st.Decl)
+		p.buf.WriteString(";\n")
+	case *ExprStmt:
+		p.line(exprString(st.E) + ";")
+	case *If:
+		p.line("if (" + exprString(st.Cond) + ") {")
+		p.indent++
+		p.stmtBody(st.Then)
+		p.indent--
+		if st.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.stmtBody(st.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *While:
+		p.line("while (" + exprString(st.Cond) + ") {")
+		p.indent++
+		p.stmtBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *For:
+		init, post := "", ""
+		if st.Init != nil {
+			init = simpleStmtString(st.Init)
+		}
+		cond := ""
+		if st.Cond != nil {
+			cond = " " + exprString(st.Cond)
+		}
+		if st.Post != nil {
+			post = " " + simpleStmtString(st.Post)
+		}
+		p.line(fmt.Sprintf("for (%s;%s;%s) {", init, cond, post))
+		p.indent++
+		p.stmtBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *Return:
+		if st.E == nil {
+			p.line("return;")
+		} else {
+			p.line("return " + exprString(st.E) + ";")
+		}
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	}
+}
+
+// stmtBody prints a statement that syntactically serves as a brace-wrapped
+// body: blocks are flattened into the surrounding braces.
+func (p *printer) stmtBody(s Stmt) {
+	if b, ok := s.(*Block); ok && !b.NoScope {
+		for _, sub := range b.Stmts {
+			p.stmt(sub)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+func simpleStmtString(s Stmt) string {
+	if es, ok := s.(*ExprStmt); ok {
+		return exprString(es.E)
+	}
+	return ""
+}
+
+// exprString renders an expression with explicit parentheses around every
+// binary operation, so precedence never needs reconstructing.
+func exprString(e Expr) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(int64(ex.Val), 10)
+	case *StrLit:
+		return strconv.Quote(ex.Val)
+	case *Ident:
+		return ex.Name
+	case *Unary:
+		return ex.Op + "(" + exprString(ex.X) + ")"
+	case *Binary:
+		return "(" + exprString(ex.X) + " " + ex.Op + " " + exprString(ex.Y) + ")"
+	case *Assign:
+		return exprString(ex.LHS) + " = " + exprString(ex.RHS)
+	case *CondExpr:
+		return "(" + exprString(ex.C) + " ? " + exprString(ex.T) + " : " + exprString(ex.F) + ")"
+	case *Call:
+		var args []string
+		for _, a := range ex.Args {
+			args = append(args, exprString(a))
+		}
+		return ex.Name + "(" + strings.Join(args, ", ") + ")"
+	case *Index:
+		return exprString(ex.X) + "[" + exprString(ex.Idx) + "]"
+	}
+	return "?"
+}

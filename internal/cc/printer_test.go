@@ -1,0 +1,121 @@
+package cc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/programs"
+	"repro/internal/vm"
+)
+
+// runSource compiles and runs source with the given inputs, returning the
+// output. Fails the test on compile errors or abnormal termination.
+func runSource(t *testing.T, src string, ints []int32, bytes []byte) string {
+	t.Helper()
+	c, err := cc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(ints)
+	m.SetByteInput(bytes)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != vm.StateHalted {
+		t.Fatalf("state %v\n%s", m.State(), src)
+	}
+	return string(m.Output())
+}
+
+// TestPrintRoundTripIdempotent: print(parse(print(parse(src)))) equals
+// print(parse(src)) — one round trip normalises, further trips are stable.
+func TestPrintRoundTripIdempotent(t *testing.T) {
+	for _, p := range programs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ast1, err := cc.Parse(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed1 := cc.Print(ast1)
+			ast2, err := cc.Parse(printed1)
+			if err != nil {
+				t.Fatalf("printed source does not re-parse: %v\n%s", err, printed1)
+			}
+			printed2 := cc.Print(ast2)
+			if printed1 != printed2 {
+				t.Errorf("printing is not idempotent for %s", p.Name)
+			}
+		})
+	}
+}
+
+// TestPrintedSourceBehaviourEquivalent: the printed form of every suite
+// program compiles and produces the same output as the original on real
+// inputs.
+func TestPrintedSourceBehaviourEquivalent(t *testing.T) {
+	inputs := map[programs.Kind]struct {
+		ints  []int32
+		bytes []byte
+	}{
+		programs.KindCamelot: {ints: []int32{3, 4, 4, 0, 0, 7, 7, 3, 5}},
+		programs.KindJamesB:  {ints: []int32{123, 11}, bytes: []byte("Hello There")},
+		programs.KindSOR:     {ints: []int32{5, 100, 0, 250, 990}},
+	}
+	for _, p := range programs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			in := inputs[p.Kind]
+			ast, err := cc.Parse(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := cc.Print(ast)
+			want := runSource(t, p.Source, in.ints, in.bytes)
+			got := runSource(t, printed, in.ints, in.bytes)
+			if got != want {
+				t.Errorf("printed %s behaves differently:\n got %q\nwant %q", p.Name, got, want)
+			}
+		})
+	}
+}
+
+func TestPrintShapes(t *testing.T) {
+	src := `
+int g = 5;
+char buf[10];
+int *p;
+int m[2][3];
+int f(int a, char *s) {
+    int i;
+    for (i = 0; i < a; i++) {
+        if (s[i] == 0) break; else continue;
+    }
+    while (a > 0) a--;
+    return a ? -a : g;
+}
+void main() {
+    print_int(f(3, "hi"));
+    return;
+}`
+	ast, err := cc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cc.Print(ast)
+	for _, want := range []string{
+		"int g = 5;", "char buf[10];", "int *p;", "int m[2][3];",
+		"int f(int a, char *s) {", "void main(void) {",
+		"break;", "continue;", "while (", "for (", "return (",
+		`f(3, "hi")`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package cc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+)
+
+// This file property-tests the compiler against a reference evaluator:
+// random expression trees are compiled, run on the VM, and compared with
+// direct Go evaluation under C semantics (int32 wrap-around, truncating
+// division). Division and modulo by zero are avoided by construction.
+
+// exprNode is a randomly generated expression with its expected value.
+type exprNode struct {
+	src string
+	val int32
+}
+
+// genExpr builds a random expression of the given depth budget.
+func genExpr(rng *rand.Rand, depth int) exprNode {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		v := int32(rng.Intn(2001) - 1000)
+		if v < 0 {
+			// Negative literals parse as unary minus on a literal; wrap in
+			// parens so they can appear as operands anywhere.
+			return exprNode{src: fmt.Sprintf("(%d)", v), val: v}
+		}
+		return exprNode{src: fmt.Sprintf("%d", v), val: v}
+	}
+	switch rng.Intn(9) {
+	case 0, 1:
+		x := genExpr(rng, depth-1)
+		y := genExpr(rng, depth-1)
+		return exprNode{src: "(" + x.src + " + " + y.src + ")", val: x.val + y.val}
+	case 2, 3:
+		x := genExpr(rng, depth-1)
+		y := genExpr(rng, depth-1)
+		return exprNode{src: "(" + x.src + " - " + y.src + ")", val: x.val - y.val}
+	case 4:
+		x := genExpr(rng, depth-1)
+		y := genExpr(rng, depth-1)
+		return exprNode{src: "(" + x.src + " * " + y.src + ")", val: x.val * y.val}
+	case 5:
+		x := genExpr(rng, depth-1)
+		y := genExpr(rng, depth-1)
+		if y.val == 0 {
+			return exprNode{src: "(" + x.src + " / 7)", val: x.val / 7}
+		}
+		return exprNode{src: "(" + x.src + " / " + y.src + ")", val: x.val / y.val}
+	case 6:
+		x := genExpr(rng, depth-1)
+		y := genExpr(rng, depth-1)
+		if y.val == 0 {
+			return exprNode{src: "(" + x.src + " % 13)", val: x.val % 13}
+		}
+		return exprNode{src: "(" + x.src + " % " + y.src + ")", val: x.val % y.val}
+	case 7:
+		x := genExpr(rng, depth-1)
+		return exprNode{src: "(-" + x.src + ")", val: -x.val}
+	default:
+		x := genExpr(rng, depth-1)
+		y := genExpr(rng, depth-1)
+		ops := []struct {
+			op string
+			f  func(a, b int32) bool
+		}{
+			{"<", func(a, b int32) bool { return a < b }},
+			{"<=", func(a, b int32) bool { return a <= b }},
+			{">", func(a, b int32) bool { return a > b }},
+			{">=", func(a, b int32) bool { return a >= b }},
+			{"==", func(a, b int32) bool { return a == b }},
+			{"!=", func(a, b int32) bool { return a != b }},
+		}
+		o := ops[rng.Intn(len(ops))]
+		v := int32(0)
+		if o.f(x.val, y.val) {
+			v = 1
+		}
+		return exprNode{src: "(" + x.src + " " + o.op + " " + y.src + ")", val: v}
+	}
+}
+
+// TestCompilerExpressionProperty compiles and runs 120 random expressions,
+// comparing the VM result with the reference value.
+func TestCompilerExpressionProperty(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 20
+	}
+	rng := rand.New(rand.NewSource(20000625)) // DSN 2000, June 25
+	for i := 0; i < n; i++ {
+		e := genExpr(rng, 4)
+		src := "int main() { print_int(" + e.src + "); return 0; }"
+		c, err := cc.Compile(src)
+		if err != nil {
+			t.Fatalf("expr %d: compile %q: %v", i, e.src, err)
+		}
+		m := vm.New(vm.Config{})
+		if err := m.Load(c.Prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if m.State() != vm.StateHalted {
+			t.Fatalf("expr %d %q: state %v", i, e.src, m.State())
+		}
+		want := fmt.Sprintf("%d\n", e.val)
+		if got := string(m.Output()); got != want {
+			t.Errorf("expr %d: %s = %q, want %q", i, e.src, strings.TrimSpace(got), strings.TrimSpace(want))
+		}
+	}
+}
+
+// TestCompilerStatementProperty checks randomly generated straight-line
+// programs over a handful of int variables against a Go interpreter of the
+// same statements.
+func TestCompilerStatementProperty(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	rng := rand.New(rand.NewSource(42))
+	vars := []string{"a", "b", "c", "d"}
+	for i := 0; i < n; i++ {
+		env := map[string]int32{}
+		var body strings.Builder
+		for _, v := range vars {
+			init := int32(rng.Intn(100))
+			fmt.Fprintf(&body, "    int %s = %d;\n", v, init)
+			env[v] = init
+		}
+		stmts := 3 + rng.Intn(8)
+		for s := 0; s < stmts; s++ {
+			dst := vars[rng.Intn(len(vars))]
+			x := vars[rng.Intn(len(vars))]
+			y := vars[rng.Intn(len(vars))]
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&body, "    %s = %s + %s;\n", dst, x, y)
+				env[dst] = env[x] + env[y]
+			case 1:
+				fmt.Fprintf(&body, "    %s = %s - %s;\n", dst, x, y)
+				env[dst] = env[x] - env[y]
+			case 2:
+				fmt.Fprintf(&body, "    %s = %s * %s;\n", dst, x, y)
+				env[dst] = env[x] * env[y]
+			case 3:
+				k := int32(1 + rng.Intn(9))
+				fmt.Fprintf(&body, "    if (%s > %s) { %s = %s %% %d; }\n", x, y, dst, dst, k)
+				if env[x] > env[y] {
+					env[dst] = env[dst] % k
+				}
+			}
+		}
+		var want strings.Builder
+		for _, v := range vars {
+			fmt.Fprintf(&body, "    print_int(%s);\n", v)
+			fmt.Fprintf(&want, "%d\n", env[v])
+		}
+		src := "int main() {\n" + body.String() + "    return 0;\n}"
+		c, err := cc.Compile(src)
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, src)
+		}
+		m := vm.New(vm.Config{})
+		if err := m.Load(c.Prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := string(m.Output()); got != want.String() {
+			t.Errorf("program %d output %q, want %q\n%s", i, got, want.String(), src)
+		}
+	}
+}

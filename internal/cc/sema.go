@@ -1,0 +1,486 @@
+package cc
+
+import "fmt"
+
+// Builtin function signatures. Builtins compile to system calls or inline
+// sequences rather than bl to user code.
+type builtinSig struct {
+	params []*Type
+	ret    *Type
+}
+
+var builtins = map[string]builtinSig{
+	"read_int":   {nil, IntType},
+	"read_char":  {nil, IntType},
+	"print_int":  {[]*Type{IntType}, VoidType},
+	"print_char": {[]*Type{IntType}, VoidType},
+	"malloc":     {[]*Type{IntType}, &Type{Kind: TypePointer, Elem: CharType}},
+	"free":       {[]*Type{{Kind: TypePointer, Elem: CharType}}, VoidType},
+	"exit":       {[]*Type{IntType}, VoidType},
+}
+
+// maxParams is the number of register-passed parameters (r3..r10).
+const maxParams = 8
+
+// scope is one lexical scope of variable declarations.
+type scope struct {
+	vars   map[string]*VarDecl
+	parent *scope
+}
+
+func (s *scope) lookup(name string) *VarDecl {
+	for sc := s; sc != nil; sc = sc.parent {
+		if d, ok := sc.vars[name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// checker performs name resolution and type checking.
+type checker struct {
+	file    *File
+	funcs   map[string]*FuncDecl
+	globals *scope
+	cur     *FuncDecl
+	scope   *scope
+	loop    int // loop nesting depth
+}
+
+// Check resolves names and types across the file. On success every
+// expression node carries its type and every identifier its declaration.
+func Check(f *File) error {
+	c := &checker{
+		file:    f,
+		funcs:   make(map[string]*FuncDecl, len(f.Funcs)),
+		globals: &scope{vars: make(map[string]*VarDecl)},
+	}
+	for _, g := range f.Globals {
+		if _, dup := c.globals.vars[g.Name]; dup {
+			return errf(g.Line, 1, "duplicate global %s", g.Name)
+		}
+		g.IsGlobal = true
+		if g.Init != nil {
+			if _, ok := g.Init.(*IntLit); !ok {
+				return errf(g.Line, 1, "global initialiser for %s must be a constant", g.Name)
+			}
+		}
+		c.globals.vars[g.Name] = g
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return errf(fn.Line, 1, "duplicate function %s", fn.Name)
+		}
+		if _, isB := builtins[fn.Name]; isB {
+			return errf(fn.Line, 1, "function %s shadows a builtin", fn.Name)
+		}
+		if len(fn.Params) > maxParams {
+			return errf(fn.Line, 1, "function %s has more than %d parameters", fn.Name, maxParams)
+		}
+		if _, clash := c.globals.vars[fn.Name]; clash {
+			return errf(fn.Line, 1, "function %s collides with a global variable", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	main, ok := c.funcs["main"]
+	if !ok {
+		return fmt.Errorf("no main function")
+	}
+	if main.Ret.Kind != TypeInt && main.Ret.Kind != TypeVoid {
+		return errf(main.Line, 1, "main must return int or void")
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FuncLocals returns all local declarations (including parameters) of fn in
+// declaration order. It is valid after Check.
+func FuncLocals(fn *FuncDecl) []*VarDecl {
+	var out []*VarDecl
+	out = append(out, fn.Params...)
+	collectLocals(fn.Body, &out)
+	return out
+}
+
+func collectLocals(s Stmt, out *[]*VarDecl) {
+	switch st := s.(type) {
+	case *Block:
+		for _, sub := range st.Stmts {
+			collectLocals(sub, out)
+		}
+	case *If:
+		collectLocals(st.Then, out)
+		if st.Else != nil {
+			collectLocals(st.Else, out)
+		}
+	case *While:
+		collectLocals(st.Body, out)
+	case *For:
+		if st.Init != nil {
+			collectLocals(st.Init, out)
+		}
+		collectLocals(st.Body, out)
+	case *DeclStmt:
+		*out = append(*out, st.Decl)
+	}
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.cur = fn
+	c.scope = &scope{vars: make(map[string]*VarDecl), parent: c.globals}
+	c.loop = 0
+	for _, p := range fn.Params {
+		if _, dup := c.scope.vars[p.Name]; dup {
+			return errf(p.Line, 1, "duplicate parameter %s", p.Name)
+		}
+		if !p.Type.IsScalar() {
+			return errf(p.Line, 1, "parameter %s must be scalar (arrays decay to pointers)", p.Name)
+		}
+		c.scope.vars[p.Name] = p
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	if !b.NoScope {
+		c.scope = &scope{vars: make(map[string]*VarDecl), parent: c.scope}
+		defer func() { c.scope = c.scope.parent }()
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		d := st.Decl
+		if _, dup := c.scope.vars[d.Name]; dup {
+			return errf(d.Line, 1, "duplicate variable %s", d.Name)
+		}
+		if d.Init != nil {
+			t, err := c.checkExpr(d.Init)
+			if err != nil {
+				return err
+			}
+			if !assignable(d.Type, t) {
+				return errf(d.Line, 1, "cannot initialise %s (%s) with %s", d.Name, d.Type, t)
+			}
+		}
+		c.scope.vars[d.Name] = d
+		return nil
+	case *If:
+		if _, err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *While:
+		if _, err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(st.Body)
+	case *For:
+		// The for header introduces a scope for declarations in init.
+		c.scope = &scope{vars: make(map[string]*VarDecl), parent: c.scope}
+		defer func() { c.scope = c.scope.parent }()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if _, err := c.checkExpr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(st.Body)
+	case *Return:
+		if st.E == nil {
+			if c.cur.Ret.Kind != TypeVoid {
+				return errf(st.Line, 1, "missing return value in %s", c.cur.Name)
+			}
+			return nil
+		}
+		if c.cur.Ret.Kind == TypeVoid {
+			return errf(st.Line, 1, "void function %s returns a value", c.cur.Name)
+		}
+		t, err := c.checkExpr(st.E)
+		if err != nil {
+			return err
+		}
+		if !assignable(c.cur.Ret, t) {
+			return errf(st.Line, 1, "cannot return %s from %s (%s)", t, c.cur.Name, c.cur.Ret)
+		}
+		return nil
+	case *Break:
+		if c.loop == 0 {
+			return errf(st.Line, 1, "break outside loop")
+		}
+		return nil
+	case *Continue:
+		if c.loop == 0 {
+			return errf(st.Line, 1, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(st.E)
+		return err
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// assignable reports whether a value of type src can be stored in dst.
+// Arrays decay to pointers in value contexts (argument passing, returns).
+func assignable(dst, src *Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	src = decay(src)
+	if dst.IsScalar() && src.IsScalar() {
+		// Ints, chars and pointers interconvert freely, as in pre-ANSI C;
+		// the contest programs of the paper's era rely on this looseness.
+		return true
+	}
+	return false
+}
+
+// decay converts array types to pointers to their element type.
+func decay(t *Type) *Type {
+	if t != nil && t.Kind == TypeArray {
+		return &Type{Kind: TypePointer, Elem: t.Elem}
+	}
+	return t
+}
+
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		ex.Typ = IntType
+		return IntType, nil
+	case *StrLit:
+		ex.Typ = &Type{Kind: TypePointer, Elem: CharType}
+		return ex.Typ, nil
+	case *Ident:
+		d := c.scope.lookup(ex.Name)
+		if d == nil {
+			d = c.globals.lookup(ex.Name)
+		}
+		if d == nil {
+			line, col := ex.Pos()
+			return nil, errf(line, col, "undefined variable %s", ex.Name)
+		}
+		ex.Decl = d
+		ex.Typ = decay(d.Type)
+		return ex.Typ, nil
+	case *Unary:
+		return c.checkUnary(ex)
+	case *Binary:
+		return c.checkBinary(ex)
+	case *Assign:
+		return c.checkAssign(ex)
+	case *CondExpr:
+		if _, err := c.checkExpr(ex.C); err != nil {
+			return nil, err
+		}
+		t1, err := c.checkExpr(ex.T)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := c.checkExpr(ex.F)
+		if err != nil {
+			return nil, err
+		}
+		if !t1.IsScalar() || !t2.IsScalar() {
+			line, col := ex.Pos()
+			return nil, errf(line, col, "ternary arms must be scalar")
+		}
+		ex.Typ = t1
+		_ = t2
+		return t1, nil
+	case *Call:
+		return c.checkCall(ex)
+	case *Index:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		// ex.X may have array type before decay when it is a nested Index
+		// into a multi-dimensional array; checkExpr on Index returns the
+		// element type undecayed so this works uniformly.
+		base := xt
+		if base.Kind != TypePointer && base.Kind != TypeArray {
+			line, col := ex.Pos()
+			return nil, errf(line, col, "cannot index %s", base)
+		}
+		it, err := c.checkExpr(ex.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !it.IsScalar() {
+			line, col := ex.Idx.Pos()
+			return nil, errf(line, col, "array index must be scalar")
+		}
+		ex.Typ = base.Elem
+		return ex.Typ, nil
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func (c *checker) checkUnary(ex *Unary) (*Type, error) {
+	line, col := ex.Pos()
+	xt, err := c.checkExpr(ex.X)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case "-", "!":
+		if !xt.IsScalar() {
+			return nil, errf(line, col, "operand of %s must be scalar", ex.Op)
+		}
+		ex.Typ = IntType
+	case "*":
+		if xt.Kind != TypePointer {
+			return nil, errf(line, col, "cannot dereference %s", xt)
+		}
+		ex.Typ = xt.Elem
+	case "&":
+		if !isLValue(ex.X) {
+			return nil, errf(line, col, "cannot take address of this expression")
+		}
+		ex.Typ = &Type{Kind: TypePointer, Elem: xt}
+	default:
+		return nil, errf(line, col, "unknown unary operator %s", ex.Op)
+	}
+	return ex.Typ, nil
+}
+
+func (c *checker) checkBinary(ex *Binary) (*Type, error) {
+	line, col := ex.Pos()
+	xt, err := c.checkExpr(ex.X)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := c.checkExpr(ex.Y)
+	if err != nil {
+		return nil, err
+	}
+	if !xt.IsScalar() || !yt.IsScalar() {
+		return nil, errf(line, col, "operands of %s must be scalar (got %s, %s)", ex.Op, xt, yt)
+	}
+	switch ex.Op {
+	case "+", "-":
+		// Pointer arithmetic: ptr ± int scales by element size (codegen).
+		if xt.Kind == TypePointer {
+			ex.Typ = xt
+			return xt, nil
+		}
+		if yt.Kind == TypePointer && ex.Op == "+" {
+			ex.Typ = yt
+			return yt, nil
+		}
+		ex.Typ = IntType
+	case "*", "/", "%":
+		ex.Typ = IntType
+	case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+		ex.Typ = IntType
+	default:
+		return nil, errf(line, col, "unknown binary operator %s", ex.Op)
+	}
+	return ex.Typ, nil
+}
+
+func (c *checker) checkAssign(ex *Assign) (*Type, error) {
+	line, col := ex.Pos()
+	if !isLValue(ex.LHS) {
+		return nil, errf(line, col, "left side of assignment is not assignable")
+	}
+	lt, err := c.checkExpr(ex.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.checkExpr(ex.RHS)
+	if err != nil {
+		return nil, err
+	}
+	if !assignable(lt, rt) {
+		return nil, errf(line, col, "cannot assign %s to %s", rt, lt)
+	}
+	ex.Typ = lt
+	return lt, nil
+}
+
+func (c *checker) checkCall(ex *Call) (*Type, error) {
+	line, col := ex.Pos()
+	if sig, ok := builtins[ex.Name]; ok {
+		if len(ex.Args) != len(sig.params) {
+			return nil, errf(line, col, "builtin %s takes %d arguments, got %d", ex.Name, len(sig.params), len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !at.IsScalar() {
+				return nil, errf(line, col, "argument to %s must be scalar", ex.Name)
+			}
+		}
+		ex.Typ = sig.ret
+		return sig.ret, nil
+	}
+	fn, ok := c.funcs[ex.Name]
+	if !ok {
+		return nil, errf(line, col, "undefined function %s", ex.Name)
+	}
+	if len(ex.Args) != len(fn.Params) {
+		return nil, errf(line, col, "%s takes %d arguments, got %d", ex.Name, len(fn.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(fn.Params[i].Type, at) {
+			return nil, errf(line, col, "argument %d of %s: cannot pass %s as %s", i+1, ex.Name, at, fn.Params[i].Type)
+		}
+	}
+	ex.Fn = fn
+	ex.Typ = fn.Ret
+	return fn.Ret, nil
+}
+
+// isLValue reports whether e designates a storage location.
+func isLValue(e Expr) bool {
+	switch ex := e.(type) {
+	case *Ident:
+		return true
+	case *Index:
+		return true
+	case *Unary:
+		return ex.Op == "*"
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+// Package cc implements a compiler for a small C subset targeting the
+// repository's virtual machine. It is the stand-in for the C toolchain of
+// the paper's Parsytec system and plays two roles:
+//
+//   - it compiles the target-program suite (Camelot, JamesB, SOR variants)
+//     to machine code, so that real software faults exist as source-level
+//     diffs while fault injection happens at machine-code level — the
+//     abstraction gap of the paper's Figure 1;
+//   - it emits the debug information ("the compiler facilities in terms of
+//     symbol tables and labels", §6.3) that the fault locator uses to
+//     enumerate the assignment and checking fault locations of Table 4.
+//
+// The language: int and char scalars, pointers, fixed-size (possibly
+// two-dimensional) arrays, functions with up to eight int-compatible
+// parameters, recursion, if/else, while, for, break/continue, the ternary
+// operator, short-circuit && and ||, and the builtins read_int, read_char,
+// print_int, print_char, malloc, free and exit.
+package cc
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+// Token kinds.
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+
+	// Punctuation and operators.
+	tokLParen     // (
+	tokRParen     // )
+	tokLBrace     // {
+	tokRBrace     // }
+	tokLBracket   // [
+	tokRBracket   // ]
+	tokSemi       // ;
+	tokComma      // ,
+	tokAssign     // =
+	tokPlus       // +
+	tokMinus      // -
+	tokStar       // *
+	tokSlash      // /
+	tokPercent    // %
+	tokAmp        // &
+	tokNot        // !
+	tokQuestion   // ?
+	tokColon      // :
+	tokEq         // ==
+	tokNe         // !=
+	tokLt         // <
+	tokLe         // <=
+	tokGt         // >
+	tokGe         // >=
+	tokAndAnd     // &&
+	tokOrOr       // ||
+	tokPlusPlus   // ++
+	tokMinusMinus // --
+	tokPlusEq     // +=
+	tokMinusEq    // -=
+
+	// Keywords.
+	tokInt
+	tokChar_
+	tokVoid
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokBreak
+	tokContinue
+)
+
+var keywords = map[string]tokKind{
+	"int":      tokInt,
+	"char":     tokChar_,
+	"void":     tokVoid,
+	"if":       tokIf,
+	"else":     tokElse,
+	"while":    tokWhile,
+	"for":      tokFor,
+	"return":   tokReturn,
+	"break":    tokBreak,
+	"continue": tokContinue,
+}
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokNumber: "number",
+	tokString: "string", tokChar: "character literal",
+	tokLParen: "(", tokRParen: ")", tokLBrace: "{", tokRBrace: "}",
+	tokLBracket: "[", tokRBracket: "]", tokSemi: ";", tokComma: ",",
+	tokAssign: "=", tokPlus: "+", tokMinus: "-", tokStar: "*",
+	tokSlash: "/", tokPercent: "%", tokAmp: "&", tokNot: "!",
+	tokQuestion: "?", tokColon: ":",
+	tokEq: "==", tokNe: "!=", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+	tokAndAnd: "&&", tokOrOr: "||",
+	tokPlusPlus: "++", tokMinusMinus: "--", tokPlusEq: "+=", tokMinusEq: "-=",
+	tokInt: "int", tokChar_: "char", tokVoid: "void",
+	tokIf: "if", tokElse: "else", tokWhile: "while", tokFor: "for",
+	tokReturn: "return", tokBreak: "break", tokContinue: "continue",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string // identifier text or raw literal
+	val  int32  // numeric value for tokNumber/tokChar
+	str  string // decoded value for tokString
+	line int
+	col  int
+}
+
+// Error is a compile error with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,290 @@
+// Package fault defines the fault model of the Xception-style injector: a
+// fault is described by What (the corruption), Where (the location in code
+// or on a bus), Which (the instruction or event acting as trigger) and When
+// (on which executions of the trigger the error is inserted) — the
+// decomposition proposed in §3 of the paper.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/odc"
+)
+
+// Class is the software-fault class a fault emulates.
+type Class int
+
+// Fault classes used in the §6 campaigns, plus a hardware-style class used
+// by the comparison/ablation experiments (the paper observes that injected
+// errors inevitably emulate hardware faults too).
+const (
+	ClassAssignment Class = iota + 1
+	ClassChecking
+	ClassHardware
+)
+
+var classNames = map[Class]string{
+	ClassAssignment: "assignment",
+	ClassChecking:   "checking",
+	ClassHardware:   "hardware",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ODCType maps a fault class to the ODC defect type it emulates.
+func (c Class) ODCType() (odc.DefectType, bool) {
+	switch c {
+	case ClassAssignment:
+		return odc.Assignment, true
+	case ClassChecking:
+		return odc.Checking, true
+	}
+	return 0, false
+}
+
+// ErrType identifies one entry of the error-type subset (paper Table 3).
+// The string values match the series labels of Figures 9 and 10.
+type ErrType string
+
+// Assignment error types (Figure 9 series).
+const (
+	ErrValuePlusOne  ErrType = "value+1"
+	ErrValueMinusOne ErrType = "value-1"
+	ErrNoAssign      ErrType = "no assign"
+	ErrRandomValue   ErrType = "random"
+)
+
+// Checking error types (Figure 10 series): "orig mut" pairs, stuck
+// conditions, and array-index offsets.
+const (
+	ErrLeLt      ErrType = "<= <"
+	ErrLtLe      ErrType = "< <="
+	ErrGeGt      ErrType = ">= >"
+	ErrGtGe      ErrType = "> >="
+	ErrEqNe      ErrType = "= !="
+	ErrEqGe      ErrType = "= >="
+	ErrEqLe      ErrType = "= <="
+	ErrNeEq      ErrType = "!= ="
+	ErrAndOr     ErrType = "and or"
+	ErrOrAnd     ErrType = "or and"
+	ErrTrueFalse ErrType = "true false"
+	ErrFalseTrue ErrType = "false true"
+	ErrIdxPlus   ErrType = "[i] [i+1]"
+	ErrIdxMinus  ErrType = "[i] [i-1]"
+)
+
+// AssignmentErrTypes lists the assignment error types in figure order.
+func AssignmentErrTypes() []ErrType {
+	return []ErrType{ErrValuePlusOne, ErrValueMinusOne, ErrNoAssign, ErrRandomValue}
+}
+
+// CheckingErrTypes lists the checking error types in figure order.
+func CheckingErrTypes() []ErrType {
+	return []ErrType{
+		ErrLeLt, ErrLtLe, ErrGeGt, ErrGtGe,
+		ErrEqNe, ErrEqGe, ErrEqLe, ErrNeEq,
+		ErrAndOr, ErrOrAnd, ErrTrueFalse, ErrFalseTrue,
+		ErrIdxPlus, ErrIdxMinus,
+	}
+}
+
+// OperatorMutations returns the mutated operators Table 3 allows for a
+// source comparison operator, keyed by the resulting ErrType.
+func OperatorMutations(op string) map[ErrType]string {
+	switch op {
+	case "<":
+		return map[ErrType]string{ErrLtLe: "<="}
+	case "<=":
+		return map[ErrType]string{ErrLeLt: "<"}
+	case ">":
+		return map[ErrType]string{ErrGtGe: ">="}
+	case ">=":
+		return map[ErrType]string{ErrGeGt: ">"}
+	case "==":
+		return map[ErrType]string{ErrEqNe: "!=", ErrEqGe: ">=", ErrEqLe: "<="}
+	case "!=":
+		return map[ErrType]string{ErrNeEq: "=="}
+	}
+	return nil
+}
+
+// CorruptionKind is the mechanism by which an error is inserted — the What
+// and Where of the fault model, expressed at the level Xception works at.
+type CorruptionKind int
+
+// Corruption kinds.
+const (
+	// CorruptText rewrites the instruction word in memory once, when the
+	// trigger fires (the paper's "error inserted in memory at the location
+	// of the instruction to be changed", Figures 3/5 strategy 1).
+	CorruptText CorruptionKind = iota + 1
+	// CorruptFetch rewrites the instruction word on the bus every time it
+	// is fetched, leaving memory intact (Figures 3/5 strategy 2, "error
+	// inserted in the data fetched").
+	CorruptFetch
+	// CorruptStoreData transforms the value being stored by the store
+	// instruction at Addr (data-bus write corruption).
+	CorruptStoreData
+	// CorruptLoadAddr shifts the effective address of the load at Addr by
+	// Offset bytes (the [i]->[i±1] checking error types).
+	CorruptLoadAddr
+	// CorruptRegister XORs Mask into register Reg when the trigger fires —
+	// the classic Xception hardware-fault model, kept for the comparison
+	// experiments.
+	CorruptRegister
+)
+
+var corruptionNames = map[CorruptionKind]string{
+	CorruptText:      "instruction memory",
+	CorruptFetch:     "instruction fetch bus",
+	CorruptStoreData: "data bus (store)",
+	CorruptLoadAddr:  "data address (load)",
+	CorruptRegister:  "register",
+}
+
+// String names the corruption mechanism.
+func (k CorruptionKind) String() string {
+	if s, ok := corruptionNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("corruption(%d)", int(k))
+}
+
+// ValueOp transforms a stored value (CorruptStoreData).
+type ValueOp int
+
+// Value transformations for assignment error types.
+const (
+	ValPlusOne  ValueOp = iota + 1 // value+1
+	ValMinusOne                    // value-1
+	ValSet                         // replace with Value (pre-drawn random)
+	ValXor                         // value ^ Value (hardware-style bit flips)
+)
+
+// Apply performs the transformation.
+func (op ValueOp) Apply(v uint32, operand uint32) uint32 {
+	switch op {
+	case ValPlusOne:
+		return v + 1
+	case ValMinusOne:
+		return v - 1
+	case ValSet:
+		return operand
+	case ValXor:
+		return v ^ operand
+	}
+	return v
+}
+
+// Corruption is one error insertion. A fault may need several (the Figure 4
+// stack-shift emulation corrupts every instruction referencing the shifted
+// variables).
+type Corruption struct {
+	Kind    CorruptionKind
+	Addr    uint32  // instruction address the corruption acts at
+	NewWord uint32  // CorruptText, CorruptFetch
+	Op      ValueOp // CorruptStoreData, CorruptRegister
+	Operand uint32  // operand of Op
+	Offset  int32   // CorruptLoadAddr: byte shift of the effective address
+	Reg     uint8   // CorruptRegister
+}
+
+// TriggerKind is the Which of the fault model.
+type TriggerKind int
+
+// Trigger kinds.
+const (
+	// TriggerAtStart fires before the first instruction (used with
+	// CorruptText to plant a permanent corruption; equivalent to an opcode
+	// fetch trigger on the entry point, which "assures the fault is always
+	// triggered").
+	TriggerAtStart TriggerKind = iota + 1
+	// TriggerOnLocation fires at every fetch of each corruption's own
+	// instruction address — the §6 campaigns trigger this way.
+	TriggerOnLocation
+)
+
+// Trigger is the Which/When pair.
+type Trigger struct {
+	Kind TriggerKind
+	// Once restricts insertion to a single firing (When); the §6
+	// campaigns use Once=false, i.e. "the fault was inserted every time the
+	// trigger instruction was executed".
+	Once bool
+	// Skip delays the first insertion: the corruption stays dormant for
+	// the first Skip executions of the trigger instruction. Together with
+	// Once this expresses "inject exactly at the N-th execution" — the
+	// knob the paper's conclusion asks for when it calls for an
+	// independent evaluation of fault types and fault triggers.
+	Skip int
+}
+
+// Location identifies the source-level provenance of a fault, for reporting.
+type Location struct {
+	Program string // target program name (e.g. "C.team1")
+	Func    string
+	Line    int
+	Detail  string // LHS for assignments, operator for checks
+}
+
+// String renders the location compactly.
+func (l Location) String() string {
+	return fmt.Sprintf("%s:%s:%d(%s)", l.Program, l.Func, l.Line, l.Detail)
+}
+
+// Fault is a complete, injectable fault definition.
+type Fault struct {
+	ID          string
+	Class       Class
+	ErrType     ErrType
+	Trigger     Trigger
+	Corruptions []Corruption
+	Where       Location
+}
+
+// Validate checks internal consistency.
+func (f *Fault) Validate() error {
+	if len(f.Corruptions) == 0 {
+		return fmt.Errorf("fault %s: no corruptions", f.ID)
+	}
+	for i, c := range f.Corruptions {
+		switch c.Kind {
+		case CorruptText, CorruptFetch, CorruptStoreData, CorruptLoadAddr, CorruptRegister:
+		default:
+			return fmt.Errorf("fault %s: corruption %d has unknown kind %d", f.ID, i, c.Kind)
+		}
+		if c.Kind == CorruptLoadAddr && c.Offset == 0 {
+			return fmt.Errorf("fault %s: corruption %d shifts load address by zero", f.ID, i)
+		}
+	}
+	switch f.Trigger.Kind {
+	case TriggerAtStart, TriggerOnLocation:
+	default:
+		return fmt.Errorf("fault %s: unknown trigger kind %d", f.ID, f.Trigger.Kind)
+	}
+	if f.Trigger.Skip < 0 {
+		return fmt.Errorf("fault %s: negative trigger skip %d", f.ID, f.Trigger.Skip)
+	}
+	return nil
+}
+
+// TriggerAddrs returns the distinct instruction addresses the fault must be
+// triggered at; its length is the number of breakpoint registers a
+// hardware-triggered injection consumes.
+func (f *Fault) TriggerAddrs() []uint32 {
+	seen := make(map[uint32]bool)
+	var out []uint32
+	for _, c := range f.Corruptions {
+		if !seen[c.Addr] {
+			seen[c.Addr] = true
+			out = append(out, c.Addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/odc"
+)
+
+func TestClassStringsAndODC(t *testing.T) {
+	if ClassAssignment.String() != "assignment" || ClassChecking.String() != "checking" {
+		t.Error("class names wrong")
+	}
+	if d, ok := ClassAssignment.ODCType(); !ok || d != odc.Assignment {
+		t.Error("assignment ODC mapping wrong")
+	}
+	if d, ok := ClassChecking.ODCType(); !ok || d != odc.Checking {
+		t.Error("checking ODC mapping wrong")
+	}
+	if _, ok := ClassHardware.ODCType(); ok {
+		t.Error("hardware class must not map to an ODC software defect type")
+	}
+}
+
+func TestErrTypeCatalogue(t *testing.T) {
+	if got := len(AssignmentErrTypes()); got != 4 {
+		t.Errorf("assignment error types = %d, want 4 (Table 3)", got)
+	}
+	if got := len(CheckingErrTypes()); got != 14 {
+		t.Errorf("checking error types = %d, want 14", got)
+	}
+	seen := map[ErrType]bool{}
+	for _, et := range append(AssignmentErrTypes(), CheckingErrTypes()...) {
+		if seen[et] {
+			t.Errorf("duplicate error type %q", et)
+		}
+		seen[et] = true
+	}
+}
+
+func TestOperatorMutations(t *testing.T) {
+	tests := []struct {
+		op   string
+		want map[ErrType]string
+	}{
+		{"<", map[ErrType]string{ErrLtLe: "<="}},
+		{"<=", map[ErrType]string{ErrLeLt: "<"}},
+		{">", map[ErrType]string{ErrGtGe: ">="}},
+		{">=", map[ErrType]string{ErrGeGt: ">"}},
+		{"==", map[ErrType]string{ErrEqNe: "!=", ErrEqGe: ">=", ErrEqLe: "<="}},
+		{"!=", map[ErrType]string{ErrNeEq: "=="}},
+		{"&&", nil},
+		{"truth", nil},
+	}
+	for _, tt := range tests {
+		got := OperatorMutations(tt.op)
+		if len(got) != len(tt.want) {
+			t.Errorf("OperatorMutations(%q) = %v, want %v", tt.op, got, tt.want)
+			continue
+		}
+		for et, mut := range tt.want {
+			if got[et] != mut {
+				t.Errorf("OperatorMutations(%q)[%s] = %q, want %q", tt.op, et, got[et], mut)
+			}
+		}
+	}
+}
+
+func TestValueOps(t *testing.T) {
+	tests := []struct {
+		op     ValueOp
+		v, arg uint32
+		want   uint32
+	}{
+		{ValPlusOne, 10, 0, 11},
+		{ValMinusOne, 10, 0, 9},
+		{ValMinusOne, 0, 0, 0xffffffff},
+		{ValSet, 10, 777, 777},
+		{ValXor, 0b1100, 0b1010, 0b0110},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Apply(tt.v, tt.arg); got != tt.want {
+			t.Errorf("%d.Apply(%d,%d) = %d, want %d", tt.op, tt.v, tt.arg, got, tt.want)
+		}
+	}
+}
+
+// TestValueOpInverses: +1 and -1 are inverses, XOR is an involution.
+func TestValueOpInverses(t *testing.T) {
+	f := func(v, arg uint32) bool {
+		if ValMinusOne.Apply(ValPlusOne.Apply(v, 0), 0) != v {
+			return false
+		}
+		return ValXor.Apply(ValXor.Apply(v, arg), arg) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	good := Fault{
+		ID:      "t1",
+		Class:   ClassAssignment,
+		ErrType: ErrValuePlusOne,
+		Trigger: Trigger{Kind: TriggerOnLocation},
+		Corruptions: []Corruption{
+			{Kind: CorruptStoreData, Addr: 0x1000, Op: ValPlusOne},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+	bad := []Fault{
+		{ID: "no-corruptions", Trigger: Trigger{Kind: TriggerOnLocation}},
+		{ID: "bad-kind", Trigger: Trigger{Kind: TriggerOnLocation},
+			Corruptions: []Corruption{{Kind: 99, Addr: 4}}},
+		{ID: "zero-shift", Trigger: Trigger{Kind: TriggerOnLocation},
+			Corruptions: []Corruption{{Kind: CorruptLoadAddr, Addr: 4, Offset: 0}}},
+		{ID: "bad-trigger", Trigger: Trigger{Kind: 99},
+			Corruptions: []Corruption{{Kind: CorruptText, Addr: 4}}},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fault %s validated, want error", f.ID)
+		}
+	}
+}
+
+func TestTriggerAddrs(t *testing.T) {
+	f := Fault{
+		Trigger: Trigger{Kind: TriggerOnLocation},
+		Corruptions: []Corruption{
+			{Kind: CorruptFetch, Addr: 0x1000},
+			{Kind: CorruptFetch, Addr: 0x1008},
+			{Kind: CorruptStoreData, Addr: 0x1000, Op: ValPlusOne},
+		},
+	}
+	addrs := f.TriggerAddrs()
+	if len(addrs) != 2 {
+		t.Fatalf("TriggerAddrs = %v, want 2 distinct", addrs)
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	l := Location{Program: "C.team1", Func: "main", Line: 12, Detail: "i"}
+	if got := l.String(); got != "C.team1:main:12(i)" {
+		t.Errorf("Location.String() = %q", got)
+	}
+}
+
+func TestValidateRejectsNegativeSkip(t *testing.T) {
+	f := Fault{
+		ID:      "neg-skip",
+		Trigger: Trigger{Kind: TriggerOnLocation, Skip: -1},
+		Corruptions: []Corruption{
+			{Kind: CorruptFetch, Addr: 4, NewWord: 1},
+		},
+	}
+	if err := f.Validate(); err == nil {
+		t.Fatal("negative skip accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package injector is the Xception-equivalent SWIFI engine: it arms fault
+// triggers on a virtual machine and applies the corruptions of a fault
+// definition while a target program runs, without modifying the target
+// application source.
+//
+// Two trigger mechanisms are provided, mirroring the trade-off discussed in
+// §5 of the paper:
+//
+//   - ModeHardware uses the processor's instruction-address breakpoint
+//     registers. It is non-intrusive but the PowerPC 601 has only two, so a
+//     fault needing more than two distinct trigger addresses (the Figure 4
+//     stack-shift emulation) cannot be armed: Arm returns
+//     ErrOutOfBreakpoints, reproducing the limitation the paper reports.
+//   - ModeTrap plants trap instructions over the trigger locations — "the
+//     traditional SWIFI approach of inserting trap instructions ... but this
+//     technique is very intrusive". It has no budget limit; the displaced
+//     instructions are emulated by the trap handler.
+package injector
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/vm"
+)
+
+// Mode selects the trigger mechanism.
+type Mode int
+
+// Trigger modes.
+const (
+	ModeHardware Mode = iota + 1 // IABR-backed, max vm.NumIABR distinct addresses
+	ModeTrap                     // trap-instruction insertion, unlimited, intrusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeHardware:
+		return "hardware breakpoints"
+	case ModeTrap:
+		return "trap insertion"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ErrOutOfBreakpoints is returned by Arm when a fault needs more distinct
+// hardware trigger addresses than the processor has breakpoint registers.
+var ErrOutOfBreakpoints = errors.New("injector: fault needs more trigger addresses than available breakpoint registers")
+
+// Session is one armed fault on one machine. Create a fresh machine and
+// session per injection run (the campaigns "reboot between injections").
+type Session struct {
+	m    *vm.Machine
+	mode Mode
+	f    *fault.Fault
+
+	activations uint64
+
+	// Location-triggered corruption tables, keyed by instruction address.
+	fetchRepl  map[uint32]uint32
+	textWrites map[uint32]uint32
+	storeOps   map[uint32][]fault.Corruption
+	loadShift  map[uint32]int32
+	regOps     map[uint32][]fault.Corruption
+
+	// Trap mode: displaced original words.
+	origWords map[uint32]uint32
+	// seen counts executions of each trigger address, implementing the
+	// When axis (Trigger.Skip / Trigger.Once).
+	seen map[uint32]uint64
+}
+
+// Arm validates the fault and installs its triggers on m. The machine must
+// already have the target program loaded.
+func Arm(m *vm.Machine, mode Mode, f *fault.Fault) (*Session, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		m: m, mode: mode, f: f,
+		fetchRepl:  make(map[uint32]uint32),
+		textWrites: make(map[uint32]uint32),
+		storeOps:   make(map[uint32][]fault.Corruption),
+		loadShift:  make(map[uint32]int32),
+		regOps:     make(map[uint32][]fault.Corruption),
+		origWords:  make(map[uint32]uint32),
+		seen:       make(map[uint32]uint64),
+	}
+
+	if f.Trigger.Kind == fault.TriggerAtStart {
+		// Apply permanent corruptions immediately; only CorruptText and
+		// CorruptRegister make sense before execution begins.
+		for _, c := range f.Corruptions {
+			switch c.Kind {
+			case fault.CorruptText:
+				if err := s.writeText(c.Addr, c.NewWord); err != nil {
+					return nil, err
+				}
+				s.activations++
+			case fault.CorruptRegister:
+				m.SetReg(c.Reg, c.Op.Apply(m.Reg(c.Reg), c.Operand))
+				s.activations++
+			default:
+				return nil, fmt.Errorf("injector: corruption kind %v cannot fire at start", c.Kind)
+			}
+		}
+		return s, nil
+	}
+
+	// Location-triggered: build dispatch tables.
+	for _, c := range f.Corruptions {
+		switch c.Kind {
+		case fault.CorruptText:
+			s.textWrites[c.Addr] = c.NewWord
+		case fault.CorruptFetch:
+			s.fetchRepl[c.Addr] = c.NewWord
+		case fault.CorruptStoreData:
+			s.storeOps[c.Addr] = append(s.storeOps[c.Addr], c)
+		case fault.CorruptLoadAddr:
+			s.loadShift[c.Addr] = c.Offset
+		case fault.CorruptRegister:
+			s.regOps[c.Addr] = append(s.regOps[c.Addr], c)
+		}
+	}
+
+	addrs := f.TriggerAddrs()
+	switch mode {
+	case ModeHardware:
+		if len(addrs) > vm.NumIABR {
+			return nil, fmt.Errorf("%w: need %d, have %d", ErrOutOfBreakpoints, len(addrs), vm.NumIABR)
+		}
+		for i, a := range addrs {
+			if err := m.SetIABR(i, a); err != nil {
+				return nil, err
+			}
+		}
+		if len(s.textWrites) > 0 || len(s.regOps) > 0 {
+			m.SetIABRHook(s.onBreakpoint)
+		}
+		// The fetch hook runs on every instruction; install the cheapest
+		// variant that covers the fault.
+		switch len(s.fetchRepl) {
+		case 0:
+		case 1:
+			var a1, w1 uint32
+			for a, w := range s.fetchRepl {
+				a1, w1 = a, w
+			}
+			m.SetFetchHook(func(addr, word uint32) uint32 {
+				if addr != a1 || !s.shouldApply(a1) {
+					return word
+				}
+				s.activations++
+				return w1
+			})
+		default:
+			m.SetFetchHook(s.onFetch)
+		}
+	case ModeTrap:
+		for _, a := range addrs {
+			w, err := m.ReadWord(a)
+			if err != nil {
+				return nil, fmt.Errorf("injector: trigger address %#x: %w", a, err)
+			}
+			s.origWords[a] = w
+			if err := s.writeText(a, vm.Encode(vm.Inst{Op: vm.OpTrap})); err != nil {
+				return nil, err
+			}
+		}
+		m.SetTrapHook(s.onTrap)
+	default:
+		return nil, fmt.Errorf("injector: unknown mode %d", mode)
+	}
+	if len(s.loadShift) > 0 {
+		m.SetLoadHook(s.onLoad)
+	}
+	if len(s.storeOps) > 0 {
+		m.SetStoreHook(s.onStore)
+	}
+	return s, nil
+}
+
+// Activations reports how many times the fault's corruptions were applied —
+// whether the faulty code was exercised at all, which the paper uses to
+// separate dormant faults from activated ones.
+func (s *Session) Activations() uint64 { return s.activations }
+
+// Fault returns the armed fault definition.
+func (s *Session) Fault() *fault.Fault { return s.f }
+
+// Mode returns the session's trigger mechanism.
+func (s *Session) Mode() Mode { return s.mode }
+
+func (s *Session) writeText(addr, word uint32) error {
+	s.m.SetTextWritable(true)
+	defer s.m.SetTextWritable(false)
+	return s.m.WriteWord(addr, word)
+}
+
+// shouldApply advances the execution counter of the trigger address and
+// reports whether the corruption applies this time, honouring the When
+// parameters: the first Skip executions stay clean, and with Once set only
+// the (Skip+1)-th execution is corrupted.
+func (s *Session) shouldApply(addr uint32) bool {
+	s.seen[addr]++
+	k := s.seen[addr]
+	skip := uint64(s.f.Trigger.Skip)
+	if k <= skip {
+		return false
+	}
+	if s.f.Trigger.Once && k != skip+1 {
+		return false
+	}
+	return true
+}
+
+// onBreakpoint handles IABR hits (hardware mode): permanent text rewrites
+// and register corruptions happen here, before the instruction executes.
+func (s *Session) onBreakpoint(m *vm.Machine, addr uint32) {
+	_, isWrite := s.textWrites[addr]
+	if !isWrite && len(s.regOps[addr]) == 0 {
+		return
+	}
+	if !s.shouldApply(addr) {
+		return
+	}
+	if w, ok := s.textWrites[addr]; ok {
+		if err := s.writeText(addr, w); err == nil {
+			s.activations++
+			delete(s.textWrites, addr) // memory now holds the corruption
+		}
+	}
+	for _, c := range s.regOps[addr] {
+		m.SetReg(c.Reg, c.Op.Apply(m.Reg(c.Reg), c.Operand))
+		s.activations++
+	}
+}
+
+// onFetch implements transient instruction-bus corruption (hardware mode).
+func (s *Session) onFetch(addr, word uint32) uint32 {
+	if w, ok := s.fetchRepl[addr]; ok && s.shouldApply(addr) {
+		s.activations++
+		return w
+	}
+	return word
+}
+
+// onLoad shifts the effective address of corrupted loads. The corruption is
+// keyed by the PC of the load instruction; the magnitude of the shift equals
+// the element size, so it also selects how many bytes to re-read.
+func (s *Session) onLoad(addr, value uint32) uint32 {
+	off, ok := s.loadShift[s.m.PC()]
+	if !ok || !s.shouldApply(s.m.PC()) {
+		return value
+	}
+	s.activations++
+	shifted := addr + uint32(off)
+	size := off
+	if size < 0 {
+		size = -size
+	}
+	buf, err := s.m.ReadMem(shifted, int(size))
+	if err != nil {
+		// The shifted access leaves mapped memory: on real hardware this is
+		// a machine check / DSI exception.
+		s.m.InjectException(vm.ExcProt)
+		return value
+	}
+	var v uint32
+	for _, b := range buf {
+		v = v<<8 | uint32(b)
+	}
+	return v
+}
+
+// onStore transforms values written by corrupted store instructions.
+func (s *Session) onStore(addr, value uint32) uint32 {
+	ops, ok := s.storeOps[s.m.PC()]
+	if !ok || !s.shouldApply(s.m.PC()) {
+		return value
+	}
+	_ = addr
+	for _, c := range ops {
+		value = c.Op.Apply(value, c.Operand)
+		s.activations++
+	}
+	return value
+}
+
+// onTrap handles trap-mode triggers: it applies corruptions and emulates the
+// displaced instruction.
+func (s *Session) onTrap(m *vm.Machine, addr uint32) error {
+	orig, ok := s.origWords[addr]
+	if !ok {
+		return fmt.Errorf("injector: stray trap at %#x", addr)
+	}
+	word := orig
+	hasTrigger := false
+	if _, ok := s.textWrites[addr]; ok {
+		hasTrigger = true
+	}
+	if _, ok := s.fetchRepl[addr]; ok {
+		hasTrigger = true
+	}
+	if len(s.regOps[addr]) > 0 {
+		hasTrigger = true
+	}
+	if hasTrigger && s.shouldApply(addr) {
+		if w, ok := s.textWrites[addr]; ok {
+			// Permanent rewrite: replace the trap with the corrupted word
+			// and let it execute from memory ever after.
+			if err := s.writeText(addr, w); err != nil {
+				return err
+			}
+			s.activations++
+			delete(s.origWords, addr)
+			return m.ExecuteInjected(w)
+		}
+		if w, ok := s.fetchRepl[addr]; ok {
+			s.activations++
+			word = w
+		}
+		for _, c := range s.regOps[addr] {
+			m.SetReg(c.Reg, c.Op.Apply(m.Reg(c.Reg), c.Operand))
+			s.activations++
+		}
+	}
+	// Load/store corruptions apply inside ExecuteInjected via the hooks,
+	// which key on the PC (still the trap address here).
+	return m.ExecuteInjected(word)
+}

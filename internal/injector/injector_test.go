@@ -1,0 +1,500 @@
+package injector_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/injector"
+	"repro/internal/locator"
+	"repro/internal/vm"
+)
+
+// countProgram sums 0..9 into n and prints it; the baseline output is 45.
+const countProgram = `
+int main() {
+    int i;
+    int n = 0;
+    for (i = 0; i < 10; i++) {
+        n = n + 1;
+    }
+    print_int(n);
+    return 0;
+}`
+
+func compile(t *testing.T, src string) *cc.Compiled {
+	t.Helper()
+	c, err := cc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runWith arms f in the given mode and runs the program, returning the
+// machine and session.
+func runWith(t *testing.T, c *cc.Compiled, mode injector.Mode, f *fault.Fault, input []int32) (*vm.Machine, *injector.Session) {
+	t.Helper()
+	m := vm.New(vm.Config{MaxCycles: 1 << 20})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(input)
+	s, err := injector.Arm(m, mode, f)
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+// findAssign returns the AssignInfo for the given LHS on the given line.
+func findAssign(t *testing.T, c *cc.Compiled, lhs string, line int) cc.AssignInfo {
+	t.Helper()
+	for _, a := range c.Debug.Assigns {
+		if a.LHS == lhs && a.Line == line {
+			return a
+		}
+	}
+	t.Fatalf("no assignment to %s at line %d", lhs, line)
+	return cc.AssignInfo{}
+}
+
+func TestStoreDataCorruptionPlusOne(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6) // n = n + 1 inside the loop
+	f, err := locator.AssignmentFault(a, fault.ErrValuePlusOne, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, s := runWith(t, c, mode, f, nil)
+			if m.State() != vm.StateHalted {
+				t.Fatalf("state %v", m.State())
+			}
+			// Each of the 10 stores adds an extra 1: n ends at 20.
+			if got := string(m.Output()); got != "20\n" {
+				t.Errorf("output %q, want \"20\\n\"", got)
+			}
+			if s.Activations() != 10 {
+				t.Errorf("activations = %d, want 10", s.Activations())
+			}
+		})
+	}
+}
+
+func TestNoAssignCorruption(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrNoAssign, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, _ := runWith(t, c, mode, f, nil)
+			if got := string(m.Output()); got != "0\n" {
+				t.Errorf("output %q, want \"0\\n\"", got)
+			}
+		})
+	}
+}
+
+func TestRandomValueCorruption(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrRandomValue, fault.Location{}, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := runWith(t, c, injector.ModeHardware, f, nil)
+	// Every store writes 12345; the loop still terminates (i untouched).
+	if got := string(m.Output()); got != "12345\n" {
+		t.Errorf("output %q, want \"12345\\n\"", got)
+	}
+}
+
+func TestOnceTriggerFiresOnce(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrValuePlusOne, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Trigger.Once = true
+	for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, s := runWith(t, c, mode, f, nil)
+			if got := string(m.Output()); got != "11\n" {
+				t.Errorf("output %q, want \"11\\n\"", got)
+			}
+			if s.Activations() != 1 {
+				t.Errorf("activations = %d, want 1", s.Activations())
+			}
+		})
+	}
+}
+
+func TestCheckMutationLtToLe(t *testing.T) {
+	c := compile(t, countProgram)
+	var ck *cc.CheckInfo
+	for i := range c.Debug.Checks {
+		if c.Debug.Checks[i].Op == "<" {
+			ck = &c.Debug.Checks[i]
+		}
+	}
+	if ck == nil {
+		t.Fatal("no < check")
+	}
+	faults, err := locator.CheckingFaults(c, *ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[fault.ErrType]*fault.Fault{}
+	for i := range faults {
+		byType[faults[i].ErrType] = &faults[i]
+	}
+	// Applicable types for "<" with no array operands: "< <=", stuck x2.
+	if len(faults) != 3 {
+		t.Fatalf("applicable error types = %d (%v), want 3", len(faults), faults)
+	}
+
+	tests := []struct {
+		et   fault.ErrType
+		want string
+	}{
+		{fault.ErrLtLe, "11\n"},     // i <= 10: one extra iteration
+		{fault.ErrTrueFalse, "0\n"}, // loop never entered
+	}
+	for _, tt := range tests {
+		f := byType[tt.et]
+		if f == nil {
+			t.Fatalf("no fault for %s", tt.et)
+		}
+		for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+			m, _ := runWith(t, c, mode, f, nil)
+			if got := string(m.Output()); got != tt.want {
+				t.Errorf("%s/%v: output %q, want %q", tt.et, mode, got, tt.want)
+			}
+		}
+	}
+	// stuck-true hangs the loop.
+	f := byType[fault.ErrFalseTrue]
+	if f == nil {
+		t.Fatal("no stuck-true fault")
+	}
+	m, _ := runWith(t, c, injector.ModeHardware, f, nil)
+	if m.State() != vm.StateHung {
+		t.Errorf("stuck-true state = %v, want hung", m.State())
+	}
+}
+
+const arrayCheckProgram = `
+int main() {
+    int a[5];
+    int i;
+    int hits = 0;
+    for (i = 0; i < 5; i++) a[i] = i * 10;
+    for (i = 0; i < 4; i++) {
+        if (a[i] == 20) hits = hits + 1;
+    }
+    print_int(hits);
+    return 0;
+}`
+
+func TestArrayIndexShiftCorruption(t *testing.T) {
+	c := compile(t, arrayCheckProgram)
+	var ck *cc.CheckInfo
+	for i := range c.Debug.Checks {
+		if c.Debug.Checks[i].Op == "==" {
+			ck = &c.Debug.Checks[i]
+		}
+	}
+	if ck == nil {
+		t.Fatal("no == check")
+	}
+	if len(ck.ArrayLoads) == 0 {
+		t.Fatal("== check has no array loads recorded")
+	}
+	faults, err := locator.CheckingFaults(c, *ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[fault.ErrType]*fault.Fault{}
+	for i := range faults {
+		byType[faults[i].ErrType] = &faults[i]
+	}
+	// == over an array: 3 operator mutations + 2 stuck + 2 index = 7.
+	if len(faults) != 7 {
+		t.Fatalf("applicable error types = %d, want 7", len(faults))
+	}
+	// [i]->[i+1]: comparison sees a[i+1], so the hit moves from i==2 to
+	// i==1; still exactly one hit.
+	m, _ := runWith(t, c, injector.ModeHardware, byType[fault.ErrIdxPlus], nil)
+	if got := string(m.Output()); got != "1\n" {
+		t.Errorf("[i+1] output %q, want \"1\\n\"", got)
+	}
+	// != mutation: condition flips, 3 of 4 iterations hit.
+	m, _ = runWith(t, c, injector.ModeHardware, byType[fault.ErrEqNe], nil)
+	if got := string(m.Output()); got != "3\n" {
+		t.Errorf("=->!= output %q, want \"3\\n\"", got)
+	}
+}
+
+func TestBreakpointBudgetExhaustion(t *testing.T) {
+	c := compile(t, countProgram)
+	// A fault needing three distinct trigger addresses, like the Figure 4
+	// stack-shift emulation.
+	nop := vm.Encode(vm.Inst{Op: vm.OpNop})
+	f := &fault.Fault{
+		ID: "three-triggers", Class: fault.ClassAssignment, ErrType: fault.ErrNoAssign,
+		Trigger: fault.Trigger{Kind: fault.TriggerOnLocation},
+		Corruptions: []fault.Corruption{
+			{Kind: fault.CorruptFetch, Addr: vm.TextBase + 0, NewWord: nop},
+			{Kind: fault.CorruptFetch, Addr: vm.TextBase + 4, NewWord: nop},
+			{Kind: fault.CorruptFetch, Addr: vm.TextBase + 8, NewWord: nop},
+		},
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	_, err := injector.Arm(m, injector.ModeHardware, f)
+	if !errors.Is(err, injector.ErrOutOfBreakpoints) {
+		t.Fatalf("Arm = %v, want ErrOutOfBreakpoints", err)
+	}
+	// Trap mode has no budget: arming must succeed.
+	m2 := vm.New(vm.Config{})
+	if err := m2.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := injector.Arm(m2, injector.ModeTrap, f); err != nil {
+		t.Fatalf("trap-mode Arm: %v", err)
+	}
+}
+
+func TestTrapModeIsIntrusive(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrValuePlusOne, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh := vm.New(vm.Config{})
+	if err := mh.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := injector.Arm(mh, injector.ModeHardware, f); err != nil {
+		t.Fatal(err)
+	}
+	wh, _ := mh.ReadWord(a.StoreAddr)
+
+	mt := vm.New(vm.Config{})
+	if err := mt.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := injector.Arm(mt, injector.ModeTrap, f); err != nil {
+		t.Fatal(err)
+	}
+	wt, _ := mt.ReadWord(a.StoreAddr)
+
+	orig, _ := c.Prog.ReadTextWord(a.StoreAddr)
+	if wh != orig {
+		t.Error("hardware mode modified the target program text")
+	}
+	if wt == orig {
+		t.Error("trap mode left the target program text unmodified")
+	}
+	in, err := vm.Decode(wt)
+	if err != nil || in.Op != vm.OpTrap {
+		t.Errorf("trap mode planted %v, want trap", in.Op)
+	}
+}
+
+func TestCorruptTextAtStart(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f := &fault.Fault{
+		ID: "start-text", Class: fault.ClassAssignment, ErrType: fault.ErrNoAssign,
+		Trigger: fault.Trigger{Kind: fault.TriggerAtStart},
+		Corruptions: []fault.Corruption{
+			{Kind: fault.CorruptText, Addr: a.StoreAddr, NewWord: vm.Encode(vm.Inst{Op: vm.OpNop})},
+		},
+	}
+	m, s := runWith(t, c, injector.ModeHardware, f, nil)
+	if got := string(m.Output()); got != "0\n" {
+		t.Errorf("output %q, want \"0\\n\"", got)
+	}
+	if s.Activations() != 1 {
+		t.Errorf("activations = %d, want 1", s.Activations())
+	}
+}
+
+func TestCorruptTextOnLocation(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f := &fault.Fault{
+		ID: "loc-text", Class: fault.ClassAssignment, ErrType: fault.ErrNoAssign,
+		Trigger: fault.Trigger{Kind: fault.TriggerOnLocation},
+		Corruptions: []fault.Corruption{
+			{Kind: fault.CorruptText, Addr: a.StoreAddr, NewWord: vm.Encode(vm.Inst{Op: vm.OpNop})},
+		},
+	}
+	for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, _ := runWith(t, c, mode, f, nil)
+			if got := string(m.Output()); got != "0\n" {
+				t.Errorf("output %q, want \"0\\n\"", got)
+			}
+			// The corruption is persistent: memory must now hold the nop.
+			w, err := m.ReadWord(a.StoreAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != vm.Encode(vm.Inst{Op: vm.OpNop}) {
+				t.Errorf("text at %#x = %#08x, want planted nop", a.StoreAddr, w)
+			}
+		})
+	}
+}
+
+func TestRegisterCorruptionAtStart(t *testing.T) {
+	// Corrupting the stack pointer at start crashes almost any program —
+	// the hardware-fault flavour the paper says random injections share.
+	c := compile(t, countProgram)
+	f := &fault.Fault{
+		ID: "reg-sp", Class: fault.ClassHardware, ErrType: "reg-xor",
+		Trigger: fault.Trigger{Kind: fault.TriggerAtStart},
+		Corruptions: []fault.Corruption{
+			{Kind: fault.CorruptRegister, Reg: vm.RegSP, Op: fault.ValXor, Operand: 0xffff0001},
+		},
+	}
+	m, _ := runWith(t, c, injector.ModeHardware, f, nil)
+	if m.State() != vm.StateCrashed {
+		t.Errorf("state = %v, want crashed", m.State())
+	}
+}
+
+func TestLoadShiftOutOfRangeCrashes(t *testing.T) {
+	// Shift a load's effective address far outside memory: the injector
+	// must surface a protection exception, not silently continue.
+	src := `
+int big[4];
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 4; i++) {
+        if (big[i] < 1) sum = sum + 1;
+    }
+    print_int(sum);
+    return 0;
+}`
+	c := compile(t, src)
+	var ck *cc.CheckInfo
+	for i := range c.Debug.Checks {
+		if len(c.Debug.Checks[i].ArrayLoads) > 0 {
+			ck = &c.Debug.Checks[i]
+		}
+	}
+	if ck == nil {
+		t.Fatal("no array check")
+	}
+	f := &fault.Fault{
+		ID: "wild-shift", Class: fault.ClassChecking, ErrType: fault.ErrIdxPlus,
+		Trigger: fault.Trigger{Kind: fault.TriggerOnLocation},
+		Corruptions: []fault.Corruption{
+			{Kind: fault.CorruptLoadAddr, Addr: ck.ArrayLoads[0].Addr, Offset: 1 << 30},
+		},
+	}
+	m, _ := runWith(t, c, injector.ModeHardware, f, nil)
+	if m.State() != vm.StateCrashed {
+		t.Fatalf("state = %v, want crashed", m.State())
+	}
+	if exc, _ := m.Exception(); exc != vm.ExcProt {
+		t.Errorf("exception = %v, want protection", exc)
+	}
+}
+
+func TestArmRejectsInvalidFault(t *testing.T) {
+	c := compile(t, countProgram)
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := injector.Arm(m, injector.ModeHardware, &fault.Fault{ID: "empty"}); err == nil {
+		t.Error("Arm accepted a fault with no corruptions")
+	}
+	bad := &fault.Fault{
+		ID: "bad-start", Trigger: fault.Trigger{Kind: fault.TriggerAtStart},
+		Corruptions: []fault.Corruption{{Kind: fault.CorruptFetch, Addr: 4, NewWord: 0}},
+	}
+	if _, err := injector.Arm(m, injector.ModeHardware, bad); err == nil {
+		t.Error("Arm accepted a fetch corruption with an at-start trigger")
+	}
+}
+
+// TestSkipTrigger verifies the When axis: with Skip=3 the first three
+// executions of the corrupted store stay clean, so only 7 of the 10 loop
+// iterations get the +1 corruption.
+func TestSkipTrigger(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrValuePlusOne, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Trigger.Skip = 3
+	for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, s := runWith(t, c, mode, f, nil)
+			if got := string(m.Output()); got != "17\n" {
+				t.Errorf("output %q, want \"17\\n\" (10 + 7 corrupted stores)", got)
+			}
+			if s.Activations() != 7 {
+				t.Errorf("activations = %d, want 7", s.Activations())
+			}
+		})
+	}
+}
+
+// TestSkipOnceTrigger: Skip+Once corrupts exactly the (Skip+1)-th execution.
+func TestSkipOnceTrigger(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrValuePlusOne, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Trigger.Skip = 5
+	f.Trigger.Once = true
+	m, s := runWith(t, c, injector.ModeHardware, f, nil)
+	if got := string(m.Output()); got != "11\n" {
+		t.Errorf("output %q, want \"11\\n\"", got)
+	}
+	if s.Activations() != 1 {
+		t.Errorf("activations = %d, want 1", s.Activations())
+	}
+}
+
+// TestSkipBeyondExecutions: a skip larger than the execution count leaves
+// the run fully clean (a dormant fault).
+func TestSkipBeyondExecutions(t *testing.T) {
+	c := compile(t, countProgram)
+	a := findAssign(t, c, "n", 6)
+	f, err := locator.AssignmentFault(a, fault.ErrValuePlusOne, fault.Location{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Trigger.Skip = 100
+	m, s := runWith(t, c, injector.ModeHardware, f, nil)
+	if got := string(m.Output()); got != "10\n" {
+		t.Errorf("output %q, want clean \"10\\n\"", got)
+	}
+	if s.Activations() != 0 {
+		t.Errorf("activations = %d, want 0 (dormant)", s.Activations())
+	}
+}

@@ -1,0 +1,75 @@
+package locator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/vm"
+)
+
+// PlanHardware builds a classic Xception hardware-fault campaign plan:
+// transient single-bit faults at random points of the program, the model
+// the tool was originally built for. The paper observes that the §6
+// software-fault emulations "also emulate hardware faults, which might
+// explain the general small percentage of correct results"; running this
+// plan side by side with the software-fault plans makes the comparison
+// concrete.
+//
+// Two classic fault models are drawn in equal shares:
+//
+//   - register faults: one bit of one general-purpose register flips the
+//     first time a randomly chosen instruction executes;
+//   - bus faults: one bit of the fetched instruction word flips on every
+//     fetch of a randomly chosen instruction.
+func PlanHardware(c *cc.Compiled, program string, n int, seed int64) (*Plan, error) {
+	textLen := len(c.Prog.Image.Text)
+	if textLen == 0 {
+		return nil, fmt.Errorf("locator: %s has no text", program)
+	}
+	p := &Plan{
+		Program:  program,
+		Class:    fault.ClassHardware,
+		Possible: textLen, // every instruction is a candidate fault point
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		addr := vm.TextBase + uint32(rng.Intn(textLen))*vm.WordSize
+		var f fault.Fault
+		if i%2 == 0 {
+			reg := uint8(1 + rng.Intn(31)) // r1..r31; r0 is hardwired zero
+			mask := uint32(1) << uint(rng.Intn(32))
+			f = fault.Fault{
+				ID:      fmt.Sprintf("%s/hw/reg/%d", program, i),
+				Class:   fault.ClassHardware,
+				ErrType: "register bit-flip",
+				Trigger: fault.Trigger{Kind: fault.TriggerOnLocation, Once: true},
+				Corruptions: []fault.Corruption{{
+					Kind: fault.CorruptRegister, Addr: addr,
+					Reg: reg, Op: fault.ValXor, Operand: mask,
+				}},
+				Where: fault.Location{Program: program, Detail: fmt.Sprintf("r%d^%#x", reg, mask)},
+			}
+		} else {
+			orig, err := c.Prog.ReadTextWord(addr)
+			if err != nil {
+				return nil, err
+			}
+			mask := uint32(1) << uint(rng.Intn(32))
+			f = fault.Fault{
+				ID:      fmt.Sprintf("%s/hw/bus/%d", program, i),
+				Class:   fault.ClassHardware,
+				ErrType: "fetch-bus bit-flip",
+				Trigger: fault.Trigger{Kind: fault.TriggerOnLocation},
+				Corruptions: []fault.Corruption{{
+					Kind: fault.CorruptFetch, Addr: addr, NewWord: orig ^ mask,
+				}},
+				Where: fault.Location{Program: program, Detail: fmt.Sprintf("bit %#x", mask)},
+			}
+		}
+		p.Chosen = append(p.Chosen, int((addr-vm.TextBase)/vm.WordSize))
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}

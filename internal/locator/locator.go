@@ -1,0 +1,242 @@
+// Package locator enumerates fault locations in a compiled program and
+// expands them into injectable fault definitions, implementing §6.3 of the
+// paper:
+//
+//  1. all possible fault locations are identified from the compiler's
+//     debug information (the paper did this manually at assembly level,
+//     assisted by symbol tables and labels);
+//  2. a random subset of locations is chosen (where);
+//  3. for each location, every applicable error type from Table 3 is
+//     generated (what);
+//  4. the trigger is the location's own instruction (which), fired on every
+//     execution (when).
+package locator
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/vm"
+)
+
+// Plan is the fault list for one (program, class) pair, along with the
+// counts reported in the paper's Table 4.
+type Plan struct {
+	Program  string
+	Class    fault.Class
+	Possible int           // all possible fault locations
+	Chosen   []int         // indices (into the possible list) of chosen locations
+	Faults   []fault.Fault // chosen locations expanded by error type
+}
+
+// ChooseLocations returns n distinct indices in [0, possible), drawn with
+// the given seed. If n >= possible, every index is returned.
+func ChooseLocations(possible, n int, seed int64) []int {
+	if n >= possible {
+		out := make([]int, possible)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(possible)[:n]
+	sort.Ints(perm)
+	return perm
+}
+
+// PlanAssignment builds the assignment-class fault list for a compiled
+// program: nChosen random assignment locations, each expanded into the four
+// assignment error types of Table 3.
+func PlanAssignment(c *cc.Compiled, program string, nChosen int, seed int64) (*Plan, error) {
+	return PlanAssignmentChosen(c, program, ChooseLocations(len(c.Debug.Assigns), nChosen, seed), seed)
+}
+
+// PlanAssignmentChosen is PlanAssignment with an explicit set of location
+// indices — the hook for alternative selection policies such as the §6.1
+// complexity-guided choice.
+func PlanAssignmentChosen(c *cc.Compiled, program string, chosen []int, seed int64) (*Plan, error) {
+	locs := c.Debug.Assigns
+	p := &Plan{
+		Program:  program,
+		Class:    fault.ClassAssignment,
+		Possible: len(locs),
+		Chosen:   chosen,
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	for _, li := range p.Chosen {
+		if li < 0 || li >= len(locs) {
+			return nil, fmt.Errorf("locator: assignment location %d out of range (%d possible)", li, len(locs))
+		}
+		a := locs[li]
+		where := fault.Location{Program: program, Func: a.Func, Line: a.Line, Detail: a.LHS}
+		for _, et := range fault.AssignmentErrTypes() {
+			f, err := AssignmentFault(a, et, where, rng.Uint32())
+			if err != nil {
+				return nil, err
+			}
+			f.ID = fmt.Sprintf("%s/assign/L%d/%s", program, li, et)
+			p.Faults = append(p.Faults, *f)
+		}
+	}
+	return p, nil
+}
+
+// AssignmentFault builds one assignment fault at location a. randomValue is
+// used only by the "random" error type (pre-drawn so runs are
+// deterministic).
+func AssignmentFault(a cc.AssignInfo, et fault.ErrType, where fault.Location, randomValue uint32) (*fault.Fault, error) {
+	f := &fault.Fault{
+		Class:   fault.ClassAssignment,
+		ErrType: et,
+		Trigger: fault.Trigger{Kind: fault.TriggerOnLocation},
+		Where:   where,
+	}
+	switch et {
+	case fault.ErrValuePlusOne:
+		f.Corruptions = []fault.Corruption{{Kind: fault.CorruptStoreData, Addr: a.StoreAddr, Op: fault.ValPlusOne}}
+	case fault.ErrValueMinusOne:
+		f.Corruptions = []fault.Corruption{{Kind: fault.CorruptStoreData, Addr: a.StoreAddr, Op: fault.ValMinusOne}}
+	case fault.ErrNoAssign:
+		f.Corruptions = []fault.Corruption{{Kind: fault.CorruptFetch, Addr: a.StoreAddr, NewWord: vm.Encode(vm.Inst{Op: vm.OpNop})}}
+	case fault.ErrRandomValue:
+		f.Corruptions = []fault.Corruption{{Kind: fault.CorruptStoreData, Addr: a.StoreAddr, Op: fault.ValSet, Operand: randomValue}}
+	default:
+		return nil, fmt.Errorf("locator: %s is not an assignment error type", et)
+	}
+	return f, nil
+}
+
+// PlanChecking builds the checking-class fault list: nChosen random checking
+// locations, each expanded into every applicable checking error type.
+func PlanChecking(c *cc.Compiled, program string, nChosen int, seed int64) (*Plan, error) {
+	return PlanCheckingChosen(c, program, ChooseLocations(len(c.Debug.Checks), nChosen, seed), seed)
+}
+
+// PlanCheckingChosen is PlanChecking with an explicit set of location
+// indices (see PlanAssignmentChosen).
+func PlanCheckingChosen(c *cc.Compiled, program string, chosen []int, seed int64) (*Plan, error) {
+	locs := c.Debug.Checks
+	p := &Plan{
+		Program:  program,
+		Class:    fault.ClassChecking,
+		Possible: len(locs),
+		Chosen:   chosen,
+	}
+	for _, li := range p.Chosen {
+		if li < 0 || li >= len(locs) {
+			return nil, fmt.Errorf("locator: checking location %d out of range (%d possible)", li, len(locs))
+		}
+		ck := locs[li]
+		faults, err := CheckingFaults(c, ck)
+		if err != nil {
+			return nil, err
+		}
+		for i := range faults {
+			faults[i].Where.Program = program
+			faults[i].ID = fmt.Sprintf("%s/check/L%d/%s", program, li, faults[i].ErrType)
+		}
+		p.Faults = append(p.Faults, faults...)
+	}
+	return p, nil
+}
+
+// CheckingFaults expands one checking location into every applicable error
+// type of Table 3. The number of applicable types depends on the actual
+// instruction, as the paper notes.
+func CheckingFaults(c *cc.Compiled, ck cc.CheckInfo) ([]fault.Fault, error) {
+	where := fault.Location{Func: ck.Func, Line: ck.Line, Detail: ck.Op}
+	mk := func(et fault.ErrType, corr fault.Corruption) fault.Fault {
+		return fault.Fault{
+			Class:       fault.ClassChecking,
+			ErrType:     et,
+			Trigger:     fault.Trigger{Kind: fault.TriggerOnLocation},
+			Corruptions: []fault.Corruption{corr},
+			Where:       where,
+		}
+	}
+	var out []fault.Fault
+
+	origWord, err := c.Prog.ReadTextWord(ck.BcAddr)
+	if err != nil {
+		return nil, fmt.Errorf("locator: check at %#x: %w", ck.BcAddr, err)
+	}
+	origBc, err := vm.Decode(origWord)
+	if err != nil || origBc.Op != vm.OpBc {
+		return nil, fmt.Errorf("locator: check at %#x does not hold a bc (%v)", ck.BcAddr, err)
+	}
+
+	switch ck.Op {
+	case "&&", "||":
+		// and<->or: retarget X's branch with the alternate condition.
+		off := int64(ck.AltAddr) - int64(ck.BcAddr)
+		if off >= -32768 && off <= 32767 {
+			mut := origBc
+			mut.RD = uint8(ck.AltCond)
+			mut.Imm = int32(off)
+			et := fault.ErrAndOr
+			if ck.Op == "||" {
+				et = fault.ErrOrAnd
+			}
+			out = append(out, mk(et, fault.Corruption{
+				Kind: fault.CorruptFetch, Addr: ck.BcAddr, NewWord: vm.Encode(mut),
+			}))
+		}
+	default:
+		// Operator mutations (e.g. "<" -> "<=").
+		for et, mutOp := range fault.OperatorMutations(ck.Op) {
+			cond, ok := cc.CondFor(mutOp, ck.Negated)
+			if !ok {
+				continue
+			}
+			mut := origBc
+			mut.RD = uint8(cond)
+			out = append(out, mk(et, fault.Corruption{
+				Kind: fault.CorruptFetch, Addr: ck.BcAddr, NewWord: vm.Encode(mut),
+			}))
+		}
+		// Stuck-false ("true false") and stuck-true ("false true"): the
+		// source condition is forced constant by making the branch
+		// unconditional or removing it.
+		alwaysWord, neverWord := stuckWords(ck, origBc)
+		out = append(out, mk(fault.ErrTrueFalse, fault.Corruption{
+			Kind: fault.CorruptFetch, Addr: ck.BcAddr, NewWord: neverWord,
+		}))
+		out = append(out, mk(fault.ErrFalseTrue, fault.Corruption{
+			Kind: fault.CorruptFetch, Addr: ck.BcAddr, NewWord: alwaysWord,
+		}))
+		// Array-index offsets, only for checking over arrays.
+		if len(ck.ArrayLoads) > 0 {
+			al := ck.ArrayLoads[0]
+			out = append(out, mk(fault.ErrIdxPlus, fault.Corruption{
+				Kind: fault.CorruptLoadAddr, Addr: al.Addr, Offset: al.ElemSize,
+			}))
+			out = append(out, mk(fault.ErrIdxMinus, fault.Corruption{
+				Kind: fault.CorruptLoadAddr, Addr: al.Addr, Offset: -al.ElemSize,
+			}))
+		}
+	}
+	// Sort for determinism: map iteration above is unordered.
+	sort.Slice(out, func(i, j int) bool { return out[i].ErrType < out[j].ErrType })
+	return out, nil
+}
+
+// stuckWords returns the instruction words that force the source-level
+// condition always true and always false, respectively.
+func stuckWords(ck cc.CheckInfo, origBc vm.Inst) (alwaysTrue, alwaysFalse uint32) {
+	branchWord := func() uint32 {
+		off := int64(ck.TakenAddr) - int64(ck.BcAddr)
+		return vm.Encode(vm.Inst{Op: vm.OpB, Off26: int32(off)})
+	}
+	nopWord := vm.Encode(vm.Inst{Op: vm.OpNop})
+	if ck.Negated {
+		// The bc branches when the condition is FALSE: stuck-true removes
+		// the branch, stuck-false forces it.
+		return nopWord, branchWord()
+	}
+	// The bc branches when the condition is TRUE.
+	return branchWord(), nopWord
+}

@@ -1,0 +1,310 @@
+package locator_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/injector"
+	"repro/internal/locator"
+	"repro/internal/vm"
+)
+
+const probe = `
+int flags[8];
+int main() {
+    int i;
+    int count = 0;
+    for (i = 0; i < 8; i++) {
+        flags[i] = i % 3;
+    }
+    for (i = 0; i < 8; i++) {
+        if (flags[i] != 0 && i <= 6) {
+            count = count + 1;
+        }
+    }
+    print_int(count);
+    return 0;
+}`
+
+func compileProbe(t *testing.T) *cc.Compiled {
+	t.Helper()
+	c, err := cc.Compile(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChooseLocations(t *testing.T) {
+	all := locator.ChooseLocations(5, 10, 1)
+	if len(all) != 5 {
+		t.Errorf("n >= possible: got %d, want all 5", len(all))
+	}
+	some := locator.ChooseLocations(100, 7, 1)
+	if len(some) != 7 {
+		t.Fatalf("got %d locations, want 7", len(some))
+	}
+	seen := map[int]bool{}
+	last := -1
+	for _, i := range some {
+		if i < 0 || i >= 100 {
+			t.Errorf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Errorf("duplicate index %d", i)
+		}
+		if i < last {
+			t.Error("indices not sorted")
+		}
+		seen[i] = true
+		last = i
+	}
+	again := locator.ChooseLocations(100, 7, 1)
+	for i := range some {
+		if some[i] != again[i] {
+			t.Fatal("ChooseLocations not deterministic")
+		}
+	}
+	other := locator.ChooseLocations(100, 7, 2)
+	same := true
+	for i := range some {
+		if some[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical choices")
+	}
+}
+
+func TestPlanAssignment(t *testing.T) {
+	c := compileProbe(t)
+	plan, err := locator.PlanAssignment(c, "probe", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Possible != len(c.Debug.Assigns) {
+		t.Errorf("possible = %d, want %d", plan.Possible, len(c.Debug.Assigns))
+	}
+	if len(plan.Chosen) != 2 {
+		t.Errorf("chosen = %d, want 2", len(plan.Chosen))
+	}
+	if len(plan.Faults) != 8 {
+		t.Errorf("faults = %d, want 2 locations × 4 error types", len(plan.Faults))
+	}
+	for _, f := range plan.Faults {
+		if err := f.Validate(); err != nil {
+			t.Errorf("fault %s invalid: %v", f.ID, err)
+		}
+		if f.Class != fault.ClassAssignment {
+			t.Errorf("fault %s class %v", f.ID, f.Class)
+		}
+		if !strings.HasPrefix(f.ID, "probe/assign/") {
+			t.Errorf("fault ID %q", f.ID)
+		}
+		if len(f.TriggerAddrs()) != 1 {
+			t.Errorf("fault %s needs %d triggers, want 1", f.ID, len(f.TriggerAddrs()))
+		}
+	}
+}
+
+func TestPlanChecking(t *testing.T) {
+	c := compileProbe(t)
+	plan, err := locator.PlanChecking(c, "probe", len(c.Debug.Checks), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Possible != len(c.Debug.Checks) {
+		t.Errorf("possible = %d, want %d", plan.Possible, len(c.Debug.Checks))
+	}
+	types := map[fault.ErrType]bool{}
+	for _, f := range plan.Faults {
+		if err := f.Validate(); err != nil {
+			t.Errorf("fault %s invalid: %v", f.ID, err)
+		}
+		types[f.ErrType] = true
+	}
+	// The probe has <, !=, <=, && checks and an array operand, so a broad
+	// spread of Table 3 types must be generated.
+	for _, want := range []fault.ErrType{
+		fault.ErrLtLe, fault.ErrNeEq, fault.ErrLeLt,
+		fault.ErrAndOr, fault.ErrTrueFalse, fault.ErrFalseTrue,
+		fault.ErrIdxPlus, fault.ErrIdxMinus,
+	} {
+		if !types[want] {
+			t.Errorf("missing checking error type %q (got %v)", want, types)
+		}
+	}
+}
+
+// TestAndOrMutationRuns drives the and->or corruption end to end:
+// "flags[i] != 0 && i <= 6" admits i in {1,2,4,5} (count 4); mutated to
+// "flags[i] != 0 || i <= 6" it admits every i (count 8).
+func TestAndOrMutationRuns(t *testing.T) {
+	c := compileProbe(t)
+	var andFault *fault.Fault
+	for i := range c.Debug.Checks {
+		ck := c.Debug.Checks[i]
+		if ck.Op != "&&" {
+			continue
+		}
+		fs, err := locator.CheckingFaults(c, ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range fs {
+			if fs[j].ErrType == fault.ErrAndOr {
+				andFault = &fs[j]
+			}
+		}
+	}
+	if andFault == nil {
+		t.Fatal("no and->or fault generated")
+	}
+
+	clean := runProbe(t, c, nil)
+	if clean != "4\n" {
+		t.Fatalf("clean output %q, want \"4\\n\"", clean)
+	}
+	mutated := runProbe(t, c, andFault)
+	if mutated != "8\n" {
+		t.Errorf("and->or output %q, want \"8\\n\" (condition degenerates to always-true)", mutated)
+	}
+}
+
+func runProbe(t *testing.T, c *cc.Compiled, f *fault.Fault) string {
+	t.Helper()
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		if _, err := injector.Arm(m, injector.ModeHardware, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != vm.StateHalted {
+		t.Fatalf("state %v", m.State())
+	}
+	return string(m.Output())
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	c := compileProbe(t)
+	a, err := locator.PlanChecking(c, "p", 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := locator.PlanChecking(c, "p", 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatal("plans differ in size")
+	}
+	for i := range a.Faults {
+		if a.Faults[i].ID != b.Faults[i].ID {
+			t.Fatalf("fault %d: %s vs %s", i, a.Faults[i].ID, b.Faults[i].ID)
+		}
+	}
+}
+
+func TestAssignmentFaultRejectsCheckingType(t *testing.T) {
+	c := compileProbe(t)
+	if len(c.Debug.Assigns) == 0 {
+		t.Fatal("no assigns")
+	}
+	_, err := locator.AssignmentFault(c.Debug.Assigns[0], fault.ErrLtLe, fault.Location{}, 0)
+	if err == nil {
+		t.Error("AssignmentFault accepted a checking error type")
+	}
+}
+
+func TestPlanHardware(t *testing.T) {
+	c := compileProbe(t)
+	plan, err := locator.PlanHardware(c, "probe", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != fault.ClassHardware {
+		t.Errorf("class = %v", plan.Class)
+	}
+	if plan.Possible != len(c.Prog.Image.Text) {
+		t.Errorf("possible = %d, want every instruction (%d)", plan.Possible, len(c.Prog.Image.Text))
+	}
+	if len(plan.Faults) != 10 {
+		t.Fatalf("faults = %d, want 10", len(plan.Faults))
+	}
+	regs, buses := 0, 0
+	for i := range plan.Faults {
+		f := &plan.Faults[i]
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", f.ID, err)
+		}
+		switch f.Corruptions[0].Kind {
+		case fault.CorruptRegister:
+			regs++
+			if !f.Trigger.Once {
+				t.Errorf("%s: register transients must fire once", f.ID)
+			}
+			if f.Corruptions[0].Reg == 0 {
+				t.Errorf("%s: r0 is hardwired zero, flipping it is a no-op", f.ID)
+			}
+		case fault.CorruptFetch:
+			buses++
+		default:
+			t.Errorf("%s: unexpected corruption %v", f.ID, f.Corruptions[0].Kind)
+		}
+	}
+	if regs != 5 || buses != 5 {
+		t.Errorf("got %d register and %d bus faults, want 5/5", regs, buses)
+	}
+	// Determinism.
+	again, err := locator.PlanHardware(c, "probe", 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Faults {
+		if plan.Faults[i].ID != again.Faults[i].ID ||
+			plan.Faults[i].Corruptions[0] != again.Faults[i].Corruptions[0] {
+			t.Fatal("hardware plan not deterministic")
+		}
+	}
+}
+
+// TestHardwareFaultsRun injects a handful of hardware faults end to end;
+// bit flips in a running program must never wedge the harness itself.
+func TestHardwareFaultsRun(t *testing.T) {
+	c := compileProbe(t)
+	plan, err := locator.PlanHardware(c, "probe", 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[vm.State]int{}
+	for i := range plan.Faults {
+		m := vm.New(vm.Config{MaxCycles: 100000})
+		if err := m.Load(c.Prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := injector.Arm(m, injector.ModeHardware, &plan.Faults[i]); err != nil {
+			t.Fatalf("%s: %v", plan.Faults[i].ID, err)
+		}
+		state, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[state]++
+	}
+	total := 0
+	for _, n := range states {
+		total += n
+	}
+	if total != 12 {
+		t.Errorf("ran %d faults, want 12 (%v)", total, states)
+	}
+}

@@ -1,0 +1,105 @@
+package locator
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+	"repro/internal/vm"
+)
+
+// StackShiftFault builds the Figure 4 emulation: given the corrected and
+// faulty compilations of a program whose real fault changes the stack
+// layout of one function (the paper's char[80] vs char[81] declarations),
+// it computes the displacement map between the two frames and produces a
+// fault that rewrites, on the instruction-fetch bus, every SP-relative
+// instruction of that function whose displacement moved.
+//
+// The resulting fault usually needs far more trigger addresses than the
+// processor has breakpoint registers, which is exactly the §5 finding: such
+// faults are "emulable with new tool support" (trap-mode triggers), not
+// with plain hardware breakpoints.
+func StackShiftFault(correct, faulty *cc.Compiled, fnName string) (*fault.Fault, error) {
+	fc := correct.Debug.FuncByName(fnName)
+	ff := faulty.Debug.FuncByName(fnName)
+	if fc == nil || ff == nil {
+		return nil, fmt.Errorf("locator: function %q missing from debug info", fnName)
+	}
+	if len(fc.Locals) != len(ff.Locals) {
+		return nil, fmt.Errorf("locator: %s has %d locals in the corrected build but %d in the faulty one",
+			fnName, len(fc.Locals), len(ff.Locals))
+	}
+
+	// Displacement map: corrected offset -> faulty offset, for every local
+	// that moved, plus the frame-size-dependent displacements (LR slot and
+	// the prologue/epilogue SP adjustments).
+	shift := make(map[int32]int32)
+	for i, lc := range fc.Locals {
+		lf := ff.Locals[i]
+		if lc.Name != lf.Name {
+			return nil, fmt.Errorf("locator: %s local %d is %q in the corrected build but %q in the faulty one",
+				fnName, i, lc.Name, lf.Name)
+		}
+		if lc.Offset != lf.Offset {
+			shift[lc.Offset] = lf.Offset
+		}
+	}
+	if fc.FrameSize != ff.FrameSize {
+		shift[fc.FrameSize-4] = ff.FrameSize - 4 // saved-LR slot
+		shift[-fc.FrameSize] = -ff.FrameSize     // prologue addi r1,r1,-frame
+		shift[fc.FrameSize] = ff.FrameSize       // epilogue addi r1,r1,+frame
+	}
+	if len(shift) == 0 {
+		return nil, fmt.Errorf("locator: %s has identical layouts; nothing to shift", fnName)
+	}
+
+	f := &fault.Fault{
+		ID:      fmt.Sprintf("stack-shift/%s", fnName),
+		Class:   fault.ClassAssignment,
+		ErrType: "stack shift",
+		Trigger: fault.Trigger{Kind: fault.TriggerOnLocation},
+		Where:   fault.Location{Func: fnName, Detail: "stack layout"},
+	}
+	for addr := fc.Entry; addr < fc.End; addr += vm.WordSize {
+		w, err := correct.Prog.ReadTextWord(addr)
+		if err != nil {
+			return nil, err
+		}
+		in, err := vm.Decode(w)
+		if err != nil {
+			continue // data or already-corrupt words are not SP references
+		}
+		if !spRelative(in) {
+			continue
+		}
+		newOff, moved := shift[in.Imm]
+		if !moved {
+			continue
+		}
+		mut := in
+		mut.Imm = newOff
+		f.Corruptions = append(f.Corruptions, fault.Corruption{
+			Kind:    fault.CorruptFetch,
+			Addr:    addr,
+			NewWord: vm.Encode(mut),
+		})
+	}
+	if len(f.Corruptions) == 0 {
+		return nil, fmt.Errorf("locator: no SP-relative references to shift in %s", fnName)
+	}
+	return f, nil
+}
+
+// spRelative reports whether the instruction addresses the stack through a
+// displacement that a frame-layout change would move.
+func spRelative(in vm.Inst) bool {
+	switch in.Op {
+	case vm.OpLwz, vm.OpStw, vm.OpLbz, vm.OpStb:
+		return in.RA == vm.RegSP
+	case vm.OpAddi:
+		// addi rD, r1, off materialises the address of a stack object,
+		// including the prologue/epilogue SP adjustments (rD == r1).
+		return in.RA == vm.RegSP
+	}
+	return false
+}

@@ -1,0 +1,308 @@
+// Package metrics computes software-complexity metrics over mini-C
+// programs and uses them to guide fault injection, implementing the §6.1
+// proposal: when field data about real faults is unavailable, fault
+// probability correlates with module complexity, so complexity metrics can
+// "choose the modules to inject faults or decide on the number of faults to
+// inject in each module".
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cc"
+)
+
+// FuncMetrics are the per-function complexity measures.
+type FuncMetrics struct {
+	Name       string
+	Statements int
+	Cyclomatic int // 1 + decision points (if, loops, ternary, && and ||)
+	MaxNesting int
+	Calls      int // call sites (fan-out, with repetition)
+
+	// Halstead counts.
+	Operators       int // N1
+	Operands        int // N2
+	UniqueOperators int // n1
+	UniqueOperands  int // n2
+}
+
+// HalsteadVolume returns N log2 n, the classic program-volume measure.
+func (m FuncMetrics) HalsteadVolume() float64 {
+	n := m.UniqueOperators + m.UniqueOperands
+	bigN := m.Operators + m.Operands
+	if n == 0 {
+		return 0
+	}
+	return float64(bigN) * math.Log2(float64(n))
+}
+
+// Score is the fault-proneness score used to weight injection: a blend of
+// cyclomatic complexity and Halstead volume, both of which the studies the
+// paper cites correlate with fault density.
+func (m FuncMetrics) Score() float64 {
+	return float64(m.Cyclomatic) + m.HalsteadVolume()/100
+}
+
+// Report aggregates a program's metrics.
+type Report struct {
+	Program string
+	Funcs   []FuncMetrics
+}
+
+// FuncByName returns the named function's metrics.
+func (r *Report) FuncByName(name string) (FuncMetrics, bool) {
+	for _, f := range r.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncMetrics{}, false
+}
+
+// TotalCyclomatic sums cyclomatic complexity across functions.
+func (r *Report) TotalCyclomatic() int {
+	total := 0
+	for _, f := range r.Funcs {
+		total += f.Cyclomatic
+	}
+	return total
+}
+
+// Analyze computes metrics for every function of a checked AST.
+func Analyze(program string, file *cc.File) *Report {
+	r := &Report{Program: program}
+	for _, fn := range file.Funcs {
+		a := analyzer{ops: map[string]int{}, opnds: map[string]int{}}
+		a.stmt(fn.Body, 0)
+		r.Funcs = append(r.Funcs, FuncMetrics{
+			Name:            fn.Name,
+			Statements:      a.statements,
+			Cyclomatic:      1 + a.decisions,
+			MaxNesting:      a.maxNesting,
+			Calls:           a.calls,
+			Operators:       a.operators,
+			Operands:        a.operands,
+			UniqueOperators: len(a.ops),
+			UniqueOperands:  len(a.opnds),
+		})
+	}
+	sort.Slice(r.Funcs, func(i, j int) bool { return r.Funcs[i].Name < r.Funcs[j].Name })
+	return r
+}
+
+// AnalyzeSource parses, checks and analyzes a source string.
+func AnalyzeSource(program, src string) (*Report, error) {
+	f, err := cc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.Check(f); err != nil {
+		return nil, err
+	}
+	return Analyze(program, f), nil
+}
+
+// analyzer walks one function body.
+type analyzer struct {
+	statements int
+	decisions  int
+	maxNesting int
+	calls      int
+	operators  int
+	operands   int
+	ops        map[string]int
+	opnds      map[string]int
+}
+
+func (a *analyzer) op(name string) {
+	a.operators++
+	a.ops[name]++
+}
+
+func (a *analyzer) operand(name string) {
+	a.operands++
+	a.opnds[name]++
+}
+
+func (a *analyzer) nest(depth int) {
+	if depth > a.maxNesting {
+		a.maxNesting = depth
+	}
+}
+
+func (a *analyzer) stmt(s cc.Stmt, depth int) {
+	if s == nil {
+		return
+	}
+	switch st := s.(type) {
+	case *cc.Block:
+		for _, sub := range st.Stmts {
+			a.stmt(sub, depth)
+		}
+	case *cc.If:
+		a.statements++
+		a.decisions++
+		a.op("if")
+		a.nest(depth + 1)
+		a.expr(st.Cond)
+		a.stmt(st.Then, depth+1)
+		if st.Else != nil {
+			a.op("else")
+			a.stmt(st.Else, depth+1)
+		}
+	case *cc.While:
+		a.statements++
+		a.decisions++
+		a.op("while")
+		a.nest(depth + 1)
+		a.expr(st.Cond)
+		a.stmt(st.Body, depth+1)
+	case *cc.For:
+		a.statements++
+		a.decisions++
+		a.op("for")
+		a.nest(depth + 1)
+		a.stmt(st.Init, depth)
+		if st.Cond != nil {
+			a.expr(st.Cond)
+		}
+		a.stmt(st.Post, depth)
+		a.stmt(st.Body, depth+1)
+	case *cc.Return:
+		a.statements++
+		a.op("return")
+		if st.E != nil {
+			a.expr(st.E)
+		}
+	case *cc.Break:
+		a.statements++
+		a.op("break")
+	case *cc.Continue:
+		a.statements++
+		a.op("continue")
+	case *cc.ExprStmt:
+		a.statements++
+		a.expr(st.E)
+	case *cc.DeclStmt:
+		a.statements++
+		a.operand(st.Decl.Name)
+		if st.Decl.Init != nil {
+			a.op("=")
+			a.expr(st.Decl.Init)
+		}
+	}
+}
+
+func (a *analyzer) expr(e cc.Expr) {
+	switch ex := e.(type) {
+	case *cc.IntLit:
+		a.operand(fmt.Sprintf("#%d", ex.Val))
+	case *cc.StrLit:
+		a.operand("#str")
+	case *cc.Ident:
+		a.operand(ex.Name)
+	case *cc.Unary:
+		a.op("u" + ex.Op)
+		a.expr(ex.X)
+	case *cc.Binary:
+		a.op(ex.Op)
+		if ex.Op == "&&" || ex.Op == "||" {
+			a.decisions++
+		}
+		a.expr(ex.X)
+		a.expr(ex.Y)
+	case *cc.Assign:
+		a.op("=")
+		a.expr(ex.LHS)
+		a.expr(ex.RHS)
+	case *cc.CondExpr:
+		a.op("?:")
+		a.decisions++
+		a.expr(ex.C)
+		a.expr(ex.T)
+		a.expr(ex.F)
+	case *cc.Call:
+		a.calls++
+		a.op("call")
+		a.operand(ex.Name)
+		for _, arg := range ex.Args {
+			a.expr(arg)
+		}
+	case *cc.Index:
+		a.op("[]")
+		a.expr(ex.X)
+		a.expr(ex.Idx)
+	}
+}
+
+// ChooseWeighted draws n distinct indices from [0, len(weights)) with
+// probability proportional to weight, deterministically from the seed. A
+// non-positive weight counts as a tiny epsilon so every location stays
+// reachable. It implements §6.1's metric-guided location selection: build
+// the weight of each candidate fault location from its function's Score.
+func ChooseWeighted(weights []float64, n int, seed int64) []int {
+	if n >= len(weights) {
+		out := make([]int, len(weights))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const eps = 1e-9
+	// Weighted sampling without replacement via exponential keys
+	// (Efraimidis-Spirakis): smallest -ln(u)/w win.
+	type keyed struct {
+		idx int
+		key float64
+	}
+	keys := make([]keyed, len(weights))
+	for i, w := range weights {
+		if w <= 0 {
+			w = eps
+		}
+		keys[i] = keyed{idx: i, key: -math.Log(1-rng.Float64()) / w}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = keys[i].idx
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LocationWeights builds per-location weights for a compiled program's
+// assignment or checking locations from the complexity report: each
+// location inherits its enclosing function's score.
+func LocationWeights(rep *Report, funcs []string) []float64 {
+	out := make([]float64, len(funcs))
+	for i, fn := range funcs {
+		if m, ok := rep.FuncByName(fn); ok {
+			out[i] = m.Score()
+		}
+	}
+	return out
+}
+
+// AssignFuncs extracts the enclosing function of every assignment location.
+func AssignFuncs(c *cc.Compiled) []string {
+	out := make([]string, len(c.Debug.Assigns))
+	for i, a := range c.Debug.Assigns {
+		out[i] = a.Func
+	}
+	return out
+}
+
+// CheckFuncs extracts the enclosing function of every checking location.
+func CheckFuncs(c *cc.Compiled) []string {
+	out := make([]string, len(c.Debug.Checks))
+	for i, ck := range c.Debug.Checks {
+		out[i] = ck.Func
+	}
+	return out
+}

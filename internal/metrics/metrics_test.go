@@ -1,0 +1,180 @@
+package metrics_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+	"repro/internal/programs"
+)
+
+const metricsProbe = `
+int flat(int a) {
+    return a + 1;
+}
+int busy(int a, int b) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < a; i++) {
+        if (i % 2 == 0 && i < b) {
+            acc = acc + (i > 3 ? i : -i);
+        } else {
+            while (acc > 100) {
+                acc = acc - 7;
+            }
+        }
+    }
+    return acc;
+}
+int main() {
+    print_int(busy(10, flat(4)));
+    return 0;
+}`
+
+func analyze(t *testing.T) *metrics.Report {
+	t.Helper()
+	rep, err := metrics.AnalyzeSource("probe", metricsProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestAnalyzeShape(t *testing.T) {
+	rep := analyze(t)
+	if len(rep.Funcs) != 3 {
+		t.Fatalf("got %d functions, want 3", len(rep.Funcs))
+	}
+	flat, ok := rep.FuncByName("flat")
+	if !ok {
+		t.Fatal("flat missing")
+	}
+	busy, ok := rep.FuncByName("busy")
+	if !ok {
+		t.Fatal("busy missing")
+	}
+	if flat.Cyclomatic != 1 {
+		t.Errorf("flat cyclomatic = %d, want 1", flat.Cyclomatic)
+	}
+	// busy: for + if + && + ternary + while = 5 decisions.
+	if busy.Cyclomatic != 6 {
+		t.Errorf("busy cyclomatic = %d, want 6", busy.Cyclomatic)
+	}
+	if busy.MaxNesting < 3 {
+		t.Errorf("busy nesting = %d, want >= 3", busy.MaxNesting)
+	}
+	if busy.Score() <= flat.Score() {
+		t.Errorf("busy score %.2f should exceed flat score %.2f", busy.Score(), flat.Score())
+	}
+	if busy.HalsteadVolume() <= 0 {
+		t.Error("busy has zero Halstead volume")
+	}
+	if rep.TotalCyclomatic() != flat.Cyclomatic+busy.Cyclomatic+rep.Funcs[2].Cyclomatic {
+		t.Error("TotalCyclomatic mismatch")
+	}
+	main, _ := rep.FuncByName("main")
+	if main.Calls != 3 { // print_int, busy, flat
+		t.Errorf("main calls = %d, want 3", main.Calls)
+	}
+	if _, ok := rep.FuncByName("nosuch"); ok {
+		t.Error("FuncByName(nosuch) succeeded")
+	}
+}
+
+func TestAnalyzeSourceErrors(t *testing.T) {
+	if _, err := metrics.AnalyzeSource("bad", "int main( {"); err == nil {
+		t.Error("parse error not reported")
+	}
+	if _, err := metrics.AnalyzeSource("bad", "int main() { return x; }"); err == nil {
+		t.Error("check error not reported")
+	}
+}
+
+func TestChooseWeighted(t *testing.T) {
+	w := []float64{1, 1, 1, 100, 1}
+	// Over many seeds, index 3 must be chosen far more often than others.
+	hits := make([]int, len(w))
+	for seed := int64(0); seed < 200; seed++ {
+		for _, i := range metrics.ChooseWeighted(w, 2, seed) {
+			hits[i]++
+		}
+	}
+	if hits[3] < 190 {
+		t.Errorf("heavy index chosen %d/200 times; weighting ineffective", hits[3])
+	}
+	// Determinism and set semantics.
+	a := metrics.ChooseWeighted(w, 3, 42)
+	b := metrics.ChooseWeighted(w, 3, 42)
+	if len(a) != 3 {
+		t.Fatalf("got %d indices", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if got := metrics.ChooseWeighted(w, 99, 1); len(got) != len(w) {
+		t.Errorf("n >= len: got %d", len(got))
+	}
+}
+
+// TestChooseWeightedProperty: results are always distinct, sorted, in range.
+func TestChooseWeightedProperty(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			w[i] = float64(v)
+		}
+		n := len(w) / 2
+		got := metrics.ChooseWeighted(w, n, seed)
+		if len(got) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		last := -1
+		for _, i := range got {
+			if i < 0 || i >= len(w) || seen[i] || i < last {
+				return false
+			}
+			seen[i] = true
+			last = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocationWeightsOnRealProgram(t *testing.T) {
+	p, _ := programs.ByName("C.team1")
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(p.Name, c.AST)
+	funcs := metrics.AssignFuncs(c)
+	if len(funcs) != len(c.Debug.Assigns) {
+		t.Fatal("AssignFuncs length mismatch")
+	}
+	w := metrics.LocationWeights(rep, funcs)
+	for i, wt := range w {
+		if wt <= 0 {
+			t.Errorf("location %d (func %s) has weight %f", i, funcs[i], wt)
+		}
+	}
+	cfuncs := metrics.CheckFuncs(c)
+	if len(cfuncs) != len(c.Debug.Checks) {
+		t.Fatal("CheckFuncs length mismatch")
+	}
+	// main is the most complex function of C.team1; its locations must
+	// carry the highest weight.
+	mainM, _ := rep.FuncByName("main")
+	movesM, _ := rep.FuncByName("init_moves")
+	if mainM.Score() <= movesM.Score() {
+		t.Errorf("main score %.1f should exceed init_moves score %.1f", mainM.Score(), movesM.Score())
+	}
+}

@@ -1,0 +1,88 @@
+// Package mutation generates source-level mutants of target programs — the
+// classic mutation-testing technique the paper discusses as related work
+// (§2, refs [18] Mothra and [19] Daran & Thévenod-Fosse).
+//
+// Its purpose in this reproduction is to close the loop on the paper's
+// central abstraction gap (their Figure 1): a Table 3 error type can be
+// realised *either* as a source-code change (a mutant, compiled with the
+// bug in it) *or* as a machine-level injection into the correct binary. If
+// the injector emulates software faults accurately, the two must behave
+// identically on every input. The Study functions run exactly that
+// comparison.
+package mutation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/fault"
+)
+
+// Mutant is one source-level mutation of a program.
+type Mutant struct {
+	ErrType fault.ErrType
+	Line    int
+	Col     int
+	// From and To describe the textual change.
+	From, To string
+	Source   string // the mutated translation unit
+}
+
+// replaceAt replaces the first occurrence of from at exactly (line, col) —
+// both 1-based — returning an error if the text there does not match.
+func replaceAt(src string, line, col int, from, to string) (string, error) {
+	lines := strings.Split(src, "\n")
+	if line < 1 || line > len(lines) {
+		return "", fmt.Errorf("mutation: line %d out of range", line)
+	}
+	l := lines[line-1]
+	if col < 1 || col-1+len(from) > len(l) {
+		return "", fmt.Errorf("mutation: column %d out of range on line %d", col, line)
+	}
+	if l[col-1:col-1+len(from)] != from {
+		return "", fmt.Errorf("mutation: expected %q at %d:%d, found %q", from, line, col, l[col-1:])
+	}
+	lines[line-1] = l[:col-1] + to + l[col-1+len(from):]
+	return strings.Join(lines, "\n"), nil
+}
+
+// OperatorMutants builds the source mutants for one checking location: the
+// operator swaps of Table 3 applied directly in the source text. The
+// compiler records the operator token's exact position in CheckInfo, so the
+// rewrite is precise.
+func OperatorMutants(src string, ck cc.CheckInfo) ([]Mutant, error) {
+	muts := fault.OperatorMutations(ck.Op)
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	var out []Mutant
+	for et, to := range muts {
+		mutated, err := replaceAt(src, ck.Line, ck.Col, ck.Op, to)
+		if err != nil {
+			return nil, fmt.Errorf("mutation: %s at %d:%d: %w", et, ck.Line, ck.Col, err)
+		}
+		out = append(out, Mutant{
+			ErrType: et, Line: ck.Line, Col: ck.Col,
+			From: ck.Op, To: to, Source: mutated,
+		})
+	}
+	// Deterministic order for reproducible studies.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].ErrType < out[i].ErrType {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Compile compiles a mutant.
+func (m *Mutant) Compile() (*cc.Compiled, error) {
+	c, err := cc.Compile(m.Source)
+	if err != nil {
+		return nil, fmt.Errorf("mutation: mutant %s at %d:%d does not compile: %w", m.ErrType, m.Line, m.Col, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,152 @@
+// Package odc models the Orthogonal Defect Classification schema
+// (Chillarege et al.) as used by the paper: defect types directly related to
+// code, system-test trigger classes, and the field-data distribution from
+// Christmansson & Chillarege [5] that the paper's 44% claim rests on.
+package odc
+
+import "fmt"
+
+// DefectType is an ODC defect (fault) type. A defect is characterised by
+// the change in the code necessary to correct it.
+type DefectType int
+
+// The ODC defect types directly related to code (paper §3).
+const (
+	Assignment DefectType = iota + 1 // values assigned incorrectly or not assigned
+	Checking                         // missing/incorrect validation, loop or conditional
+	Interface                        // errors in interaction among components/modules
+	Timing                           // missing or incorrect serialisation of shared resources
+	Algorithm                        // incorrect/missing implementation fixable without design change
+	Function                         // incorrect/missing capability requiring a design change
+)
+
+var defectNames = map[DefectType]string{
+	Assignment: "assignment",
+	Checking:   "checking",
+	Interface:  "interface",
+	Timing:     "timing/serialization",
+	Algorithm:  "algorithm",
+	Function:   "function",
+}
+
+// String returns the lowercase ODC name of the defect type.
+func (d DefectType) String() string {
+	if s, ok := defectNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("defect(%d)", int(d))
+}
+
+// Types lists every defect type in canonical order.
+func Types() []DefectType {
+	return []DefectType{Assignment, Checking, Interface, Timing, Algorithm, Function}
+}
+
+// Trigger is an ODC system-test trigger class: the broad environmental
+// condition under which a fault is exposed in the field.
+type Trigger int
+
+// System-test trigger classes (paper §3). All experiments in the paper (and
+// in this reproduction) run under TriggerNormalMode.
+const (
+	TriggerStartup Trigger = iota + 1
+	TriggerWorkloadStress
+	TriggerRecovery
+	TriggerConfiguration
+	TriggerNormalMode
+)
+
+var triggerNames = map[Trigger]string{
+	TriggerStartup:        "startup/restart",
+	TriggerWorkloadStress: "workload volume/stress",
+	TriggerRecovery:       "recovery/exception",
+	TriggerConfiguration:  "hardware/software configuration",
+	TriggerNormalMode:     "normal mode",
+}
+
+// String returns the ODC trigger-class name.
+func (t Trigger) String() string {
+	if s, ok := triggerNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("trigger(%d)", int(t))
+}
+
+// FieldShare is the share of field defects of one ODC type.
+type FieldShare struct {
+	Type  DefectType
+	Share float64 // percentage of all field defects
+}
+
+// FieldDistribution returns the defect-type distribution of discovered field
+// faults reported by Christmansson & Chillarege (FTCS-26, 1996), which the
+// paper uses to size the emulation gap: algorithm plus function faults —
+// the classes machine-level SWIFI cannot emulate — account for nearly 44%.
+func FieldDistribution() []FieldShare {
+	return []FieldShare{
+		{Assignment, 21.98},
+		{Checking, 17.48},
+		{Interface, 8.17},
+		{Timing, 4.46},
+		{Algorithm, 40.12},
+		{Function, 3.79},
+		// The remaining ~4% of the original data set are build/package and
+		// documentation defects, which have no code-level representation
+		// and are omitted here.
+	}
+}
+
+// EmulationVerdict classifies how well machine-level SWIFI can emulate a
+// defect type (the paper's §5 conclusion, categories A/B/C).
+type EmulationVerdict int
+
+// Emulation verdicts.
+const (
+	Emulable            EmulationVerdict = iota + 1 // A: accurately emulable today
+	EmulableWithSupport                             // B: emulable with new triggers/models/tools
+	NotEmulable                                     // C: beyond machine-level SWIFI
+)
+
+var verdictNames = map[EmulationVerdict]string{
+	Emulable:            "emulable",
+	EmulableWithSupport: "emulable with new tool support",
+	NotEmulable:         "not emulable by SWIFI",
+}
+
+// String returns a human-readable verdict.
+func (v EmulationVerdict) String() string {
+	if s, ok := verdictNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// VerdictFor returns the paper's emulation verdict for a defect type.
+func VerdictFor(d DefectType) EmulationVerdict {
+	switch d {
+	case Assignment, Checking:
+		return Emulable
+	case Interface:
+		// "Interface faults are somehow similar to assignment faults ...
+		// and some of them can be emulated."
+		return EmulableWithSupport
+	case Timing:
+		// "heavily dependent on the specific fault."
+		return EmulableWithSupport
+	case Algorithm, Function:
+		return NotEmulable
+	}
+	return NotEmulable
+}
+
+// NotEmulableShare returns the percentage of field faults whose type the
+// paper concludes cannot be emulated (algorithm + function ≈ 44%).
+func NotEmulableShare() float64 {
+	var total float64
+	for _, fs := range FieldDistribution() {
+		if VerdictFor(fs.Type) == NotEmulable {
+			total += fs.Share
+		}
+	}
+	return total
+}

@@ -1,0 +1,85 @@
+package odc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefectTypeNames(t *testing.T) {
+	for _, d := range Types() {
+		if strings.HasPrefix(d.String(), "defect(") {
+			t.Errorf("type %d has no name", d)
+		}
+	}
+	if got := Assignment.String(); got != "assignment" {
+		t.Errorf("Assignment.String() = %q", got)
+	}
+	if got := DefectType(99).String(); got != "defect(99)" {
+		t.Errorf("unknown type = %q", got)
+	}
+}
+
+func TestTriggerNames(t *testing.T) {
+	for tr := TriggerStartup; tr <= TriggerNormalMode; tr++ {
+		if strings.HasPrefix(tr.String(), "trigger(") {
+			t.Errorf("trigger %d has no name", tr)
+		}
+	}
+}
+
+func TestFieldDistributionShares(t *testing.T) {
+	dist := FieldDistribution()
+	if len(dist) != 6 {
+		t.Fatalf("distribution has %d entries, want 6", len(dist))
+	}
+	var sum float64
+	seen := make(map[DefectType]bool)
+	for _, fs := range dist {
+		if fs.Share <= 0 || fs.Share > 100 {
+			t.Errorf("%v share %.2f out of range", fs.Type, fs.Share)
+		}
+		if seen[fs.Type] {
+			t.Errorf("%v appears twice", fs.Type)
+		}
+		seen[fs.Type] = true
+		sum += fs.Share
+	}
+	if sum < 90 || sum > 100 {
+		t.Errorf("shares sum to %.2f, want 90..100 (code-related defects only)", sum)
+	}
+}
+
+// TestNotEmulableShare checks the paper's headline number: algorithm and
+// function faults, which SWIFI cannot emulate, are "nearly 44%" of field
+// faults.
+func TestNotEmulableShare(t *testing.T) {
+	got := NotEmulableShare()
+	if math.Abs(got-44.0) > 1.0 {
+		t.Errorf("not-emulable share = %.2f%%, want about 44%%", got)
+	}
+}
+
+func TestVerdicts(t *testing.T) {
+	tests := []struct {
+		d    DefectType
+		want EmulationVerdict
+	}{
+		{Assignment, Emulable},
+		{Checking, Emulable},
+		{Interface, EmulableWithSupport},
+		{Timing, EmulableWithSupport},
+		{Algorithm, NotEmulable},
+		{Function, NotEmulable},
+	}
+	for _, tt := range tests {
+		if got := VerdictFor(tt.d); got != tt.want {
+			t.Errorf("VerdictFor(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+	for v := Emulable; v <= NotEmulable; v++ {
+		if strings.HasPrefix(v.String(), "verdict(") {
+			t.Errorf("verdict %d has no name", v)
+		}
+	}
+}

@@ -1,0 +1,1392 @@
+package programs
+
+// The Camelot implementations. Each variant is an independent design for
+// the same specification (see oracle.go), mirroring the paper's use of
+// several contest submissions: team1 and team10 are recursive, team2 and
+// team8 are iterative with different algorithms, team9 leans on dynamic
+// (heap-allocated, pointer-linked) structures. Teams 1..5 carry the real
+// faults analysed in §5; the corrected and faulty sources differ exactly by
+// the corrective diff recorded in their registry entries.
+
+// camelotTeam1 uses recursive depth-first relaxation for knight distances.
+// Real fault (checking, paper Figure 5 analogue): the depth bound uses
+// "nd >= 6" instead of "nd > 6", so squares at knight distance 6 are never
+// reached and get the unreachable marker; the program fails only when a
+// 6-move pair matters, which is rare.
+const camelotTeam1Correct = `
+/* C.team1 - Camelot solver: recursive depth-first relaxation. */
+int mdx[8];
+int mdy[8];
+int best[64];
+int kd[64][64];
+int kn[64];
+int kw[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void explore(int x, int y, int d) {
+    int k; int nx; int ny; int nd;
+    best[x * 8 + y] = d;
+    nd = d + 1;
+    if (nd > 6) {
+        return;
+    }
+    for (k = 0; k < 8; k++) {
+        nx = x + mdx[k];
+        ny = y + mdy[k];
+        if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+            if (best[nx * 8 + ny] == -1 || nd < best[nx * 8 + ny]) {
+                explore(nx, ny, nd);
+            }
+        }
+    }
+}
+
+void all_distances() {
+    int s; int t;
+    for (s = 0; s < 64; s++) {
+        for (t = 0; t < 64; t++) {
+            best[t] = -1;
+        }
+        explore(s / 8, s % 8, 0);
+        for (t = 0; t < 64; t++) {
+            if (best[t] == -1) {
+                kd[s][t] = 99;
+            } else {
+                kd[s][t] = best[t];
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    all_distances();
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        if (sumk + kw[g] < ans) {
+            ans = sumk + kw[g];
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam2 computes knight distances with an iterative array-based
+// breadth-first search. Real fault (algorithm): the faulty version never
+// implemented the pickup search — the king always walks — so it fails
+// whenever carrying the king is strictly cheaper. Correcting it requires
+// implementing the missing carrier/pickup algorithm, the paper's class C.
+const camelotTeam2Correct = `
+/* C.team2 - Camelot solver: iterative breadth-first search. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int qs[64];
+int kn[64];
+int kw[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kd[src][nx * 8 + ny] == -1) {
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam2Faulty is team2 as submitted: the knight can only pick the
+// king up on the king's own square; the general meeting-point search was
+// never implemented.
+const camelotTeam2Faulty = `
+/* C.team2 - Camelot solver: iterative breadth-first search. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int qs[64];
+int kn[64];
+int kw[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kd[src][nx * 8 + ny] == -1) {
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int ks;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ks = kx * 8 + ky;
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            t = sumk - kd[ki][g] + kd[ki][ks] + kd[ks][g];
+            if (t < ans) {
+                ans = t;
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam3 tries to be clever: for each knight it precomputes the best
+// meeting square with the king independently of the gather square, then
+// reuses that meeting square everywhere. Real fault (algorithm): the greedy
+// decomposition is usually optimal but fails when the jointly-optimal
+// meeting square depends on the gather square; fixing it requires
+// re-implementing the joint search (the corrected version below).
+const camelotTeam3Correct = `
+/* C.team3 - Camelot solver: BFS distances, joint pickup search. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int qs[64];
+int kn[64];
+int kw[64];
+int meet_cost[64];
+int meet_sq[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kd[src][nx * 8 + ny] == -1) {
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam3Faulty is team3 as submitted: the greedy per-knight meeting
+// square.
+const camelotTeam3Faulty = `
+/* C.team3 - Camelot solver: BFS distances, greedy pickup search. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int qs[64];
+int kn[64];
+int kw[64];
+int meet_cost[64];
+int meet_sq[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kd[src][nx * 8 + ny] == -1) {
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int c;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    for (i = 0; i < n; i++) {
+        meet_cost[i] = 999999;
+        for (p = 0; p < 64; p++) {
+            c = kd[kn[i]][p] + kw[p];
+            if (c < meet_cost[i]) {
+                meet_cost[i] = c;
+                meet_sq[i] = p;
+            }
+        }
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            t = sumk - kd[kn[i]][g] + meet_cost[i] + kd[meet_sq[i]][g];
+            if (t < ans) {
+                ans = t;
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam4 shares team2's BFS shape but keeps a global seen[] array
+// reset in a for-loop between searches. Real fault (assignment, paper
+// Figure 3 analogue): the reset loop starts at 1 instead of 0, so square 0
+// keeps a stale mark after the first search that visits it and later
+// searches treat corner a1 as already seen.
+const camelotTeam4Correct = `
+/* C.team4 - Camelot solver: BFS with an explicit seen[] array. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int qs[64];
+int kn[64];
+int kw[64];
+int seen[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        seen[t] = 0;
+    }
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = 99;
+    }
+    kd[src][src] = 0;
+    seen[src] = 1;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (seen[nx * 8 + ny] == 0) {
+                    seen[nx * 8 + ny] = 1;
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam5 is a straightforward full search whose king-distance routine
+// is wrong. Real fault (algorithm, paper Figure 6 analogue): walk() returns
+// the SUM of the coordinate distances instead of their maximum — Manhattan
+// instead of Chebyshev — overestimating diagonal king walks. The corrected
+// version needs the max computation reimplemented, which changes the
+// generated code shape substantially (the paper's point about algorithm
+// faults).
+const camelotTeam5Correct = `
+/* C.team5 - Camelot solver: plain full search, separate distance helpers. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int qs[64];
+int kn[64];
+int kw[64];
+int kp[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kd[src][nx * 8 + ny] == -1) {
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int dist(int x1, int y1, int x2, int y2) {
+    int dx; int dy; int ax; int ay;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    ax = (dx > 0) ? dx : -dx;
+    ay = (dy > 0) ? dy : -dy;
+    return (ax > ay) ? ax : ay;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+        kp[p] = dist(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    if (n == 1) {
+        /* Dedicated single-knight path: knight straight to the gather
+           square with the king walking (dist), or one pickup detour. */
+        ki = kn[0];
+        for (g = 0; g < 64; g++) {
+            t = kd[ki][g] + kp[g];
+            if (t < ans) {
+                ans = t;
+            }
+            for (p = 0; p < 64; p++) {
+                t = kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+        print_int(ans);
+        return 0;
+    }
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam8 computes knight distances by repeated relaxation over the
+// whole board (Bellman-Ford style) instead of BFS — the other iterative
+// algorithm of the suite. No real fault.
+const camelotTeam8 = `
+/* C.team8 - Camelot solver: relaxation sweeps for distances. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int kn[64];
+int kw[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void relax(int src) {
+    int t; int k; int nx; int ny; int nd; int changed;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = 99;
+    }
+    kd[src][src] = 0;
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (t = 0; t < 64; t++) {
+            if (kd[src][t] < 99) {
+                nd = kd[src][t] + 1;
+                for (k = 0; k < 8; k++) {
+                    nx = t / 8 + mdx[k];
+                    ny = t % 8 + mdy[k];
+                    if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                        if (nd < kd[src][nx * 8 + ny]) {
+                            kd[src][nx * 8 + ny] = nd;
+                            changed = 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        relax(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam9 keeps everything in heap-allocated structures: the distance
+// table lives behind a malloc'd pointer and the BFS queue is a linked list
+// of malloc'd two-word cells (value, next). The paper singles this program
+// out for its crash-heavy behaviour under injection — corrupted pointers
+// dereference wild addresses. No real fault.
+const camelotTeam9 = `
+/* C.team9 - Camelot solver: dynamic structures everywhere. */
+int mdx[8];
+int mdy[8];
+int *kdp;
+int kn[64];
+int kw[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+int *new_cell(int value, int *next) {
+    int *cell;
+    cell = malloc(8);
+    cell[0] = value;
+    cell[1] = next;
+    return cell;
+}
+
+void bfs(int src) {
+    int *head; int *tailc; int *cell;
+    int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kdp[src * 64 + t] = -1;
+    }
+    kdp[src * 64 + src] = 0;
+    head = new_cell(src, 0);
+    tailc = head;
+    while (head != 0) {
+        s = head[0];
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kdp[src * 64 + nx * 8 + ny] == -1) {
+                    kdp[src * 64 + nx * 8 + ny] = kdp[src * 64 + s] + 1;
+                    cell = new_cell(nx * 8 + ny, 0);
+                    tailc[1] = cell;
+                    tailc = cell;
+                }
+            }
+        }
+        cell = head;
+        head = head[1];
+        free(cell);
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    kdp = malloc(16384);
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kdp[kn[i] * 64 + g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kdp[ki * 64 + g];
+            for (p = 0; p < 64; p++) {
+                t = base + kdp[ki * 64 + p] + kw[p] + kdp[p * 64 + g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam10 is the second recursive design: recursive distance
+// relaxation like team1 (with a different pruning shape) plus a recursive
+// descent over gather squares instead of a loop. No real fault.
+const camelotTeam10 = `
+/* C.team10 - Camelot solver: recursion for distances and for the search. */
+int mdx[8];
+int mdy[8];
+int best[64];
+int kd[64][64];
+int kn[64];
+int kw[64];
+int nn;
+int kgx;
+int kgy;
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void spread(int s, int d) {
+    int k; int nx; int ny; int ns;
+    if (d >= 7) {
+        return;
+    }
+    for (k = 0; k < 8; k++) {
+        nx = s / 8 + mdx[k];
+        ny = s % 8 + mdy[k];
+        if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+            ns = nx * 8 + ny;
+            if (best[ns] == -1 || d + 1 < best[ns]) {
+                best[ns] = d + 1;
+                spread(ns, d + 1);
+            }
+        }
+    }
+}
+
+void all_distances() {
+    int s; int t;
+    for (s = 0; s < 64; s++) {
+        for (t = 0; t < 64; t++) {
+            best[t] = -1;
+        }
+        best[s] = 0;
+        spread(s, 0);
+        for (t = 0; t < 64; t++) {
+            kd[s][t] = best[t];
+        }
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int cost_at(int g) {
+    int i; int p; int sumk; int t; int local; int ki; int base;
+    sumk = 0;
+    for (i = 0; i < nn; i++) {
+        sumk = sumk + kd[kn[i]][g];
+    }
+    local = sumk + kw[g];
+    for (i = 0; i < nn; i++) {
+        ki = kn[i];
+        base = sumk - kd[ki][g];
+        for (p = 0; p < 64; p++) {
+            t = base + kd[ki][p] + kw[p] + kd[p][g];
+            if (t < local) {
+                local = t;
+            }
+        }
+    }
+    return local;
+}
+
+int search(int g) {
+    int here; int rest;
+    if (g == 64) {
+        return 999999;
+    }
+    here = cost_at(g);
+    rest = search(g + 1);
+    if (here < rest) {
+        return here;
+    }
+    return rest;
+}
+
+int main() {
+    int i;
+    nn = read_int();
+    kgx = read_int();
+    kgy = read_int();
+    for (i = 0; i < nn; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    all_distances();
+    for (i = 0; i < 64; i++) {
+        kw[i] = walk(kgx, kgy, i / 8, i % 8);
+    }
+    print_int(search(0));
+    return 0;
+}
+`
+
+// camelotTeam6 replaces the ring-buffer queue with explicit frontier
+// arrays: the current wave and the next wave. A structurally different
+// iterative BFS, enlarging the §5 pool of correct submissions. No real
+// fault.
+const camelotTeam6 = `
+/* C.team6 - Camelot solver: frontier-wave breadth-first search. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int kn[64];
+int kw[64];
+int wave[64];
+int nextwave[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void bfs(int src) {
+    int nwave; int nnext; int d; int w; int k;
+    int s; int nx; int ny; int ns; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    wave[0] = src;
+    nwave = 1;
+    d = 0;
+    while (nwave > 0) {
+        nnext = 0;
+        for (w = 0; w < nwave; w++) {
+            s = wave[w];
+            for (k = 0; k < 8; k++) {
+                nx = s / 8 + mdx[k];
+                ny = s % 8 + mdy[k];
+                if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                    ns = nx * 8 + ny;
+                    if (kd[src][ns] == -1) {
+                        kd[src][ns] = d + 1;
+                        nextwave[nnext] = ns;
+                        nnext = nnext + 1;
+                    }
+                }
+            }
+        }
+        for (w = 0; w < nnext; w++) {
+            wave[w] = nextwave[w];
+        }
+        nwave = nnext;
+        d = d + 1;
+    }
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (g = 0; g < 64; g++) {
+        bfs(g);
+    }
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + kd[kn[i]][g];
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - kd[ki][g];
+            for (p = 0; p < 64; p++) {
+                t = base + kd[ki][p] + kw[p] + kd[p][g];
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`
+
+// camelotTeam7 computes distance rows lazily: a row of the distance table
+// is only filled the first time it is needed, tracked by a ready[] flag
+// array — a call-driven structure unlike the precompute-everything
+// variants. No real fault.
+const camelotTeam7 = `
+/* C.team7 - Camelot solver: lazily memoised distance rows. */
+int mdx[8];
+int mdy[8];
+int kd[64][64];
+int ready[64];
+int qs[64];
+int kn[64];
+int kw[64];
+
+void init_moves() {
+    mdx[0] = 1;  mdy[0] = 2;
+    mdx[1] = 2;  mdy[1] = 1;
+    mdx[2] = 2;  mdy[2] = -1;
+    mdx[3] = 1;  mdy[3] = -2;
+    mdx[4] = -1; mdy[4] = -2;
+    mdx[5] = -2; mdy[5] = -1;
+    mdx[6] = -2; mdy[6] = 1;
+    mdx[7] = -1; mdy[7] = 2;
+}
+
+void fill_row(int src) {
+    int head; int tail; int s; int k; int nx; int ny; int t;
+    for (t = 0; t < 64; t++) {
+        kd[src][t] = -1;
+    }
+    kd[src][src] = 0;
+    qs[0] = src;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        s = qs[head];
+        head = head + 1;
+        for (k = 0; k < 8; k++) {
+            nx = s / 8 + mdx[k];
+            ny = s % 8 + mdy[k];
+            if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {
+                if (kd[src][nx * 8 + ny] == -1) {
+                    kd[src][nx * 8 + ny] = kd[src][s] + 1;
+                    qs[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+    ready[src] = 1;
+}
+
+int dist(int from, int to) {
+    if (ready[from] == 0) {
+        fill_row(from);
+    }
+    return kd[from][to];
+}
+
+int walk(int x1, int y1, int x2, int y2) {
+    int dx; int dy;
+    dx = x1 - x2;
+    if (dx < 0) dx = -dx;
+    dy = y1 - y2;
+    if (dy < 0) dy = -dy;
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int main() {
+    int n; int kx; int ky; int i; int g; int p;
+    int sumk; int t; int ans; int ki; int base;
+    n = read_int();
+    kx = read_int();
+    ky = read_int();
+    for (i = 0; i < n; i++) {
+        int x; int y;
+        x = read_int();
+        y = read_int();
+        kn[i] = x * 8 + y;
+    }
+    init_moves();
+    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }
+    ans = 999999;
+    for (g = 0; g < 64; g++) {
+        sumk = 0;
+        for (i = 0; i < n; i++) {
+            sumk = sumk + dist(kn[i], g);
+        }
+        t = sumk + kw[g];
+        if (t < ans) {
+            ans = t;
+        }
+        for (i = 0; i < n; i++) {
+            ki = kn[i];
+            base = sumk - dist(ki, g);
+            for (p = 0; p < 64; p++) {
+                t = base + dist(ki, p) + kw[p] + dist(p, g);
+                if (t < ans) {
+                    ans = t;
+                }
+            }
+        }
+    }
+    print_int(ans);
+    return 0;
+}
+`

@@ -1,0 +1,164 @@
+package programs
+
+// The JamesB implementations: three designs for the seeded string
+// codification spec (see oracle.go). team6 uses alphabet lookup tables and
+// carries the stack-layout real fault of the paper's Figure 4; team7 is
+// arithmetic and carries an algorithm fault; team11 is the fault-free
+// incremental-shift design used in the §6 campaigns.
+
+// jamesbTeam6 buffers the input and output phrases in fixed char arrays.
+// Real fault (assignment, paper Figure 4): the buffers are declared
+// char[80] instead of char[81], so for maximum-length input the output
+// terminator lands one byte past phrase2 — on the first (most significant)
+// byte of key, which holds the raw, possibly negative seed. The program
+// therefore fails only for 80-character strings combined with a negative
+// seed: the rarest failure in the suite, like the paper's JB.team6.
+const jamesbTeam6Correct = `
+/* JB.team6 - string codifier: alphabet table lookup. */
+char alpha[27];
+
+void build_alpha() {
+    int i;
+    for (i = 0; i < 26; i++) {
+        alpha[i] = 'a' + i;
+    }
+    alpha[26] = 0;
+}
+
+int find_pos(int c) {
+    int i;
+    for (i = 0; i < 26; i++) {
+        if (alpha[i] == c) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+int main() {
+    char phrase[81];
+    char phrase2[81];
+    int key;
+    int seed; int len; int i; int c; int pos; int shift;
+    seed = read_int();
+    len = read_int();
+    build_alpha();
+    for (i = 0; i < len; i++) {
+        phrase[i] = read_char();
+    }
+    phrase[len] = 0;
+    key = seed;
+    phrase2[len] = 0;
+    for (i = 0; i < len; i++) {
+        c = phrase[i];
+        shift = (key + 7 * i) % 26;
+        if (shift < 0) {
+            shift = shift + 26;
+        }
+        if (c >= 'a' && c <= 'z') {
+            pos = find_pos(c);
+            phrase2[i] = alpha[(pos + shift) % 26];
+        } else {
+            if (c >= 'A' && c <= 'Z') {
+                pos = find_pos(c + 32);
+                phrase2[i] = alpha[(pos + shift) % 26] - 32;
+            } else {
+                phrase2[i] = c;
+            }
+        }
+    }
+    for (i = 0; phrase2[i] != 0; i++) {
+        print_char(phrase2[i]);
+    }
+    print_char(10);
+    return 0;
+}
+`
+
+// jamesbTeam7 codes characters with plain arithmetic and a single
+// conditional wrap-around, which is only correct for shifts in [0, 26).
+// Real fault (algorithm): the faulty version never normalises negative
+// shifts — the step "if (shift < 0) shift += 26" is missing entirely — so
+// any negative seed drives characters below 'a'/'A' and produces garbage.
+// The fix adds a processing step rather than touching an existing
+// statement, which is why the paper classes such faults as algorithm.
+const jamesbTeam7Correct = `
+/* JB.team7 - string codifier: arithmetic with conditional wrap. */
+int code_char(int c, int shift) {
+    if (c >= 'a' && c <= 'z') {
+        c = c + shift;
+        if (c > 'z') {
+            c = c - 26;
+        }
+        return c;
+    }
+    if (c >= 'A' && c <= 'Z') {
+        c = c + shift;
+        if (c > 'Z') {
+            c = c - 26;
+        }
+        return c;
+    }
+    return c;
+}
+
+int main() {
+    char buf[81];
+    int seed; int len; int i; int shift;
+    seed = read_int();
+    len = read_int();
+    for (i = 0; i < len; i++) {
+        buf[i] = read_char();
+    }
+    for (i = 0; i < len; i++) {
+        shift = (seed + 7 * i) % 26;
+        if (shift < 0) {
+            shift = shift + 26;
+        }
+        buf[i] = code_char(buf[i], shift);
+    }
+    for (i = 0; i < len; i++) {
+        print_char(buf[i]);
+    }
+    print_char(10);
+    return 0;
+}
+`
+
+// jamesbTeam11 streams characters one at a time and maintains the shift
+// incrementally (add 7, wrap at 26), avoiding buffers and multiplication.
+// No real fault; this is the second JamesB target of the §6 campaigns.
+const jamesbTeam11 = `
+/* JB.team11 - string codifier: streaming with incremental shift. */
+int wrap26(int v) {
+    while (v >= 26) {
+        v = v - 26;
+    }
+    while (v < 0) {
+        v = v + 26;
+    }
+    return v;
+}
+
+int main() {
+    int seed; int len; int i; int c; int shift;
+    seed = read_int();
+    len = read_int();
+    shift = wrap26(seed % 26);
+    i = 0;
+    while (i < len) {
+        c = read_char();
+        if (c >= 'a' && c <= 'z') {
+            c = 'a' + wrap26(c - 'a' + shift);
+        }
+        if (c >= 'A' && c <= 'Z') {
+            c = 'A' + wrap26(c - 'A' + shift);
+        }
+        print_char(c);
+        shift = wrap26(shift + 7);
+        i = i + 1;
+    }
+    print_char(10);
+    return 0;
+}
+`

@@ -1,0 +1,299 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/odc"
+)
+
+// Kind identifies which specification a program implements.
+type Kind int
+
+// Program kinds.
+const (
+	KindCamelot Kind = iota + 1
+	KindJamesB
+	KindSOR
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCamelot:
+		return "Camelot"
+	case KindJamesB:
+		return "JamesB"
+	case KindSOR:
+		return "SOR"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Oracle returns the reference solver for this kind of program.
+func (k Kind) Oracle() func(Input) (string, error) {
+	switch k {
+	case KindCamelot:
+		return CamelotSolve
+	case KindJamesB:
+		return JamesBSolve
+	case KindSOR:
+		return SORSolve
+	}
+	return nil
+}
+
+// RealFault documents one real software fault: the corrective diff and its
+// ODC classification, as in the paper's §5.
+type RealFault struct {
+	ODCType odc.DefectType
+	// FaultyCode and CorrectCode are the exact source fragments that
+	// differ; replacing CorrectCode with FaultyCode in the corrected source
+	// reconstructs the program as originally submitted.
+	FaultyCode  string
+	CorrectCode string
+	Description string
+}
+
+// Program is one target program of the suite.
+type Program struct {
+	Name      string // paper-style name ("C.team1", "JB.team6", "SOR")
+	Kind      Kind
+	Source    string     // corrected source
+	Fault     *RealFault // nil when the program never had a known fault
+	Features  string     // the Table 2 blurb
+	Recursive bool
+	Dynamic   bool // leans on heap-allocated structures
+	Parallel  bool // parallel in the paper (see DESIGN.md substitution)
+	InTable4  bool // part of the §6 campaigns
+
+	// faultyWhole holds the complete faulty source when the real fault's
+	// diff is too large to express as a fragment replacement (C.team3's
+	// greedy pickup restructures main).
+	faultyWhole string
+
+	once        sync.Once
+	compiled    *cc.Compiled
+	compileErr  error
+	onceF       sync.Once
+	compiledF   *cc.Compiled
+	compileFErr error
+}
+
+// FaultySource reconstructs the original (buggy) source by applying the
+// real fault's diff in reverse. It returns an error for fault-free programs
+// or if the corrected fragment cannot be found exactly once.
+func (p *Program) FaultySource() (string, error) {
+	if p.Fault == nil {
+		return "", fmt.Errorf("programs: %s has no recorded real fault", p.Name)
+	}
+	if p.faultyWhole != "" {
+		return p.faultyWhole, nil
+	}
+	n := strings.Count(p.Source, p.Fault.CorrectCode)
+	if n != 1 {
+		return "", fmt.Errorf("programs: %s: corrective fragment occurs %d times, want 1", p.Name, n)
+	}
+	return strings.Replace(p.Source, p.Fault.CorrectCode, p.Fault.FaultyCode, 1), nil
+}
+
+// Compile compiles the corrected source (cached).
+func (p *Program) Compile() (*cc.Compiled, error) {
+	p.once.Do(func() {
+		p.compiled, p.compileErr = cc.Compile(p.Source)
+		if p.compileErr != nil {
+			p.compileErr = fmt.Errorf("programs: compile %s: %w", p.Name, p.compileErr)
+		}
+	})
+	return p.compiled, p.compileErr
+}
+
+// CompileFaulty compiles the reconstructed faulty source (cached).
+func (p *Program) CompileFaulty() (*cc.Compiled, error) {
+	p.onceF.Do(func() {
+		src, err := p.FaultySource()
+		if err != nil {
+			p.compileFErr = err
+			return
+		}
+		p.compiledF, p.compileFErr = cc.Compile(src)
+		if p.compileFErr != nil {
+			p.compileFErr = fmt.Errorf("programs: compile faulty %s: %w", p.Name, p.compileFErr)
+		}
+	})
+	return p.compiledF, p.compileFErr
+}
+
+// LineCount returns the number of source lines of the corrected program.
+func (p *Program) LineCount() int {
+	return len(strings.Split(strings.TrimSpace(p.Source), "\n"))
+}
+
+// registry is built once; programs carry compilation caches.
+var registry = buildRegistry()
+
+func buildRegistry() []*Program {
+	return []*Program{
+		{
+			Name: "C.team1", Kind: KindCamelot, Source: camelotTeam1Correct,
+			Recursive: true, InTable4: true,
+			Features: "Recursive algorithm, 1 real fault (corrected)",
+			Fault: &RealFault{
+				ODCType:     odc.Checking,
+				FaultyCode:  "if (nx > 0 && nx <= 7 && ny >= 0 && ny <= 7) {",
+				CorrectCode: "if (nx >= 0 && nx <= 7 && ny >= 0 && ny <= 7) {",
+				Description: "the board bound uses > instead of >= (the paper's Figure 5 shape): moves landing on file 0 are rejected, so distances into that file read as unreachable",
+			},
+		},
+		{
+			Name: "C.team2", Kind: KindCamelot, Source: camelotTeam2Correct,
+			InTable4:    true,
+			Features:    "Non-recursive algorithm (queue BFS)",
+			faultyWhole: camelotTeam2Faulty,
+			Fault: &RealFault{
+				ODCType:     odc.Algorithm,
+				Description: "the general meeting-point search was never implemented: the knight can only pick the king up on the king's own square, so the result is too high whenever meeting part-way is cheaper",
+			},
+		},
+		{
+			Name: "C.team3", Kind: KindCamelot, Source: camelotTeam3Correct,
+			Features:    "Non-recursive algorithm, greedy pickup (1 real fault, corrected)",
+			faultyWhole: camelotTeam3Faulty,
+			Fault: &RealFault{
+				ODCType:     odc.Algorithm,
+				Description: "the pickup square is chosen greedily per knight, independent of the gather square; fails when the jointly optimal meeting point differs",
+			},
+		},
+		{
+			Name: "C.team4", Kind: KindCamelot, Source: camelotTeam4Correct,
+			Features: "Non-recursive algorithm, explicit seen[] array (1 real fault, corrected)",
+			Fault: &RealFault{
+				ODCType: odc.Assignment,
+				FaultyCode: `    for (p = 1; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }`,
+				CorrectCode: `    for (p = 0; p < 64; p++) {
+        kw[p] = walk(kx, ky, p / 8, p % 8);
+    }`,
+				Description: "the king-walk table fill loop starts at 1 instead of 0 (the wrong for-init assignment, exactly the paper's Figure 3 shape): kw[0] keeps its zero initial value, so walking to or picking up at corner a1 looks free",
+			},
+		},
+		{
+			Name: "C.team5", Kind: KindCamelot, Source: camelotTeam5Correct,
+			Features: "Non-recursive algorithm, ternary-style helpers (1 real fault, corrected)",
+			Fault: &RealFault{
+				ODCType: odc.Algorithm,
+				FaultyCode: `    ax = (dx > 0) ? dx : -dx;
+    return ((dx > 0) ? dx : -dx) + ((dy > 0) ? dy : -dy);`,
+				CorrectCode: `    ax = (dx > 0) ? dx : -dx;
+    ay = (dy > 0) ? dy : -dy;
+    return (ax > ay) ? ax : ay;`,
+				Description: "dist(), the king's walking distance in the dedicated single-knight path, sums the two axis distances instead of taking their maximum (the paper's Figure 6 fault: the return statement needs max, not +); single-knight plans with a diagonal king walk are overpriced",
+			},
+		},
+		{
+			Name: "C.team6", Kind: KindCamelot, Source: camelotTeam6,
+			Features: "Non-recursive algorithm (frontier-wave BFS); additional correct submission",
+		},
+		{
+			Name: "C.team7", Kind: KindCamelot, Source: camelotTeam7,
+			Features: "Non-recursive, lazily memoised distance rows; additional correct submission",
+		},
+		{
+			Name: "C.team8", Kind: KindCamelot, Source: camelotTeam8,
+			InTable4: true,
+			Features: "Non-recursive algorithm (relaxation sweeps)",
+		},
+		{
+			Name: "C.team9", Kind: KindCamelot, Source: camelotTeam9,
+			InTable4: true, Dynamic: true,
+			Features: "Non-recursive, uses many dynamic structures (heap distance table, linked-list queue)",
+		},
+		{
+			Name: "C.team10", Kind: KindCamelot, Source: camelotTeam10,
+			InTable4: true, Recursive: true,
+			Features: "Recursive algorithm (distances and search)",
+		},
+		{
+			Name: "JB.team6", Kind: KindJamesB, Source: jamesbTeam6Correct,
+			InTable4: true,
+			Features: "Non-recursive, table lookup, 1 real fault (corrected)",
+			Fault: &RealFault{
+				ODCType:     odc.Assignment,
+				FaultyCode:  "    char phrase[80];\n    char phrase2[80];",
+				CorrectCode: "    char phrase[81];\n    char phrase2[81];",
+				Description: "buffers declared one byte short (the paper's Figure 4 fault): the output terminator for 80-character inputs overwrites the first byte of key, shifting every later stack reference's meaning",
+			},
+		},
+		{
+			Name: "JB.team7", Kind: KindJamesB, Source: jamesbTeam7Correct,
+			Features: "Non-recursive, arithmetic coding (1 real fault, corrected)",
+			Fault: &RealFault{
+				ODCType: odc.Algorithm,
+				FaultyCode: `        shift = (seed + 7 * i) % 26;
+        buf[i] = code_char(buf[i], shift);`,
+				CorrectCode: `        shift = (seed + 7 * i) % 26;
+        if (shift < 0) {
+            shift = shift + 26;
+        }
+        buf[i] = code_char(buf[i], shift);`,
+				Description: "the negative-shift normalisation step is missing entirely: any negative seed drives coded characters out of the alphabet",
+			},
+		},
+		{
+			Name: "JB.team11", Kind: KindJamesB, Source: jamesbTeam11,
+			InTable4: true,
+			Features: "Non-recursive, streaming, incremental shift (different algorithm from JB.team6)",
+		},
+		{
+			Name: "SOR", Kind: KindSOR, Source: sorSource,
+			InTable4: true, Parallel: true,
+			Features: "Real-life program; red-black SOR; largest code, dense array indexing",
+		},
+	}
+}
+
+// All returns every program of the suite, in registry order.
+func All() []*Program { return registry }
+
+// ByName finds a program by its paper-style name.
+func ByName(name string) (*Program, bool) {
+	for _, p := range registry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Table4Programs returns the eight programs of the §6 campaigns in the
+// paper's Table 4 order.
+func Table4Programs() []*Program {
+	names := []string{"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR"}
+	out := make([]*Program, 0, len(names))
+	for _, n := range names {
+		p, ok := ByName(n)
+		if !ok {
+			panic("programs: missing " + n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RealFaultPrograms returns the seven programs with seeded real faults, in
+// the paper's Table 1 order.
+func RealFaultPrograms() []*Program {
+	names := []string{"C.team1", "C.team2", "C.team3", "C.team4", "C.team5", "JB.team6", "JB.team7"}
+	out := make([]*Program, 0, len(names))
+	for _, n := range names {
+		p, ok := ByName(n)
+		if !ok {
+			panic("programs: missing " + n)
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package programs
+
+// sorSource is the red-black successive over-relaxation solver, the suite's
+// "real life program": the largest target, dominated by dense array
+// indexing in nested loops — the structure behind the paper's observation
+// that SOR is particularly crash-prone under checking faults (corrupted
+// index comparisons walk off the grid).
+//
+// The paper ran SOR on four CPUs under Parix; the red-black ordering is
+// what made it parallelisable. This version keeps that decomposition
+// visible: each sweep is split across two half-grid "workers"
+// (sweep_rows), preserving the parallel version's data-access pattern in a
+// single thread of execution (see DESIGN.md).
+// No real fault.
+const sorSource = `
+/* SOR - red-black successive over-relaxation for the Laplace equation.    */
+/* Fixed point: values are scaled by 16. Grid is 18x18 with a fixed        */
+/* boundary; the 16x16 interior relaxes with omega = 3/2. After iterating, */
+/* the program reports the interior, the residual history, grid            */
+/* statistics, a checksum and the final residual.                          */
+
+int grid[18][18];
+int history[64];
+
+void clear_interior() {
+    int i; int j;
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            grid[i][j] = 0;
+        }
+    }
+}
+
+void set_boundary(int top, int bottom, int left, int right) {
+    int i; int j;
+    for (j = 0; j < 18; j++) {
+        grid[0][j] = top * 16;
+        grid[17][j] = bottom * 16;
+    }
+    for (i = 0; i < 18; i++) {
+        grid[i][0] = left * 16;
+        grid[i][17] = right * 16;
+    }
+}
+
+int average(int i, int j) {
+    return (grid[i - 1][j] + grid[i + 1][j] + grid[i][j - 1] + grid[i][j + 1]) / 4;
+}
+
+/* sweep_rows relaxes the cells of one colour inside a band of rows; the   */
+/* parallel version of this program gave each worker CPU such a band.      */
+void sweep_rows(int parity, int row0, int row1) {
+    int i; int j; int avg;
+    for (i = row0; i < row1; i++) {
+        for (j = 1; j < 17; j++) {
+            if ((i + j) % 2 == parity) {
+                avg = average(i, j);
+                grid[i][j] = grid[i][j] + 3 * (avg - grid[i][j]) / 2;
+            }
+        }
+    }
+}
+
+void sweep(int parity) {
+    sweep_rows(parity, 1, 9);
+    sweep_rows(parity, 9, 17);
+}
+
+int residual() {
+    int i; int j; int d; int sum;
+    sum = 0;
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            d = average(i, j) - grid[i][j];
+            if (d < 0) {
+                d = -d;
+            }
+            sum = sum + d;
+        }
+    }
+    return sum;
+}
+
+void iterate(int rounds) {
+    int r;
+    for (r = 0; r < rounds; r++) {
+        sweep(0);
+        sweep(1);
+        history[r] = residual();
+    }
+}
+
+int grid_min() {
+    int i; int j; int m;
+    m = grid[1][1];
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            if (grid[i][j] < m) {
+                m = grid[i][j];
+            }
+        }
+    }
+    return m;
+}
+
+int grid_max() {
+    int i; int j; int m;
+    m = grid[1][1];
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            if (grid[i][j] > m) {
+                m = grid[i][j];
+            }
+        }
+    }
+    return m;
+}
+
+int grid_avg() {
+    int i; int j; int sum;
+    sum = 0;
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            sum = sum + grid[i][j];
+        }
+    }
+    return sum / 256;
+}
+
+int checksum() {
+    int i; int j; int acc;
+    acc = 0;
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            acc = (acc * 31 + grid[i][j]) % 1000003;
+        }
+    }
+    return acc;
+}
+
+void print_interior() {
+    int i; int j;
+    for (i = 1; i < 17; i++) {
+        for (j = 1; j < 17; j++) {
+            print_int(grid[i][j]);
+        }
+    }
+}
+
+void print_history(int rounds) {
+    int r;
+    for (r = 0; r < rounds; r++) {
+        print_int(history[r]);
+    }
+}
+
+int main() {
+    int rounds; int top; int bottom; int left; int right;
+    rounds = read_int();
+    top = read_int();
+    bottom = read_int();
+    left = read_int();
+    right = read_int();
+    clear_interior();
+    set_boundary(top, bottom, left, right);
+    iterate(rounds);
+    print_interior();
+    print_history(rounds);
+    print_int(grid_min());
+    print_int(grid_max());
+    print_int(grid_avg());
+    print_int(checksum());
+    print_int(residual());
+    return 0;
+}
+`

@@ -1,0 +1,384 @@
+// Package stats renders the paper's tables and figures from campaign
+// results as plain-text reports (the paper used MS Excel off-line; this is
+// the deterministic equivalent).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/odc"
+	"repro/internal/programs"
+)
+
+// Table is a generic aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render produces the aligned text form of the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// Table1Row is one program's real-fault failure symptoms.
+type Table1Row struct {
+	Program string
+	Runs    int
+	Wrong   int
+}
+
+// Table1 renders the failure symptoms of the real software faults.
+func Table1(rows []Table1Row) *Table {
+	t := &Table{
+		Title:   "Table 1 - Failure symptoms of the real software faults (intensive test)",
+		Headers: []string{"Program", "Runs", "% Wrong results", "% Correct results"},
+	}
+	for _, r := range rows {
+		w := 100 * float64(r.Wrong) / float64(r.Runs)
+		t.Rows = append(t.Rows, []string{
+			r.Program, fmt.Sprintf("%d", r.Runs), pct(w), pct(100 - w),
+		})
+	}
+	return t
+}
+
+// Table2 renders the target programs and their main features.
+func Table2() *Table {
+	t := &Table{
+		Title:   "Table 2 - Target programs and main features",
+		Headers: []string{"Program", "Kind", "Lines", "Features"},
+	}
+	for _, p := range programs.Table4Programs() {
+		t.Rows = append(t.Rows, []string{
+			p.Name, p.Kind.String(), fmt.Sprintf("%d", p.LineCount()), p.Features,
+		})
+	}
+	return t
+}
+
+// Table3 renders the error-type subset.
+func Table3() *Table {
+	t := &Table{
+		Title:   "Table 3 - Subset of injected error types",
+		Headers: []string{"Fault class", "Error types"},
+	}
+	var a []string
+	for _, et := range fault.AssignmentErrTypes() {
+		a = append(a, string(et))
+	}
+	var c []string
+	for _, et := range fault.CheckingErrTypes() {
+		c = append(c, string(et))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Assignment", strings.Join(a, ", ")},
+		[]string{"Checking", strings.Join(c, ", ")},
+	)
+	return t
+}
+
+// Table4 renders the injected-fault accounting of a campaign.
+func Table4(res *campaign.Result) *Table {
+	t := &Table{
+		Title:   "Table 4 - Injected faults",
+		Headers: []string{"Program", "Class", "Possible locations", "Chosen locations", "Faults", "Injected (faults x runs)"},
+	}
+	total := 0
+	for _, pl := range res.Plans {
+		t.Rows = append(t.Rows, []string{
+			pl.Program, pl.Class.String(),
+			fmt.Sprintf("%d", pl.Possible), fmt.Sprintf("%d", pl.Chosen),
+			fmt.Sprintf("%d", pl.Faults), fmt.Sprintf("%d", pl.Injected),
+		})
+		total += pl.Injected
+	}
+	t.Rows = append(t.Rows, []string{"TOTAL", "", "", "", "", fmt.Sprintf("%d", total)})
+	return t
+}
+
+// distTable renders failure-mode distributions keyed by row label.
+func distTable(title, keyHeader string, dists map[string]campaign.Dist, order []string) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{keyHeader, "Runs", "Correct", "Incorrect", "Hang", "Crash", "Activated"},
+	}
+	keys := order
+	if keys == nil {
+		for k := range dists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+	}
+	for _, k := range keys {
+		d, ok := dists[k]
+		if !ok {
+			continue
+		}
+		act := 0.0
+		if d.Runs > 0 {
+			act = 100 * float64(d.Activated) / float64(d.Runs)
+		}
+		t.Rows = append(t.Rows, []string{
+			k, fmt.Sprintf("%d", d.Runs),
+			pct(d.Pct(campaign.Correct)), pct(d.Pct(campaign.Incorrect)),
+			pct(d.Pct(campaign.Hang)), pct(d.Pct(campaign.Crash)),
+			pct(act),
+		})
+	}
+	return t
+}
+
+// programOrder lists the Table 4 programs in paper order.
+func programOrder() []string {
+	var out []string
+	for _, p := range programs.Table4Programs() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Figure7 renders failure modes per program for assignment faults.
+func Figure7(res *campaign.Result) *Table {
+	return distTable(
+		"Figure 7 - Failure modes observed in each program for assignment faults",
+		"Program", res.ByProgram(fault.ClassAssignment), programOrder())
+}
+
+// Figure8 renders failure modes per program for checking faults.
+func Figure8(res *campaign.Result) *Table {
+	return distTable(
+		"Figure 8 - Failure modes observed in each program for checking faults",
+		"Program", res.ByProgram(fault.ClassChecking), programOrder())
+}
+
+// Figure9 renders failure modes per assignment error type.
+func Figure9(res *campaign.Result) *Table {
+	var order []string
+	for _, et := range fault.AssignmentErrTypes() {
+		order = append(order, string(et))
+	}
+	return distTable(
+		"Figure 9 - Failure modes observed for assignment faults by error type",
+		"Error type", res.ByErrType(fault.ClassAssignment), order)
+}
+
+// Figure10 renders failure modes per checking error type.
+func Figure10(res *campaign.Result) *Table {
+	var order []string
+	for _, et := range fault.CheckingErrTypes() {
+		order = append(order, string(et))
+	}
+	return distTable(
+		"Figure 10 - Failure modes observed for checking faults by error type",
+		"Error type", res.ByErrType(fault.ClassChecking), order)
+}
+
+// Figure2 renders the empirical fault-exposure chain of §3: p1 is the
+// probability that the faulty code is executed (the fault activates), and
+// P(failure | activated) merges p2·p3 — error generation and propagation.
+func Figure2(res *campaign.Result) *Table {
+	t := &Table{
+		Title:   "Figure 2 - Empirical fault-exposure chain (per program, both classes)",
+		Headers: []string{"Program", "Runs", "p1 = P(activated)", "P(failure | activated)", "P(failure)"},
+	}
+	both := make(map[string]campaign.Dist)
+	for _, class := range []fault.Class{fault.ClassAssignment, fault.ClassChecking} {
+		for k, d := range res.ByProgram(class) {
+			agg, ok := both[k]
+			if !ok {
+				agg = campaign.Dist{Counts: make(map[campaign.FailureMode]int)}
+			}
+			agg.Runs += d.Runs
+			agg.Activated += d.Activated
+			for m, n := range d.Counts {
+				agg.Counts[m] += n
+			}
+			both[k] = agg
+		}
+	}
+	for _, k := range programOrder() {
+		d, ok := both[k]
+		if !ok || d.Runs == 0 {
+			continue
+		}
+		failures := d.Runs - d.Counts[campaign.Correct]
+		p1 := float64(d.Activated) / float64(d.Runs)
+		pf := float64(failures) / float64(d.Runs)
+		pfa := 0.0
+		if d.Activated > 0 {
+			// Failures require activation, so P(failure|activated) uses
+			// the activated runs as denominator.
+			pfa = float64(failures) / float64(d.Activated)
+		}
+		t.Rows = append(t.Rows, []string{
+			k, fmt.Sprintf("%d", d.Runs),
+			fmt.Sprintf("%.3f", p1), fmt.Sprintf("%.3f", pfa), fmt.Sprintf("%.3f", pf),
+		})
+	}
+	return t
+}
+
+// Section5 renders the real-fault emulation verdicts and the field-data
+// shares behind the paper's ≈44% conclusion.
+func Section5(sum *campaign.Section5Summary) *Table {
+	t := &Table{
+		Title:   "Section 5 - Emulation of the real software faults",
+		Headers: []string{"Program", "ODC type", "Verdict", "Triggers", "Evidence"},
+	}
+	for _, em := range sum.Emulations {
+		triggers := "-"
+		if em.Fault != nil {
+			triggers = fmt.Sprintf("%d", em.Triggers)
+		}
+		t.Rows = append(t.Rows, []string{
+			em.Program, em.ODCType.String(), em.Verdict.String(), triggers, em.Evidence,
+		})
+	}
+	t.Rows = append(t.Rows, []string{"", "", "", "", ""})
+	for _, v := range []odc.EmulationVerdict{odc.Emulable, odc.EmulableWithSupport, odc.NotEmulable} {
+		t.Rows = append(t.Rows, []string{
+			"field share", "", v.String(), "", pct(sum.ShareByVerdict[v]),
+		})
+	}
+	return t
+}
+
+// FieldDistributionTable renders the ODC field data used by §5.
+func FieldDistributionTable() *Table {
+	t := &Table{
+		Title:   "ODC field distribution of software faults (Christmansson & Chillarege)",
+		Headers: []string{"Defect type", "Share", "SWIFI verdict"},
+	}
+	for _, fs := range odc.FieldDistribution() {
+		t.Rows = append(t.Rows, []string{
+			fs.Type.String(), pct(fs.Share), odc.VerdictFor(fs.Type).String(),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"algorithm+function", pct(odc.NotEmulableShare()), "the paper's ~44%"})
+	return t
+}
+
+// ClassComparison renders the failure-mode totals of each injected fault
+// class side by side: the paper remarks that the random-triggered
+// software-fault emulations behave much like classic hardware faults
+// ("the failure modes observed have the contribution of the hardware
+// faults that are also emulated by the injected errors").
+func ClassComparison(res *campaign.Result) *Table {
+	t := &Table{
+		Title:   "Fault-class comparison - software-fault emulations vs hardware faults",
+		Headers: []string{"Fault class", "Runs", "Correct", "Incorrect", "Hang", "Crash", "Activated"},
+	}
+	for _, class := range []fault.Class{fault.ClassAssignment, fault.ClassChecking, fault.ClassHardware} {
+		d := res.Total(class)
+		if d.Runs == 0 {
+			continue
+		}
+		act := 100 * float64(d.Activated) / float64(d.Runs)
+		t.Rows = append(t.Rows, []string{
+			class.String(), fmt.Sprintf("%d", d.Runs),
+			pct(d.Pct(campaign.Correct)), pct(d.Pct(campaign.Incorrect)),
+			pct(d.Pct(campaign.Hang)), pct(d.Pct(campaign.Crash)),
+			pct(act),
+		})
+	}
+	return t
+}
+
+// TriggerStudy renders the trigger-policy comparison: identical fault sets
+// (What/Where fixed), different When settings. The paper's conclusion
+// hypothesises that the always-on random trigger is what makes injected
+// faults hit so much harder than real software faults; softer triggers
+// should push the distribution toward the dormant end.
+func TriggerStudy(res *campaign.TriggerStudyResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Trigger study on %s - %d faults x %d inputs per policy",
+			res.Program, res.Faults, res.Cases),
+		Headers: []string{"Trigger policy (When)", "Runs", "Correct", "Incorrect", "Hang", "Crash", "Activated"},
+	}
+	for i, pol := range res.Policies {
+		d := res.Dists[i]
+		act := 0.0
+		if d.Runs > 0 {
+			act = 100 * float64(d.Activated) / float64(d.Runs)
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.Name, fmt.Sprintf("%d", d.Runs),
+			pct(d.Pct(campaign.Correct)), pct(d.Pct(campaign.Incorrect)),
+			pct(d.Pct(campaign.Hang)), pct(d.Pct(campaign.Crash)),
+			pct(act),
+		})
+	}
+	return t
+}
+
+// MutationStudy renders the source-mutation versus machine-injection
+// comparison: the abstraction-gap validation (see internal/mutation).
+func MutationStudy(results []StudyRow) *Table {
+	t := &Table{
+		Title:   "Mutation vs injection - same Table 3 error type, source level vs machine level",
+		Headers: []string{"Program", "Locations", "Pairs", "Paired runs", "Equivalent"},
+	}
+	for _, r := range results {
+		eq := 0.0
+		if r.Runs > 0 {
+			eq = 100 * float64(r.Equivalent) / float64(r.Runs)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Program, fmt.Sprintf("%d", r.Locations), fmt.Sprintf("%d", r.Pairs),
+			fmt.Sprintf("%d", r.Runs), pct(eq),
+		})
+	}
+	return t
+}
+
+// StudyRow is the per-program summary of a mutation study (mirrors
+// mutation.StudyResult without importing it, to keep stats dependency-light).
+type StudyRow struct {
+	Program    string
+	Locations  int
+	Pairs      int
+	Runs       int
+	Equivalent int
+}

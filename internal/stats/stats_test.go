@@ -1,0 +1,116 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/stats"
+)
+
+func smallResult(t *testing.T) *campaign.Result {
+	t.Helper()
+	res, err := campaign.Run(campaign.Config{
+		Programs:      []string{"JB.team11"},
+		CasesPerFault: 3,
+		ChosenAssign:  map[string]int{"JB.team11": 2},
+		ChosenCheck:   map[string]int{"JB.team11": 2},
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &stats.Table{
+		Title:   "T",
+		Headers: []string{"a", "bee"},
+		Rows:    [][]string{{"xxxx", "y"}, {"1", "2"}},
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "T" {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a     bee") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+	if !strings.Contains(out, "xxxx  y") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := stats.Table1([]stats.Table1Row{
+		{Program: "C.team1", Runs: 400, Wrong: 7},
+		{Program: "JB.team6", Runs: 4000, Wrong: 2},
+	}).Render()
+	for _, want := range []string{"C.team1", "1.75%", "98.25%", "0.05%", "99.95%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out := stats.Table2().Render()
+	for _, want := range []string{"C.team1", "C.team9", "JB.team11", "SOR", "Recursive", "dynamic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := stats.Table3().Render()
+	for _, want := range []string{"value+1", "no assign", "<= <", "true false", "[i] [i+1]", "and or"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4AndFigures(t *testing.T) {
+	res := smallResult(t)
+	out := stats.Table4(res).Render()
+	if !strings.Contains(out, "JB.team11") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("Table 4 incomplete:\n%s", out)
+	}
+	for name, tb := range map[string]*stats.Table{
+		"fig7":  stats.Figure7(res),
+		"fig9":  stats.Figure9(res),
+		"fig10": stats.Figure10(res),
+		"fig2":  stats.Figure2(res),
+	} {
+		out := tb.Render()
+		if !strings.Contains(out, "JB.team11") && name != "fig9" && name != "fig10" {
+			t.Errorf("%s missing program row:\n%s", name, out)
+		}
+		if len(strings.Split(out, "\n")) < 4 {
+			t.Errorf("%s suspiciously short:\n%s", name, out)
+		}
+	}
+	// Figure 8 over the same result: checking class present too.
+	if out := stats.Figure8(res).Render(); !strings.Contains(out, "JB.team11") {
+		t.Errorf("fig8 missing row:\n%s", out)
+	}
+}
+
+func TestSection5Tables(t *testing.T) {
+	sum, err := campaign.BuildSection5Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stats.Section5(sum).Render()
+	for _, want := range []string{"C.team1", "JB.team6", "not emulable", "emulable with new tool support", "43.9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Section 5 table missing %q:\n%s", want, out)
+		}
+	}
+	out = stats.FieldDistributionTable().Render()
+	if !strings.Contains(out, "algorithm+function") || !strings.Contains(out, "43.91%") {
+		t.Errorf("field distribution table:\n%s", out)
+	}
+}

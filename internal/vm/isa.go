@@ -1,0 +1,317 @@
+// Package vm implements a 32-bit big-endian, PowerPC-flavoured register
+// machine used as the fault-injection target in this repository.
+//
+// The machine stands in for the PowerPC 601 processors of the Parsytec
+// PowerXplorer used in the paper. It deliberately implements the features the
+// paper's methodology depends on:
+//
+//   - a real binary instruction encoding, so that bit-level corruption of
+//     instruction words produces either a semantically different instruction
+//     or an illegal-instruction exception, exactly as on real hardware;
+//   - two hardware instruction-address breakpoint registers (the PPC 601 has
+//     two), which bound the non-intrusive fault triggers available to the
+//     injector and reproduce the stack-shift emulation limitation of §5;
+//   - fetch/load/store bus hooks, the mechanism behind Xception's "error
+//     inserted in the data fetched" fault locations;
+//   - an exception model (illegal opcode, alignment, memory protection,
+//     division by zero) that yields the paper's Crash failure mode, and a
+//     cycle watchdog that yields the Hang failure mode.
+package vm
+
+import "fmt"
+
+// Opcode identifies one machine instruction. Opcodes occupy the top 6 bits of
+// every 32-bit instruction word, so values must stay below 64.
+type Opcode uint8
+
+// Instruction opcodes. The mnemonics follow PowerPC conventions where the
+// paper's listings use them (addi, lwz, stw, cmp, bc, bl, blr, ...).
+//
+// OpIllegal is deliberately zero: an all-zero instruction word (a common
+// result of memory corruption) decodes as an illegal instruction.
+const (
+	OpIllegal Opcode = 0
+
+	// D-form: op | rD(5) | rA(5) | imm(16).
+	OpAddi  Opcode = 1  // rD = rA + simm
+	OpAddis Opcode = 2  // rD = rA + (simm << 16)
+	OpMulli Opcode = 3  // rD = rA * simm
+	OpAndi  Opcode = 4  // rD = rA & uimm
+	OpOri   Opcode = 5  // rD = rA | uimm
+	OpXori  Opcode = 6  // rD = rA ^ uimm
+	OpLwz   Opcode = 7  // rD = mem32[rA + simm]
+	OpStw   Opcode = 8  // mem32[rA + simm] = rD
+	OpLbz   Opcode = 9  // rD = mem8[rA + simm]
+	OpStb   Opcode = 10 // mem8[rA + simm] = rD & 0xff
+	OpCmpwi Opcode = 11 // crf(rD>>2) = compare(rA, simm)
+
+	// X-form: op | rD(5) | rA(5) | rB(5) | pad(11).
+	OpAdd   Opcode = 16 // rD = rA + rB
+	OpSubf  Opcode = 17 // rD = rB - rA (PowerPC subtract-from order)
+	OpMullw Opcode = 18 // rD = rA * rB
+	OpDivw  Opcode = 19 // rD = rA / rB (signed; rB==0 raises ExcDivZero)
+	OpAnd   Opcode = 20 // rD = rA & rB
+	OpOr    Opcode = 21 // rD = rA | rB
+	OpXor   Opcode = 22 // rD = rA ^ rB
+	OpSlw   Opcode = 23 // rD = rA << (rB & 31)
+	OpSrw   Opcode = 24 // rD = logical rA >> (rB & 31)
+	OpSraw  Opcode = 25 // rD = arithmetic rA >> (rB & 31)
+	OpNeg   Opcode = 26 // rD = -rA
+	OpCmpw  Opcode = 27 // crf(rD>>2) = compare(rA, rB)
+	OpLwzx  Opcode = 28 // rD = mem32[rA + rB]
+	OpStwx  Opcode = 29 // mem32[rA + rB] = rD
+	OpLbzx  Opcode = 30 // rD = mem8[rA + rB]
+	OpStbx  Opcode = 31 // mem8[rA + rB] = rD & 0xff
+	OpMod   Opcode = 32 // rD = rA % rB (signed remainder; rB==0 raises ExcDivZero)
+
+	// Branch and special forms.
+	OpB    Opcode = 40 // I-form: pc += simm26 (byte offset)
+	OpBl   Opcode = 41 // I-form: lr = pc+4; pc += simm26
+	OpBc   Opcode = 42 // B-form: op | cond(5) | crf(5) | simm16: conditional pc += simm
+	OpBlr  Opcode = 43 // pc = lr
+	OpMflr Opcode = 44 // rD = lr
+	OpMtlr Opcode = 45 // lr = rD
+	OpSc   Opcode = 46 // system call; number in r10, args/result in r3..
+	OpTrap Opcode = 47 // software breakpoint (used by the intrusive trigger mode)
+	OpNop  Opcode = 48 // no operation
+)
+
+// Cond is the condition selector of a conditional branch (OpBc).
+type Cond uint8
+
+// Branch conditions. They test the condition-register field written by the
+// most recent cmpw/cmpwi targeting that field.
+const (
+	CondLT Cond = 1 // branch if less-than
+	CondLE Cond = 2 // branch if less-or-equal
+	CondEQ Cond = 3 // branch if equal
+	CondGE Cond = 4 // branch if greater-or-equal
+	CondGT Cond = 5 // branch if greater-than
+	CondNE Cond = 6 // branch if not-equal
+)
+
+var condNames = map[Cond]string{
+	CondLT: "lt",
+	CondLE: "le",
+	CondEQ: "eq",
+	CondGE: "ge",
+	CondGT: "gt",
+	CondNE: "ne",
+}
+
+// String returns the assembler mnemonic of the condition.
+func (c Cond) String() string {
+	if s, ok := condNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined branch condition.
+func (c Cond) Valid() bool {
+	_, ok := condNames[c]
+	return ok
+}
+
+// Inst is a decoded machine instruction. RD, RA, RB are register numbers;
+// Imm is the 16-bit immediate (sign- or zero-extended according to the
+// opcode); Off26 is the 26-bit signed byte offset of I-form branches.
+type Inst struct {
+	Op    Opcode
+	RD    uint8
+	RA    uint8
+	RB    uint8
+	Imm   int32
+	Off26 int32
+}
+
+// instForm classifies the encoding layout of an opcode.
+type instForm int
+
+const (
+	formNone instForm = iota
+	formD             // rD, rA, imm16
+	formDU            // rD, rA, uimm16 (logical immediates)
+	formX             // rD, rA, rB
+	formXD            // rD, rA (two-register)
+	formI             // off26
+	formB             // cond, crf, imm16
+	formR             // rD only (mflr/mtlr)
+	form0             // no operands (blr, sc, trap, nop)
+)
+
+var opForms = map[Opcode]instForm{
+	OpAddi: formD, OpAddis: formD, OpMulli: formD,
+	OpAndi: formDU, OpOri: formDU, OpXori: formDU,
+	OpLwz: formD, OpStw: formD, OpLbz: formD, OpStb: formD,
+	OpCmpwi: formD,
+	OpAdd:   formX, OpSubf: formX, OpMullw: formX, OpDivw: formX, OpMod: formX,
+	OpAnd: formX, OpOr: formX, OpXor: formX,
+	OpSlw: formX, OpSrw: formX, OpSraw: formX,
+	OpNeg: formXD, OpCmpw: formX,
+	OpLwzx: formX, OpStwx: formX, OpLbzx: formX, OpStbx: formX,
+	OpB: formI, OpBl: formI, OpBc: formB,
+	OpBlr: form0, OpMflr: formR, OpMtlr: formR,
+	OpSc: form0, OpTrap: form0, OpNop: form0,
+}
+
+var opNames = map[Opcode]string{
+	OpAddi: "addi", OpAddis: "addis", OpMulli: "mulli",
+	OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpLwz: "lwz", OpStw: "stw", OpLbz: "lbz", OpStb: "stb",
+	OpCmpwi: "cmpwi",
+	OpAdd:   "add", OpSubf: "subf", OpMullw: "mullw", OpDivw: "divw", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSlw: "slw", OpSrw: "srw", OpSraw: "sraw",
+	OpNeg: "neg", OpCmpw: "cmpw",
+	OpLwzx: "lwzx", OpStwx: "stwx", OpLbzx: "lbzx", OpStbx: "stbx",
+	OpB: "b", OpBl: "bl", OpBc: "bc",
+	OpBlr: "blr", OpMflr: "mflr", OpMtlr: "mtlr",
+	OpSc: "sc", OpTrap: "trap", OpNop: "nop",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// opFormTab is the array-indexed mirror of opForms; decoding runs once per
+// executed instruction, so the hot path must not hash.
+var opFormTab = buildOpFormTab()
+
+func buildOpFormTab() [64]instForm {
+	var t [64]instForm
+	for op, f := range opForms {
+		t[op] = f
+	}
+	return t
+}
+
+// condValidTab mirrors condNames for the decoder's hot path.
+var condValidTab = buildCondValidTab()
+
+func buildCondValidTab() [32]bool {
+	var t [32]bool
+	for c := range condNames {
+		t[c] = true
+	}
+	return t
+}
+
+// Form returns the encoding layout of the opcode, or formNone if undefined.
+func (o Opcode) form() instForm {
+	if o >= 64 {
+		return formNone
+	}
+	return opFormTab[o]
+}
+
+// Defined reports whether o is a defined opcode.
+func (o Opcode) Defined() bool {
+	_, ok := opForms[o]
+	return ok
+}
+
+// Encode packs the instruction into its 32-bit binary word.
+func Encode(in Inst) uint32 {
+	w := uint32(in.Op) << 26
+	switch in.Op.form() {
+	case formD, formDU, formB:
+		w |= uint32(in.RD&31) << 21
+		w |= uint32(in.RA&31) << 16
+		w |= uint32(uint16(in.Imm))
+	case formX:
+		w |= uint32(in.RD&31) << 21
+		w |= uint32(in.RA&31) << 16
+		w |= uint32(in.RB&31) << 11
+	case formXD:
+		w |= uint32(in.RD&31) << 21
+		w |= uint32(in.RA&31) << 16
+	case formI:
+		w |= uint32(in.Off26) & 0x03ffffff
+	case formR:
+		w |= uint32(in.RD&31) << 21
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. It returns an error when the word
+// does not decode to a defined instruction; executing such a word raises
+// ExcIllegal.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 26)
+	form := opFormTab[op&63]
+	if form == formNone {
+		return Inst{}, fmt.Errorf("illegal opcode %d in word %#08x", uint8(op), w)
+	}
+	in := Inst{Op: op}
+	switch form {
+	case formD, formB:
+		in.RD = uint8(w >> 21 & 31)
+		in.RA = uint8(w >> 16 & 31)
+		in.Imm = int32(int16(uint16(w)))
+	case formDU:
+		in.RD = uint8(w >> 21 & 31)
+		in.RA = uint8(w >> 16 & 31)
+		in.Imm = int32(uint16(w))
+	case formX:
+		in.RD = uint8(w >> 21 & 31)
+		in.RA = uint8(w >> 16 & 31)
+		in.RB = uint8(w >> 11 & 31)
+	case formXD:
+		in.RD = uint8(w >> 21 & 31)
+		in.RA = uint8(w >> 16 & 31)
+	case formI:
+		off := w & 0x03ffffff
+		if off&0x02000000 != 0 { // sign-extend 26 bits
+			off |= 0xfc000000
+		}
+		in.Off26 = int32(off)
+	case formR:
+		in.RD = uint8(w >> 21 & 31)
+	}
+	if op == OpBc {
+		if !condValidTab[in.RD&31] {
+			return Inst{}, fmt.Errorf("illegal branch condition %d in word %#08x", in.RD, w)
+		}
+		if in.RA > 7 {
+			return Inst{}, fmt.Errorf("illegal condition field %d in word %#08x", in.RA, w)
+		}
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op.form() {
+	case formD:
+		switch in.Op {
+		case OpLwz, OpStw, OpLbz, OpStb:
+			return fmt.Sprintf("%s r%d,%d(r%d)", in.Op, in.RD, in.Imm, in.RA)
+		case OpCmpwi:
+			return fmt.Sprintf("cmpwi cr%d,r%d,%d", in.RD>>2, in.RA, in.Imm)
+		}
+		return fmt.Sprintf("%s r%d,r%d,%d", in.Op, in.RD, in.RA, in.Imm)
+	case formDU:
+		return fmt.Sprintf("%s r%d,r%d,%d", in.Op, in.RD, in.RA, uint16(in.Imm))
+	case formX:
+		if in.Op == OpCmpw {
+			return fmt.Sprintf("cmpw cr%d,r%d,r%d", in.RD>>2, in.RA, in.RB)
+		}
+		return fmt.Sprintf("%s r%d,r%d,r%d", in.Op, in.RD, in.RA, in.RB)
+	case formXD:
+		return fmt.Sprintf("%s r%d,r%d", in.Op, in.RD, in.RA)
+	case formI:
+		return fmt.Sprintf("%s %+d", in.Op, in.Off26)
+	case formB:
+		return fmt.Sprintf("bc %s,cr%d,%+d", Cond(in.RD), in.RA, in.Imm)
+	case formR:
+		return fmt.Sprintf("%s r%d", in.Op, in.RD)
+	case form0:
+		return in.Op.String()
+	}
+	return fmt.Sprintf("illegal(%#08x)", Encode(in))
+}

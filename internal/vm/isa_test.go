@@ -1,0 +1,221 @@
+package vm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// allOpcodes lists every defined opcode for table-driven coverage.
+var allOpcodes = []Opcode{
+	OpAddi, OpAddis, OpMulli, OpAndi, OpOri, OpXori,
+	OpLwz, OpStw, OpLbz, OpStb, OpCmpwi,
+	OpAdd, OpSubf, OpMullw, OpDivw, OpMod,
+	OpAnd, OpOr, OpXor, OpSlw, OpSrw, OpSraw,
+	OpNeg, OpCmpw, OpLwzx, OpStwx, OpLbzx, OpStbx,
+	OpB, OpBl, OpBc, OpBlr, OpMflr, OpMtlr, OpSc, OpTrap, OpNop,
+}
+
+func TestEncodeDecodeRoundTripTable(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Inst
+	}{
+		{"addi", Inst{Op: OpAddi, RD: 3, RA: 0, Imm: 1}},
+		{"addi negative", Inst{Op: OpAddi, RD: 5, RA: 5, Imm: -32768}},
+		{"addis", Inst{Op: OpAddis, RD: 4, RA: 0, Imm: 0x7fff}},
+		{"ori max uimm", Inst{Op: OpOri, RD: 4, RA: 4, Imm: 0xffff}},
+		{"lwz", Inst{Op: OpLwz, RD: 4, RA: 1, Imm: 24}},
+		{"stw negative disp", Inst{Op: OpStw, RD: 3, RA: 30, Imm: -8}},
+		{"cmpwi", Inst{Op: OpCmpwi, RD: 7 << 2, RA: 3, Imm: -1}},
+		{"add", Inst{Op: OpAdd, RD: 3, RA: 4, RB: 5}},
+		{"divw", Inst{Op: OpDivw, RD: 31, RA: 30, RB: 29}},
+		{"neg", Inst{Op: OpNeg, RD: 6, RA: 7}},
+		{"b forward", Inst{Op: OpB, Off26: 4096}},
+		{"b backward", Inst{Op: OpB, Off26: -8}},
+		{"bl far", Inst{Op: OpBl, Off26: 1 << 20}},
+		{"bl far back", Inst{Op: OpBl, Off26: -(1 << 20)}},
+		{"bc lt", Inst{Op: OpBc, RD: uint8(CondLT), RA: 0, Imm: 16}},
+		{"bc ne back", Inst{Op: OpBc, RD: uint8(CondNE), RA: 7, Imm: -64}},
+		{"blr", Inst{Op: OpBlr}},
+		{"mflr", Inst{Op: OpMflr, RD: 12}},
+		{"sc", Inst{Op: OpSc}},
+		{"trap", Inst{Op: OpTrap}},
+		{"nop", Inst{Op: OpNop}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w := Encode(tt.in)
+			got, err := Decode(w)
+			if err != nil {
+				t.Fatalf("Decode(%#08x): %v", w, err)
+			}
+			if got != tt.in {
+				t.Errorf("round trip: got %+v, want %+v", got, tt.in)
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeRoundTripProperty checks that every canonicalised random
+// instruction survives encode→decode unchanged.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	canonical := func() Inst {
+		op := allOpcodes[rng.Intn(len(allOpcodes))]
+		in := Inst{Op: op}
+		switch op.form() {
+		case formD:
+			in.RD = uint8(rng.Intn(32))
+			in.RA = uint8(rng.Intn(32))
+			in.Imm = int32(int16(rng.Uint32()))
+		case formDU:
+			in.RD = uint8(rng.Intn(32))
+			in.RA = uint8(rng.Intn(32))
+			in.Imm = int32(uint16(rng.Uint32()))
+		case formX:
+			in.RD = uint8(rng.Intn(32))
+			in.RA = uint8(rng.Intn(32))
+			in.RB = uint8(rng.Intn(32))
+		case formXD:
+			in.RD = uint8(rng.Intn(32))
+			in.RA = uint8(rng.Intn(32))
+		case formI:
+			in.Off26 = int32(rng.Intn(1<<26)) - (1 << 25)
+		case formB:
+			in.RD = uint8([]Cond{CondLT, CondLE, CondEQ, CondGE, CondGT, CondNE}[rng.Intn(6)])
+			in.RA = uint8(rng.Intn(8))
+			in.Imm = int32(int16(rng.Uint32()))
+		case formR:
+			in.RD = uint8(rng.Intn(32))
+		}
+		return in
+	}
+	f := func() bool {
+		in := canonical()
+		got, err := Decode(Encode(in))
+		if err != nil {
+			t.Logf("decode error for %+v: %v", in, err)
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanics feeds random 32-bit words to the decoder; it may
+// reject them but must never panic — bit-flipped instructions take exactly
+// this path during injection campaigns.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err == nil {
+			// A successfully decoded word must re-encode to itself: the
+			// encoding has no don't-care bits for decoded fields... except
+			// X-form padding, which Decode ignores. Check opcode stability.
+			if Opcode(Encode(in)>>26) != in.Op {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	tests := []struct {
+		name string
+		w    uint32
+	}{
+		{"all zero", 0},
+		{"all ones opcode", 0xffffffff},
+		{"undefined slot 12", uint32(12) << 26},
+		{"undefined slot 15", uint32(15) << 26},
+		{"undefined slot 33", uint32(33) << 26},
+		{"undefined slot 63", uint32(63) << 26},
+		{"bc bad cond 0", Encode(Inst{Op: OpBc, RD: 0, RA: 0, Imm: 8})},
+		{"bc bad cond 31", Encode(Inst{Op: OpBc, RD: 31, RA: 0, Imm: 8})},
+		{"bc bad crf", Encode(Inst{Op: OpBc, RD: uint8(CondEQ), RA: 9, Imm: 8})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.w); err == nil {
+				t.Errorf("Decode(%#08x) succeeded, want error", tt.w)
+			}
+		})
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for _, op := range allOpcodes {
+		if s := op.String(); strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if !op.Defined() {
+			t.Errorf("opcode %v not Defined", op)
+		}
+	}
+	if Opcode(60).Defined() {
+		t.Error("opcode 60 should be undefined")
+	}
+	if got := Opcode(60).String(); got != "op(60)" {
+		t.Errorf("Opcode(60).String() = %q", got)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAddi, RD: 3, RA: 0, Imm: 1}, "addi r3,r0,1"},
+		{Inst{Op: OpLwz, RD: 4, RA: 1, Imm: 24}, "lwz r4,24(r1)"},
+		{Inst{Op: OpStw, RD: 5, RA: 30, Imm: -8}, "stw r5,-8(r30)"},
+		{Inst{Op: OpCmpwi, RD: 6 << 2, RA: 3, Imm: 0}, "cmpwi cr6,r3,0"},
+		{Inst{Op: OpCmpw, RD: 0, RA: 3, RB: 4}, "cmpw cr0,r3,r4"},
+		{Inst{Op: OpAdd, RD: 3, RA: 4, RB: 5}, "add r3,r4,r5"},
+		{Inst{Op: OpNeg, RD: 3, RA: 3}, "neg r3,r3"},
+		{Inst{Op: OpB, Off26: 16}, "b +16"},
+		{Inst{Op: OpBc, RD: uint8(CondGE), RA: 1, Imm: -4}, "bc ge,cr1,-4"},
+		{Inst{Op: OpMflr, RD: 0}, "mflr r0"},
+		{Inst{Op: OpBlr}, "blr"},
+		{Inst{Op: OpSc}, "sc"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestCondValidity(t *testing.T) {
+	valid := []Cond{CondLT, CondLE, CondEQ, CondGE, CondGT, CondNE}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("cond %v should be valid", c)
+		}
+	}
+	for _, c := range []Cond{0, 7, 12, 31} {
+		if c.Valid() {
+			t.Errorf("cond %d should be invalid", c)
+		}
+	}
+}
+
+func TestExcAndStateStrings(t *testing.T) {
+	for e := ExcNone; e <= ExcTrap; e++ {
+		if strings.HasPrefix(e.String(), "exc(") {
+			t.Errorf("exception %d has no name", e)
+		}
+	}
+	for s := StateReady; s <= StateHung; s++ {
+		if strings.HasPrefix(s.String(), "state(") {
+			t.Errorf("state %d has no name", s)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload generates the random input data sets of the paper's
+// experiments (§5's intensive tests, §6.2's 300-input test cases) and the
+// golden outputs against which failure modes are classified.
+//
+// Each program kind has one generator; all programs of the same kind run
+// the same test case, which is what lets the paper compare injections
+// across programs ("all the injections in all the Camelot programs used
+// the same test case").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/programs"
+)
+
+// ContestSeed generates the small fixed "contest test case" that every
+// faulty program of the suite passes — the paper's acceptance criterion:
+// "only bugs found in programs that passed in the test cases were
+// considered as representative of real faults".
+const ContestSeed int64 = 11
+
+// ContestCaseCount is the size of the contest test case.
+const ContestCaseCount = 3
+
+// ContestCases returns the contest test case for a program kind.
+func ContestCases(kind programs.Kind) ([]Case, error) {
+	return Generate(kind, ContestCaseCount, ContestSeed)
+}
+
+// Case is one input data set plus its expected (oracle) output.
+type Case struct {
+	Input  programs.Input
+	Golden string
+}
+
+// Generate produces n random input data sets for the given program kind,
+// deterministically from the seed, each paired with its oracle output.
+func Generate(kind programs.Kind, n int, seed int64) ([]Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	oracle := kind.Oracle()
+	if oracle == nil {
+		return nil, fmt.Errorf("workload: no oracle for kind %v", kind)
+	}
+	out := make([]Case, 0, n)
+	for i := 0; i < n; i++ {
+		var in programs.Input
+		switch kind {
+		case programs.KindCamelot:
+			in = camelotInput(rng)
+		case programs.KindJamesB:
+			in = jamesbInput(rng)
+		case programs.KindSOR:
+			in = sorInput(rng)
+		default:
+			return nil, fmt.Errorf("workload: unknown kind %v", kind)
+		}
+		golden, err := oracle(in)
+		if err != nil {
+			return nil, fmt.Errorf("workload: oracle rejected generated input: %w", err)
+		}
+		out = append(out, Case{Input: in, Golden: golden})
+	}
+	return out, nil
+}
+
+// camelotInput draws up to maxKnights knights and a king, all uniform on
+// the board. The paper allowed up to 63 knights; the cap keeps a single run
+// within the simulator's cycle budget and is documented in DESIGN.md.
+const maxKnights = 8
+
+func camelotInput(rng *rand.Rand) programs.Input {
+	n := int32(rng.Intn(maxKnights + 1))
+	ints := []int32{n, int32(rng.Intn(8)), int32(rng.Intn(8))}
+	for i := int32(0); i < n; i++ {
+		ints = append(ints, int32(rng.Intn(8)), int32(rng.Intn(8)))
+	}
+	return programs.Input{Ints: ints}
+}
+
+// jamesbInput draws a seed and a string. The distribution is tuned so the
+// JB.team6 and JB.team7 real faults stay rare, as in the paper's Table 1:
+// 2% of seeds are negative and 1% of strings have the maximum length 80.
+func jamesbInput(rng *rand.Rand) programs.Input {
+	seed := int32(rng.Intn(1 << 20))
+	if rng.Float64() < 0.02 {
+		seed = -1 - int32(rng.Intn(1<<20))
+	}
+	length := 1 + rng.Intn(60)
+	if rng.Float64() < 0.01 {
+		length = 80
+	}
+	bytes := make([]byte, length)
+	for i := range bytes {
+		switch r := rng.Float64(); {
+		case r < 0.6:
+			bytes[i] = byte('a' + rng.Intn(26))
+		case r < 0.8:
+			bytes[i] = byte('A' + rng.Intn(26))
+		case r < 0.9:
+			bytes[i] = byte('0' + rng.Intn(10))
+		default:
+			bytes[i] = []byte(" .,!?-")[rng.Intn(6)]
+		}
+	}
+	return programs.Input{
+		Ints:  []int32{seed, int32(length)},
+		Bytes: bytes,
+	}
+}
+
+// sorInput draws an iteration count and the four boundary temperatures.
+func sorInput(rng *rand.Rand) programs.Input {
+	return programs.Input{Ints: []int32{
+		int32(4 + rng.Intn(9)), // 4..12 iterations
+		int32(rng.Intn(1001)),
+		int32(rng.Intn(1001)),
+		int32(rng.Intn(1001)),
+		int32(rng.Intn(1001)),
+	}}
+}
