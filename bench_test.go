@@ -13,7 +13,9 @@ package repro
 // paper's sizes); the qualitative findings hold at any scale.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -114,6 +116,38 @@ func BenchmarkTable4(b *testing.B) {
 			total += len(pa.Faults) + len(pc.Faults)
 		}
 		b.ReportMetric(float64(total), "faults")
+	}
+}
+
+// BenchmarkTable4Parallel executes the Table 4 campaign (both classes, all
+// eight programs) at bench scale across worker counts — the wall-clock and
+// allocation trajectory of the parallel executor. workers=1 is the legacy
+// serial path; the campaign Result is bit-identical across sub-benchmarks
+// (the determinism tests assert this), so time/op and allocs/op are the
+// only things that move: allocs/op drops with the machine pool (one
+// machine per worker per program instead of one per injection) and time/op
+// scales with cores. On a single-core host the worker counts tie.
+func BenchmarkTable4Parallel(b *testing.B) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := campaignCfg([]fault.Class{fault.ClassAssignment, fault.ClassChecking},
+				"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR")
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				res, err := campaign.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Runs), "runs")
+			}
+		})
 	}
 }
 

@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	faultgen <program>                  # location summary (Table 4 inputs)
+//	faultgen <program>...               # location summary (Table 4 inputs)
 //	faultgen -class check -n 5 <program>  # expanded fault list
 //	faultgen -metrics <program>           # complexity-guided location weights
+//	faultgen -workers 8 all               # whole suite, planned in parallel
+//
+// "all" expands to every program of the suite. With more than one program
+// the compilations and plans fan out over -workers; output order always
+// follows the argument order.
 package main
 
 import (
@@ -15,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/locator"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/programs"
 )
 
@@ -31,98 +39,127 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultgen", flag.ContinueOnError)
-	class := fs.String("class", "", "expand faults for one class: assign or check")
+	class := fs.String("class", "", "expand faults for one class: assign, check or hardware")
 	n := fs.Int("n", 5, "number of locations to choose")
 	seed := fs.Int64("seed", 2000, "random seed for location choice")
 	withMetrics := fs.Bool("metrics", false, "print complexity-guided location weights (§6.1)")
 	asJSON := fs.Bool("json", false, "emit the expanded fault list as JSON")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel planning workers when several programs are given (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
-	if len(rest) != 1 {
-		return fmt.Errorf("usage: faultgen [flags] <program>")
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: faultgen [flags] <program>... (or 'all')")
 	}
-	p, ok := programs.ByName(rest[0])
-	if !ok {
-		return fmt.Errorf("unknown program %q", rest[0])
+	if len(rest) == 1 && rest[0] == "all" {
+		rest = rest[:0]
+		for _, p := range programs.All() {
+			rest = append(rest, p.Name)
+		}
 	}
-	c, err := p.Compile()
+	// Plans are deterministic per (program, seed), so parallel planning
+	// changes nothing but wall-clock; outputs are joined in argument order.
+	outs, err := parallel.Map(*workers, len(rest), func(_, i int) (string, error) {
+		return describe(rest[i], *class, *n, *seed, *withMetrics, *asJSON)
+	})
 	if err != nil {
 		return err
 	}
+	for _, out := range outs {
+		fmt.Print(out)
+	}
+	return nil
+}
 
-	if *withMetrics {
+// describe renders the requested report for one program.
+func describe(name, class string, n int, seed int64, withMetrics, asJSON bool) (string, error) {
+	p, ok := programs.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("unknown program %q", name)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+
+	if withMetrics {
 		rep := metrics.Analyze(p.Name, c.AST)
-		fmt.Printf("%s: complexity-guided weights for assignment locations\n", p.Name)
+		fmt.Fprintf(&sb, "%s: complexity-guided weights for assignment locations\n", p.Name)
 		funcs := metrics.AssignFuncs(c)
 		w := metrics.LocationWeights(rep, funcs)
 		for i, a := range c.Debug.Assigns {
-			fmt.Printf("  loc %3d  %-14s line %3d  %-10s weight %.1f\n", i, a.Func, a.Line, a.LHS, w[i])
+			fmt.Fprintf(&sb, "  loc %3d  %-14s line %3d  %-10s weight %.1f\n", i, a.Func, a.Line, a.LHS, w[i])
 		}
-		return nil
+		return sb.String(), nil
 	}
 
-	switch *class {
+	switch class {
 	case "":
-		fmt.Printf("%s: %d possible assignment locations, %d possible checking locations\n",
+		fmt.Fprintf(&sb, "%s: %d possible assignment locations, %d possible checking locations\n",
 			p.Name, len(c.Debug.Assigns), len(c.Debug.Checks))
 		for _, a := range c.Debug.Assigns {
-			fmt.Printf("  assign  %-14s line %3d  %s = ...  store at %#x\n", a.Func, a.Line, a.LHS, a.StoreAddr)
+			fmt.Fprintf(&sb, "  assign  %-14s line %3d  %s = ...  store at %#x\n", a.Func, a.Line, a.LHS, a.StoreAddr)
 		}
 		for _, ck := range c.Debug.Checks {
 			arrays := ""
 			if len(ck.ArrayLoads) > 0 {
 				arrays = fmt.Sprintf("  (%d array loads)", len(ck.ArrayLoads))
 			}
-			fmt.Printf("  check   %-14s line %3d  op %-5q bc at %#x%s\n", ck.Func, ck.Line, ck.Op, ck.BcAddr, arrays)
+			fmt.Fprintf(&sb, "  check   %-14s line %3d  op %-5q bc at %#x%s\n", ck.Func, ck.Line, ck.Op, ck.BcAddr, arrays)
 		}
+		return sb.String(), nil
 	case "assign":
-		plan, err := locator.PlanAssignment(c, p.Name, *n, *seed)
+		plan, err := locator.PlanAssignment(c, p.Name, n, seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		return emitPlan(plan, *asJSON)
+		return emitPlan(plan, asJSON)
 	case "check":
-		plan, err := locator.PlanChecking(c, p.Name, *n, *seed)
+		plan, err := locator.PlanChecking(c, p.Name, n, seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		return emitPlan(plan, *asJSON)
+		return emitPlan(plan, asJSON)
 	case "hardware":
-		plan, err := locator.PlanHardware(c, p.Name, *n, *seed)
+		plan, err := locator.PlanHardware(c, p.Name, n, seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		return emitPlan(plan, *asJSON)
+		return emitPlan(plan, asJSON)
 	default:
-		return fmt.Errorf("unknown class %q (assign, check or hardware)", *class)
+		return "", fmt.Errorf("unknown class %q (assign, check or hardware)", class)
 	}
-	return nil
 }
 
-// emitPlan prints the plan either human-readably or as JSON.
-func emitPlan(plan *locator.Plan, asJSON bool) error {
+// emitPlan renders the plan either human-readably or as JSON.
+func emitPlan(plan *locator.Plan, asJSON bool) (string, error) {
 	if !asJSON {
-		printPlan(plan)
-		return nil
+		return printPlan(plan), nil
 	}
-	enc := json.NewEncoder(os.Stdout)
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
 	enc.SetIndent("", "  ")
-	return enc.Encode(plan)
+	if err := enc.Encode(plan); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
 }
 
-func printPlan(plan *locator.Plan) {
-	fmt.Printf("%s %s faults: %d possible locations, %d chosen, %d faults\n",
+func printPlan(plan *locator.Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s faults: %d possible locations, %d chosen, %d faults\n",
 		plan.Program, plan.Class, plan.Possible, len(plan.Chosen), len(plan.Faults))
 	for i := range plan.Faults {
 		f := &plan.Faults[i]
-		fmt.Printf("  %-40s %-12s", f.ID, f.ErrType)
+		fmt.Fprintf(&sb, "  %-40s %-12s", f.ID, f.ErrType)
 		for _, c := range f.Corruptions {
-			fmt.Printf("  %s@%#x", corruptionName(c), c.Addr)
+			fmt.Fprintf(&sb, "  %s@%#x", corruptionName(c), c.Addr)
 		}
-		fmt.Println()
+		sb.WriteByte('\n')
 	}
+	return sb.String()
 }
 
 func corruptionName(c fault.Corruption) string {

@@ -7,6 +7,7 @@
 //	progrun [-faulty] [-disasm] [-trace-cycles] <program> [int...]
 //	progrun -string "seed len text" JB.team6     # JamesB byte input
 //	progrun -programs                            # list suite programs
+//	progrun -selftest 500 -workers 8 C.team1     # batch-run against the oracle
 //
 // Camelot example:
 //
@@ -17,13 +18,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
+	"repro/internal/campaign"
 	"repro/internal/cc"
+	"repro/internal/parallel"
 	"repro/internal/programs"
 	"repro/internal/vm"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -41,6 +47,9 @@ func run(args []string) error {
 	listP := fs.Bool("programs", false, "list the program suite and exit")
 	strIn := fs.String("string", "", "byte input for the character stream (JamesB programs)")
 	trace := fs.Int("trace", 0, "record and print the last N executed instructions")
+	selftest := fs.Int("selftest", 0, "run N generated inputs against the oracle instead of one run")
+	seed := fs.Int64("seed", 99, "random seed for -selftest input generation")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for -selftest (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +85,9 @@ func run(args []string) error {
 	if *pretty {
 		fmt.Print(cc.Print(c.AST))
 		return nil
+	}
+	if *selftest > 0 {
+		return runSelftest(p, c, *selftest, *seed, *workers)
 	}
 
 	var ints []int32
@@ -117,6 +129,43 @@ func run(args []string) error {
 		for _, e := range m.Trace() {
 			fmt.Fprintf(os.Stderr, "  %s\n", asm.FormatWord(c.Prog, e.PC, e.Word))
 		}
+	}
+	return nil
+}
+
+// runSelftest batch-runs the compiled program over n generated inputs and
+// checks every output against the oracle — the fast way to confirm a
+// (possibly faulty) build still behaves before pointing a campaign at it.
+func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int) error {
+	workers = parallel.DefaultWorkers(workers)
+	cases, err := workload.Generate(p.Kind, n, seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results, err := campaign.RunCleanBatch(c, cases, vm.DefaultMaxCycles, workers)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	counts := make(map[campaign.FailureMode]int)
+	firstWrong := -1
+	for i, r := range results {
+		counts[r.Mode]++
+		if r.Mode != campaign.Correct && firstWrong < 0 {
+			firstWrong = i
+		}
+	}
+	fmt.Printf("%s: %d runs in %s (%d workers): %d correct, %d incorrect, %d hang, %d crash\n",
+		p.Name, len(results), elapsed.Round(time.Millisecond), workers,
+		counts[campaign.Correct], counts[campaign.Incorrect], counts[campaign.Hang], counts[campaign.Crash])
+	if firstWrong >= 0 {
+		r := results[firstWrong]
+		fmt.Printf("first deviation at case %d (mode %s, state %s):\n  input: %v %q\n  got:    %q\n  golden: %q\n",
+			firstWrong, r.Mode, r.State,
+			cases[firstWrong].Input.Ints, cases[firstWrong].Input.Bytes,
+			r.Output, cases[firstWrong].Golden)
+		return fmt.Errorf("%d of %d runs deviated from the oracle", len(results)-counts[campaign.Correct], len(results))
 	}
 	return nil
 }

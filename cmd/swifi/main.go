@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	swifi [-scale 0.1] [-seed 2000] [-mode hw|trap] <experiment>...
+//	swifi [-scale 0.1] [-seed 2000] [-mode hw|trap] [-workers N] <experiment>...
 //	swifi -list
 //	swifi verify <program>
 //
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,6 +35,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.1, "fraction of the paper's run counts (1.0 = full scale)")
 	seed := fs.Int64("seed", 2000, "random seed for location choice and input generation")
 	mode := fs.String("mode", "hw", "injector trigger mode: hw (breakpoint registers) or trap")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel campaign workers (1 = serial; results are identical for any count)")
 	list := fs.Bool("list", false, "list experiment identifiers and exit")
 	verifyCases := fs.Int("verify-cases", 50, "input count for 'verify <program>'")
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +52,7 @@ func run(args []string) error {
 
 	e := core.New(*scale)
 	e.Seed = *seed
+	e.Workers = *workers
 	switch *mode {
 	case "hw":
 		e.Mode = injector.ModeHardware

@@ -10,6 +10,7 @@ import (
 	"repro/internal/injector"
 	"repro/internal/locator"
 	"repro/internal/odc"
+	"repro/internal/parallel"
 	"repro/internal/programs"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -279,8 +280,18 @@ func applyStrategy(c *cc.Compiled, f *fault.Fault, s Strategy) (*fault.Fault, er
 // VerifyEmulation runs the faulty binary and the corrected-binary-plus-
 // injection side by side over the cases and counts exact behavioural
 // matches ("if the results are the same in both runs it means Xception do
-// emulate the fault accurately").
+// emulate the fault accurately"). The case pairs fan out over
+// runtime.GOMAXPROCS(0) workers; see VerifyEmulationWorkers.
 func VerifyEmulation(p *programs.Program, em *Emulation, s Strategy, mode injector.Mode, cases []workload.Case) (*EquivalenceReport, error) {
+	return VerifyEmulationWorkers(p, em, s, mode, cases, 0)
+}
+
+// VerifyEmulationWorkers is VerifyEmulation with an explicit worker count
+// (0 selects runtime.GOMAXPROCS(0), 1 the serial path). Each case is an
+// independent pair of runs — the real faulty binary and the injected
+// corrected binary — so the pairs shard across workers; the counts are
+// folded in case order and are identical for any worker count.
+func VerifyEmulationWorkers(p *programs.Program, em *Emulation, s Strategy, mode injector.Mode, cases []workload.Case, workers int) (*EquivalenceReport, error) {
 	if em.Fault == nil {
 		return nil, fmt.Errorf("campaign: %s is not emulable", p.Name)
 	}
@@ -297,19 +308,36 @@ func VerifyEmulation(p *programs.Program, em *Emulation, s Strategy, mode inject
 		return nil, err
 	}
 	rep := &EquivalenceReport{Program: p.Name, Strategy: s, Mode: mode, Cases: len(cases)}
-	for i := range cases {
-		real, err := RunClean(faulty, cases[i].Input, cases[i].Golden, vm.DefaultMaxCycles)
-		if err != nil {
-			return nil, err
+	type pairOutcome struct {
+		equivalent bool
+		faultShown bool
+	}
+	pools := make([]*machinePool, parallel.DefaultWorkers(workers))
+	outcomes, err := parallel.Map(workers, len(cases), func(w, i int) (pairOutcome, error) {
+		if pools[w] == nil {
+			pools[w] = newMachinePool()
 		}
-		injected, err := RunWithFault(correct, cases[i].Input, cases[i].Golden, f, mode, vm.DefaultMaxCycles)
+		real, err := pools[w].runClean(faulty, cases[i], vm.DefaultMaxCycles)
 		if err != nil {
-			return nil, err
+			return pairOutcome{}, err
 		}
-		if real.Mode == injected.Mode && real.Output == injected.Output {
+		injected, err := pools[w].runWithFault(correct, cases[i], f, mode, vm.DefaultMaxCycles)
+		if err != nil {
+			return pairOutcome{}, err
+		}
+		return pairOutcome{
+			equivalent: real.Mode == injected.Mode && real.Output == injected.Output,
+			faultShown: real.Mode != Correct,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		if o.equivalent {
 			rep.Equivalent++
 		}
-		if real.Mode != Correct {
+		if o.faultShown {
 			rep.FaultShown++
 		}
 	}

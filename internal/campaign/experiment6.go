@@ -57,6 +57,12 @@ type Config struct {
 	// function's complexity score instead of uniformly — the §6.1 policy
 	// for when no field data exists.
 	MetricGuided bool
+	// Workers sets the executor fan-out: how many workers run injections
+	// concurrently, each with its own pooled machines. 0 selects
+	// runtime.GOMAXPROCS(0); 1 is the legacy serial path. All randomness
+	// lives in planning, which is always serial, so the Result is
+	// bit-identical across worker counts for the same Seed.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -128,15 +134,22 @@ type Result struct {
 	Runs    int
 }
 
-// Run executes the campaign. It is deterministic for a given Config.
+// Run executes the campaign. It is deterministic for a given Config:
+// planning (location choice, fault expansion, input generation) is serial
+// and seeded, execution fans out over cfg.Workers with per-unit result
+// slots merged in planning order, so any worker count yields the same
+// Result.
 func Run(cfg Config) (*Result, error) {
 	cfg.fill()
 	res := &Result{}
-	entries := make(map[string]*Entry)
+	entryIdx := make(map[string]int)
+	var entryList []*Entry
+	var units []runUnit
 
-	// All programs of the same kind run the same test case (§6.2).
-	casesByKind := make(map[programs.Kind][]workload.Case)
-
+	// All programs of the same kind run the same test case (§6.2). The
+	// case sets come from the process-wide workload cache, so repeated
+	// campaigns at the same scale and seed share inputs, goldens and (via
+	// the calibration cache) watchdog budgets.
 	for _, name := range cfg.Programs {
 		p, ok := programs.ByName(name)
 		if !ok {
@@ -146,15 +159,11 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cases, ok := casesByKind[p.Kind]
-		if !ok {
-			cases, err = workload.Generate(p.Kind, cfg.CasesPerFault, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			casesByKind[p.Kind] = cases
+		cases, err := workload.Cached(p.Kind, cfg.CasesPerFault, cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
-		budgets, err := CalibrateCycles(c, cases)
+		budgets, err := CalibrateCyclesWorkers(c, cases, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: calibrate %s: %w", name, err)
 		}
@@ -198,31 +207,44 @@ func Run(cfg Config) (*Result, error) {
 			for fi := range plan.Faults {
 				f := &plan.Faults[fi]
 				key := name + "|" + class.String() + "|" + string(f.ErrType)
-				e, ok := entries[key]
+				ei, ok := entryIdx[key]
 				if !ok {
-					e = &Entry{
+					ei = len(entryList)
+					entryIdx[key] = ei
+					entryList = append(entryList, &Entry{
 						Program: name, Class: class, ErrType: f.ErrType,
 						Counts: make(map[FailureMode]int),
-					}
-					entries[key] = e
+					})
 				}
 				for ci := range cases {
-					r, err := RunWithFault(c, cases[ci].Input, cases[ci].Golden, f, cfg.Mode, budgets[ci])
-					if err != nil {
-						return nil, fmt.Errorf("campaign: %s %s case %d: %w", name, f.ID, ci, err)
-					}
-					e.Runs++
-					e.Counts[r.Mode]++
-					if r.Activations > 0 {
-						e.Activated++
-					}
-					res.Runs++
+					units = append(units, runUnit{
+						program: name, c: c, f: f,
+						cs: cases[ci], caseIx: ci,
+						budget: budgets[ci], mode: cfg.Mode,
+						entry: ei,
+					})
 				}
 			}
 		}
 	}
 
-	for _, e := range entries {
+	// Execution: the only parallel section. Outcomes land in per-unit
+	// slots and are folded into the entries in planning order.
+	outcomes, err := executeUnits(cfg.Workers, units)
+	if err != nil {
+		return nil, err
+	}
+	for i := range units {
+		e := entryList[units[i].entry]
+		e.Runs++
+		e.Counts[outcomes[i].mode]++
+		if outcomes[i].activated {
+			e.Activated++
+		}
+		res.Runs++
+	}
+
+	for _, e := range entryList {
 		res.Entries = append(res.Entries, *e)
 	}
 	sort.Slice(res.Entries, func(i, j int) bool {

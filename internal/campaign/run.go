@@ -139,17 +139,11 @@ func RunWithFault(c *cc.Compiled, in programs.Input, golden string, f *fault.Fau
 // experiment manager's timeout of §6.2. The multiplier leaves room for
 // mutations that legitimately lengthen execution (an off-by-one loop bound
 // adds a single iteration) while keeping dead loops cheap to detect.
+//
+// Calibration runs fan out over runtime.GOMAXPROCS(0) workers and the
+// budgets are cached per (compiled program, case set); see
+// CalibrateCyclesWorkers for the explicit-worker-count form and the
+// caching contract.
 func CalibrateCycles(c *cc.Compiled, cases []workload.Case) ([]uint64, error) {
-	budgets := make([]uint64, len(cases))
-	for i := range cases {
-		res, err := RunClean(c, cases[i].Input, cases[i].Golden, vm.DefaultMaxCycles)
-		if err != nil {
-			return nil, err
-		}
-		if res.Mode != Correct {
-			return nil, fmt.Errorf("campaign: clean run %d not correct (mode %v, state %v)", i, res.Mode, res.State)
-		}
-		budgets[i] = res.Cycles*3 + 50_000
-	}
-	return budgets, nil
+	return CalibrateCyclesWorkers(c, cases, 0)
 }

@@ -47,8 +47,19 @@ type TriggerStudyResult struct {
 
 // RunTriggerStudy injects the same fault set (assignment plus checking,
 // nLocs locations each) under every policy and collects the failure-mode
-// distributions.
+// distributions, fanning runs over runtime.GOMAXPROCS(0) workers; see
+// RunTriggerStudyWorkers.
 func RunTriggerStudy(programName string, nLocs, nCases int, seed int64) (*TriggerStudyResult, error) {
+	return RunTriggerStudyWorkers(programName, nLocs, nCases, seed, 0)
+}
+
+// RunTriggerStudyWorkers is RunTriggerStudy with an explicit worker count
+// (0 selects runtime.GOMAXPROCS(0), 1 the serial path). Planning — fault
+// selection and the per-policy trigger rewrites — stays serial; the
+// (policy, fault, case) runs execute through the shared campaign executor
+// with outcomes merged in planning order, so the distributions are
+// identical for any worker count.
+func RunTriggerStudyWorkers(programName string, nLocs, nCases int, seed int64, workers int) (*TriggerStudyResult, error) {
 	p, ok := programs.ByName(programName)
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown program %q", programName)
@@ -57,11 +68,11 @@ func RunTriggerStudy(programName string, nLocs, nCases int, seed int64) (*Trigge
 	if err != nil {
 		return nil, err
 	}
-	cases, err := workload.Generate(p.Kind, nCases, seed)
+	cases, err := workload.Cached(p.Kind, nCases, seed)
 	if err != nil {
 		return nil, err
 	}
-	budgets, err := CalibrateCycles(c, cases)
+	budgets, err := CalibrateCyclesWorkers(c, cases, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -81,25 +92,43 @@ func RunTriggerStudy(programName string, nLocs, nCases int, seed int64) (*Trigge
 		Faults:   len(faults),
 		Cases:    len(cases),
 	}
-	for _, pol := range res.Policies {
-		d := Dist{Counts: make(map[FailureMode]int)}
-		for fi := range faults {
-			f := faults[fi] // copy: each policy gets its own trigger
+	var units []runUnit
+	for pi, pol := range res.Policies {
+		// Each policy gets its own fault copies so the trigger rewrite
+		// does not leak between policies; units reference the copies.
+		polFaults := make([]fault.Fault, len(faults))
+		copy(polFaults, faults)
+		for fi := range polFaults {
+			f := &polFaults[fi]
 			f.Trigger.Once = pol.Once
 			f.Trigger.Skip = pol.Skip
 			for ci := range cases {
-				r, err := RunWithFault(c, cases[ci].Input, cases[ci].Golden, &f, injector.ModeHardware, budgets[ci])
-				if err != nil {
-					return nil, fmt.Errorf("campaign: trigger study %s/%s: %w", pol.Name, f.ID, err)
-				}
-				d.Runs++
-				d.Counts[r.Mode]++
-				if r.Activations > 0 {
-					d.Activated++
-				}
+				units = append(units, runUnit{
+					program: fmt.Sprintf("trigger study %s", pol.Name),
+					c:       c, f: f,
+					cs: cases[ci], caseIx: ci,
+					budget: budgets[ci], mode: injector.ModeHardware,
+					entry: pi,
+				})
 			}
 		}
-		res.Dists = append(res.Dists, d)
 	}
+	outcomes, err := executeUnits(workers, units)
+	if err != nil {
+		return nil, err
+	}
+	dists := make([]Dist, len(res.Policies))
+	for i := range dists {
+		dists[i] = Dist{Counts: make(map[FailureMode]int)}
+	}
+	for i := range units {
+		d := &dists[units[i].entry]
+		d.Runs++
+		d.Counts[outcomes[i].mode]++
+		if outcomes[i].activated {
+			d.Activated++
+		}
+	}
+	res.Dists = dists
 	return res, nil
 }

@@ -33,6 +33,10 @@ type Engine struct {
 	Seed int64
 	// Mode selects the injector trigger mechanism for campaigns.
 	Mode injector.Mode
+	// Workers sets the campaign executor fan-out: 0 selects
+	// runtime.GOMAXPROCS(0), 1 the legacy serial path. Results are
+	// bit-identical across worker counts for the same Seed.
+	Workers int
 
 	mu       sync.Mutex
 	campRes  *campaign.Result
@@ -156,13 +160,13 @@ func (e *Engine) Table1Rows() ([]stats.Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		results, err := campaign.RunCleanBatch(c, cases, vm.DefaultMaxCycles, e.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", p.Name, err)
+		}
 		wrong := 0
-		for i := range cases {
-			res, err := campaign.RunClean(c, cases[i].Input, cases[i].Golden, vm.DefaultMaxCycles)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s case %d: %w", p.Name, i, err)
-			}
-			if res.Mode != campaign.Correct {
+		for i := range results {
+			if results[i].Mode != campaign.Correct {
 				wrong++
 			}
 		}
@@ -182,6 +186,7 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		CasesPerFault: cases,
 		Seed:          e.Seed,
 		Mode:          e.Mode,
+		Workers:       e.Workers,
 	}
 }
 
@@ -219,7 +224,7 @@ func (e *Engine) TriggerStudy() (string, error) {
 	if cases < 5 {
 		cases = 5
 	}
-	res, err := campaign.RunTriggerStudy("JB.team6", 4, cases, e.Seed)
+	res, err := campaign.RunTriggerStudyWorkers("JB.team6", 4, cases, e.Seed, e.Workers)
 	if err != nil {
 		return "", err
 	}
@@ -308,7 +313,7 @@ func (e *Engine) VerifyRealFault(name string, cases int) (string, error) {
 		fmt.Fprintf(&sb, "fault needs %d triggers > %d breakpoint registers: falling back to trap insertion\n",
 			em.Triggers, vm.NumIABR)
 	}
-	rep, err := campaign.VerifyEmulation(p, em, campaign.StrategyFetchEveryExec, mode, ws)
+	rep, err := campaign.VerifyEmulationWorkers(p, em, campaign.StrategyFetchEveryExec, mode, ws, e.Workers)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,113 @@
+// Package parallel is the worker-pool substrate of the experiment
+// management layer. The paper's campaigns are embarrassingly parallel —
+// every injection runs on a freshly rebooted machine with a deterministic
+// seed, so runs share no state — and this package supplies the one
+// scheduling primitive the executors need: fan an index space out over a
+// fixed set of workers and join with a deterministic error.
+//
+// Determinism contract: ForEach itself imposes no ordering on side
+// effects, so callers write results into per-index slots and aggregate
+// serially after the join. On failure the error reported is the one from
+// the lowest index that failed among the indices actually executed, which
+// makes the error stable across schedules whenever the first failing index
+// is reached on every schedule (campaign executors fail fast and treat any
+// error as fatal, so the distinction only matters for error text).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count knob: values above zero are taken
+// as-is, anything else selects runtime.GOMAXPROCS(0).
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach executes fn(worker, i) for every i in [0, n) across the given
+// number of workers (normalised through DefaultWorkers). The worker
+// argument is a stable identifier in [0, workers) so callers can keep
+// per-worker state — machine pools — without locking. With one worker
+// every call runs on the caller's goroutine in index order: the legacy
+// serial path, bit-identical to a plain loop.
+//
+// The first error stops the distribution of new indices; indices already
+// claimed still complete. ForEach returns the error of the lowest failed
+// index.
+func ForEach(workers, n int, fn func(worker, i int) error) error {
+	workers = DefaultWorkers(workers)
+	if n <= 0 {
+		return nil
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next   atomic.Int64 // next index to hand out
+		failed atomic.Bool  // stops the hand-out once any index errors
+		wg     sync.WaitGroup
+
+		mu      sync.Mutex
+		errIdx  int
+		bestErr error
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if bestErr == nil || i < errIdx {
+			errIdx, bestErr = i, err
+		}
+		mu.Unlock()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return bestErr
+}
+
+// Map runs fn over [0, n) with ForEach and collects the results in index
+// order, so the output is independent of the schedule.
+func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(worker, i int) error {
+		v, err := fn(worker, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

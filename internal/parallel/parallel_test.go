@@ -1,0 +1,137 @@
+package parallel_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		err := parallel.ForEach(workers, n, func(worker, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsAreStable(t *testing.T) {
+	const workers = 4
+	var used [workers]atomic.Int32
+	err := parallel.ForEach(workers, 200, func(worker, i int) error {
+		if worker < 0 || worker >= workers {
+			return fmt.Errorf("worker id %d out of range", worker)
+		}
+		used[worker].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int32(0)
+	for w := range used {
+		total += used[w].Load()
+	}
+	if total != 200 {
+		t.Fatalf("executed %d of 200 indices", total)
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	err := parallel.ForEach(1, 10, func(worker, i int) error {
+		if worker != 0 {
+			t.Fatalf("serial path used worker %d", worker)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachReturnsLowestFailedIndex(t *testing.T) {
+	boom := errors.New("boom")
+	err := parallel.ForEach(8, 100, func(worker, i int) error {
+		if i == 7 || i == 93 {
+			return fmt.Errorf("index %d: %w", i, boom)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+	// Index 7 always fails before the pool drains, so with both indices
+	// failing the reported error must be the lower one.
+	if got := err.Error(); got != "index 7: boom" {
+		t.Fatalf("got error %q, want the lowest failed index", got)
+	}
+}
+
+func TestForEachStopsHandingOutWorkAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	err := parallel.ForEach(2, 10_000, func(worker, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("pool drained the whole index space after a failure")
+	}
+}
+
+func TestMapKeepsIndexOrder(t *testing.T) {
+	got, err := parallel.Map(8, 500, func(worker, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d holds %d", i, v)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := parallel.ForEach(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.ForEach(-3, -1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := parallel.DefaultWorkers(0); n < 1 {
+		t.Fatalf("DefaultWorkers(0) = %d", n)
+	}
+	if n := parallel.DefaultWorkers(5); n != 5 {
+		t.Fatalf("DefaultWorkers(5) = %d", n)
+	}
+}

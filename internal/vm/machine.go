@@ -179,6 +179,14 @@ type Machine struct {
 	// code raises ExcProt like on the Parsytec (whose text pages were
 	// read-only).
 	textWritable bool
+
+	// img is the image installed by Load, retained so Reset can restore
+	// the machine without a reload. textDirty records that text memory (and
+	// hence the decoded cache) was modified after Load — by the injector
+	// planting persistent corruptions or trap words — so Reset knows when
+	// the decoded cache must be rebuilt.
+	img       Image
+	textDirty bool
 }
 
 // Config parameterises a new Machine. The zero value selects defaults.
@@ -282,7 +290,80 @@ func (m *Machine) Load(img Image) error {
 	m.exitStatus = 0
 	m.inPos, m.inBPos = 0, 0
 	m.output = m.output[:0]
+	m.img = img
+	m.textDirty = false
 	return nil
+}
+
+// Reset restores a loaded machine to its post-Load state — memory image,
+// registers, cycle counter, I/O positions, breakpoint registers, hooks and
+// trace all return to what a fresh New+Load would produce — without
+// reallocating the memory or decode arrays. It is the fast "reboot between
+// injections" used by the parallel campaign executor's machine pools; a
+// reset machine is behaviourally indistinguishable from a fresh one (see
+// TestResetMatchesFreshMachine).
+func (m *Machine) Reset() error {
+	if m.state == 0 {
+		return ErrNotLoaded
+	}
+	clear(m.mem)
+	for i, w := range m.img.Text {
+		m.putWordRaw(m.textBase+uint32(i)*WordSize, w)
+	}
+	copy(m.mem[m.dataBase:], m.img.Data)
+	m.brk = m.dataBase + uint32(len(m.img.Data))
+	m.brk = (m.brk + WordSize - 1) &^ (WordSize - 1)
+
+	memTop := uint32(len(m.mem))
+	m.stackLim = m.brk + (memTop-m.brk)/2
+	m.regs = [32]uint32{}
+	m.regs[RegSP] = memTop - 16
+	m.regs[RegFP] = memTop - 16
+	if m.textDirty {
+		for i, w := range m.img.Text {
+			if in, err := Decode(w); err == nil {
+				m.decoded[i] = in
+				m.decodedOK[i] = true
+			} else {
+				m.decodedOK[i] = false
+			}
+		}
+		m.textDirty = false
+	}
+	m.pc = m.img.Entry
+	m.lr = 0
+	m.cr = [8]crField{}
+	m.state = StateReady
+	m.exc = ExcNone
+	m.excAt = 0
+	m.cycles = 0
+	m.exitStatus = 0
+	m.input = m.input[:0]
+	m.inBytes = m.inBytes[:0]
+	m.inPos, m.inBPos = 0, 0
+	m.output = m.output[:0]
+
+	m.iabr = [NumIABR]uint32{}
+	m.iabrSet = [NumIABR]bool{}
+	m.iabrAny = false
+	m.iabrHook = nil
+	m.fetchHook = nil
+	m.loadHook = nil
+	m.storeHook = nil
+	m.trapHook = nil
+	m.trace = nil
+	m.textWritable = false
+	return nil
+}
+
+// SetMaxCycles replaces the watchdog budget (0 restores the default). The
+// campaign executor calibrates a per-case budget and installs it on the
+// pooled machine before each run.
+func (m *Machine) SetMaxCycles(n uint64) {
+	if n == 0 {
+		n = DefaultMaxCycles
+	}
+	m.maxCycles = n
 }
 
 // SetInput installs the integer input stream consumed by SysReadInt.
@@ -453,6 +534,7 @@ func (m *Machine) WriteWord(addr, w uint32) error {
 		} else {
 			m.decodedOK[i] = false
 		}
+		m.textDirty = true
 	}
 	m.putWordRaw(addr, w)
 	return nil

@@ -1,0 +1,168 @@
+package vm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/programs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// runSnapshot captures everything observable about one finished run.
+type runSnapshot struct {
+	state  vm.State
+	exc    vm.Exc
+	output []byte
+	cycles uint64
+	exit   int32
+}
+
+func snapshot(m *vm.Machine) runSnapshot {
+	exc, _ := m.Exception()
+	return runSnapshot{
+		state:  m.State(),
+		exc:    exc,
+		output: m.Output(),
+		cycles: m.Cycles(),
+		exit:   m.ExitStatus(),
+	}
+}
+
+func (a runSnapshot) equal(b runSnapshot) bool {
+	return a.state == b.state && a.exc == b.exc && a.cycles == b.cycles &&
+		a.exit == b.exit && bytes.Equal(a.output, b.output)
+}
+
+// TestResetMatchesFreshMachine proves the machine-pool contract: across the
+// Table 4 programs, a machine reused via Reset produces runs identical in
+// Output, Cycles and State to a machine freshly allocated and loaded for
+// each run — the paper's "reboot between injections" without the reboot
+// cost.
+func TestResetMatchesFreshMachine(t *testing.T) {
+	for _, p := range programs.Table4Programs() {
+		c, err := p.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		cases, err := workload.Generate(p.Kind, 4, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+
+		pooled := vm.New(vm.Config{})
+		if err := pooled.Load(c.Prog.Image); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for ci := range cases {
+			fresh := vm.New(vm.Config{})
+			if err := fresh.Load(c.Prog.Image); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			fresh.SetInput(cases[ci].Input.Ints)
+			fresh.SetByteInput(cases[ci].Input.Bytes)
+			if _, err := fresh.Run(); err != nil {
+				t.Fatalf("%s case %d: %v", p.Name, ci, err)
+			}
+
+			if err := pooled.Reset(); err != nil {
+				t.Fatalf("%s case %d: reset: %v", p.Name, ci, err)
+			}
+			pooled.SetInput(cases[ci].Input.Ints)
+			pooled.SetByteInput(cases[ci].Input.Bytes)
+			if _, err := pooled.Run(); err != nil {
+				t.Fatalf("%s case %d: %v", p.Name, ci, err)
+			}
+
+			f, r := snapshot(fresh), snapshot(pooled)
+			if !f.equal(r) {
+				t.Fatalf("%s case %d: fresh %+v != reset %+v", p.Name, ci, f, r)
+			}
+			if f.state != vm.StateHalted || f.exit != 0 {
+				t.Fatalf("%s case %d: clean run did not halt cleanly: %+v", p.Name, ci, f)
+			}
+		}
+	}
+}
+
+// TestResetClearsCorruptionState exercises the dirty-text path: after the
+// injector-style mutations a pooled machine can accumulate — persistent
+// text corruption, hooks, breakpoints, a shrunken watchdog — Reset must
+// return it to a state indistinguishable from fresh.
+func TestResetClearsCorruptionState(t *testing.T) {
+	p, ok := programs.ByName("C.team1")
+	if !ok {
+		t.Fatal("C.team1 missing from the suite")
+	}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := workload.Generate(p.Kind, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := cases[0].Input
+
+	fresh := vm.New(vm.Config{})
+	if err := fresh.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	fresh.SetInput(in.Ints)
+	fresh.SetByteInput(in.Bytes)
+	if _, err := fresh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(fresh)
+
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the machine the way an armed session would: overwrite the
+	// entry instruction in text (undecodable word), install hooks that
+	// would corrupt every fetch and store, arm a breakpoint, shrink the
+	// watchdog, and run the now-broken program.
+	m.SetTextWritable(true)
+	if err := m.WriteWord(vm.TextBase, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTextWritable(false)
+	m.SetFetchHook(func(addr, word uint32) uint32 { return 0xffffffff })
+	m.SetStoreHook(func(addr, value uint32) uint32 { return value + 1 })
+	m.SetIABRHook(func(mm *vm.Machine, addr uint32) { mm.SetReg(3, 0xdead) })
+	if err := m.SetIABR(0, c.Prog.Image.Entry); err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaxCycles(10)
+	m.SetInput(in.Ints)
+	m.SetByteInput(in.Bytes)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() == vm.StateHalted && m.ExitStatus() == 0 {
+		t.Fatal("corrupted machine still ran cleanly; the scenario is vacuous")
+	}
+
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaxCycles(0)
+	m.SetInput(in.Ints)
+	m.SetByteInput(in.Bytes)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshot(m); !got.equal(want) {
+		t.Fatalf("after reset: got %+v, want fresh behaviour %+v", got, want)
+	}
+}
+
+// TestResetUnloaded confirms Reset refuses a machine that was never loaded.
+func TestResetUnloaded(t *testing.T) {
+	m := vm.New(vm.Config{})
+	if err := m.Reset(); err == nil {
+		t.Fatal("Reset on an unloaded machine must fail")
+	}
+}

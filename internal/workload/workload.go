@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/programs"
 )
@@ -24,9 +25,10 @@ const ContestSeed int64 = 11
 // ContestCaseCount is the size of the contest test case.
 const ContestCaseCount = 3
 
-// ContestCases returns the contest test case for a program kind.
+// ContestCases returns the contest test case for a program kind (shared
+// through the Cached case store; treat it as read-only).
 func ContestCases(kind programs.Kind) ([]Case, error) {
-	return Generate(kind, ContestCaseCount, ContestSeed)
+	return Cached(kind, ContestCaseCount, ContestSeed)
 }
 
 // Case is one input data set plus its expected (oracle) output.
@@ -63,6 +65,40 @@ func Generate(kind programs.Kind, n int, seed int64) ([]Case, error) {
 		out = append(out, Case{Input: in, Golden: golden})
 	}
 	return out, nil
+}
+
+// cacheKey identifies one generated case set.
+type cacheKey struct {
+	kind programs.Kind
+	n    int
+	seed int64
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = make(map[cacheKey][]Case)
+)
+
+// Cached returns the case set for (kind, n, seed), generating it at most
+// once per process and sharing the slice between callers. Generation is
+// deterministic, so the cache changes nothing observable — it only avoids
+// regenerating inputs and re-running the oracle when campaigns repeat (the
+// §6 campaign asks for the same 300-case set once per program of a kind).
+// Callers must treat the returned cases as read-only; the canonical slice
+// identity also lets downstream caches (cycle calibration) key off it.
+func Cached(kind programs.Kind, n int, seed int64) ([]Case, error) {
+	key := cacheKey{kind: kind, n: n, seed: seed}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if cs, ok := cache[key]; ok {
+		return cs, nil
+	}
+	cs, err := Generate(kind, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = cs
+	return cs, nil
 }
 
 // camelotInput draws up to maxKnights knights and a king, all uniform on
