@@ -121,13 +121,28 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkTable4Parallel executes the Table 4 campaign (both classes, all
 // eight programs) at bench scale across worker counts — the wall-clock and
-// allocation trajectory of the parallel executor. workers=1 is the legacy
-// serial path; the campaign Result is bit-identical across sub-benchmarks
-// (the determinism tests assert this), so time/op and allocs/op are the
-// only things that move: allocs/op drops with the machine pool (one
-// machine per worker per program instead of one per injection) and time/op
-// scales with cores. On a single-core host the worker counts tie.
+// allocation trajectory of the campaign executor. The straight sub-benchmark
+// disables golden-run checkpointing (reboot + full replay per injection,
+// the pre-checkpoint executor); the workers=N sub-benchmarks use the
+// checkpointed fast path. The campaign Result is bit-identical across all
+// sub-benchmarks (the determinism and fast-forward equivalence tests assert
+// this), so time/op and allocs/op are the only things that move.
 func BenchmarkTable4Parallel(b *testing.B) {
+	run := func(b *testing.B, workers int, noFFwd bool) {
+		b.ReportAllocs()
+		cfg := campaignCfg([]fault.Class{fault.ClassAssignment, fault.ClassChecking},
+			"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR")
+		cfg.Workers = workers
+		cfg.NoFastForward = noFFwd
+		for i := 0; i < b.N; i++ {
+			res, err := campaign.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Runs), "runs")
+		}
+	}
+	b.Run("straight", func(b *testing.B) { run(b, 1, true) })
 	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
 	seen := map[int]bool{}
 	for _, w := range counts {
@@ -135,19 +150,7 @@ func BenchmarkTable4Parallel(b *testing.B) {
 			continue
 		}
 		seen[w] = true
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			b.ReportAllocs()
-			cfg := campaignCfg([]fault.Class{fault.ClassAssignment, fault.ClassChecking},
-				"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR")
-			cfg.Workers = w
-			for i := 0; i < b.N; i++ {
-				res, err := campaign.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(res.Runs), "runs")
-			}
-		})
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { run(b, w, false) })
 	}
 }
 

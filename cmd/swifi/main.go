@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,9 +39,17 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel campaign workers (1 = serial; results are identical for any count)")
 	list := fs.Bool("list", false, "list experiment identifiers and exit")
 	verifyCases := fs.Int("verify-cases", 50, "input count for 'verify <program>'")
+	noFFwd := fs.Bool("no-ffwd", false, "disable golden-run checkpointing (full replay per injection)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *list {
 		fmt.Println(strings.Join(core.ExperimentIDs(), "\n"))
 		return nil
@@ -53,6 +62,7 @@ func run(args []string) error {
 	e := core.New(*scale)
 	e.Seed = *seed
 	e.Workers = *workers
+	e.NoFastForward = *noFFwd
 	switch *mode {
 	case "hw":
 		e.Mode = injector.ModeHardware
@@ -88,4 +98,40 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// startProfiles arms the pprof outputs requested on the command line and
+// returns the function that finalises them. The heap profile is written at
+// stop time, after a GC, so it reflects live retention (e.g. the golden
+// store's checkpoint chains) rather than transient allocation.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swifi:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "swifi:", err)
+			}
+		}
+	}, nil
 }

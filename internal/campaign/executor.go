@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/fault"
+	"repro/internal/golden"
 	"repro/internal/injector"
 	"repro/internal/parallel"
 	"repro/internal/programs"
@@ -57,8 +58,26 @@ func (p *machinePool) acquire(c *cc.Compiled, in programs.Input, maxCycles uint6
 	return m, nil
 }
 
+// restored hands out a pooled machine rewound to a golden-run checkpoint
+// instead of rebooted: the fast-forward path of the checkpointed executor.
+func (p *machinePool) restored(c *cc.Compiled, cp *golden.Checkpoint, maxCycles uint64) (*vm.Machine, error) {
+	m, ok := p.machines[c]
+	if !ok {
+		m = vm.New(vm.Config{})
+		if err := m.Load(c.Prog.Image); err != nil {
+			return nil, err
+		}
+		p.machines[c] = m
+	}
+	if err := m.Restore(cp.Snap); err != nil {
+		return nil, err
+	}
+	m.SetMaxCycles(maxCycles)
+	return m, nil
+}
+
 // runClean executes one clean run on a pooled machine.
-func (p *machinePool) runClean(c *cc.Compiled, cs workload.Case, maxCycles uint64) (RunResult, error) {
+func (p *machinePool) runClean(c *cc.Compiled, cs *workload.Case, maxCycles uint64) (RunResult, error) {
 	m, err := p.acquire(c, cs.Input, maxCycles)
 	if err != nil {
 		return RunResult{}, err
@@ -70,8 +89,9 @@ func (p *machinePool) runClean(c *cc.Compiled, cs workload.Case, maxCycles uint6
 	return res, nil
 }
 
-// runWithFault executes one injected run on a pooled machine.
-func (p *machinePool) runWithFault(c *cc.Compiled, cs workload.Case, f *fault.Fault, mode injector.Mode, maxCycles uint64) (RunResult, error) {
+// runWithFault executes one injected run on a pooled machine: the straight
+// path — reboot, arm, replay the whole run.
+func (p *machinePool) runWithFault(c *cc.Compiled, cs *workload.Case, f *fault.Fault, mode injector.Mode, maxCycles uint64) (RunResult, error) {
 	m, err := p.acquire(c, cs.Input, maxCycles)
 	if err != nil {
 		return RunResult{}, err
@@ -88,18 +108,112 @@ func (p *machinePool) runWithFault(c *cc.Compiled, cs workload.Case, f *fault.Fa
 	return res, nil
 }
 
+// runFastForward executes one injection over the golden record: dormant
+// faults reuse the recorded outcome outright, activated faults restore the
+// nearest checkpoint before the first trigger arrival and run only the
+// suffix. The outcome is identical to runWithFault (see the soundness
+// argument in package golden and TestFastForwardMatchesStraightRun); only
+// RunResult.Activations degrades to an at-least-once indicator when the
+// fault was armed leanly.
+func (p *machinePool) runFastForward(u *runUnit) (RunResult, error) {
+	if u.f.Trigger.Kind != fault.TriggerOnLocation {
+		// At-start faults apply before the first instruction; there is no
+		// fault-free prefix to skip.
+		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
+	}
+	rec, err := u.gold.store.Run(u.c, u.cs, u.budget, quantileMarks(u.budget), u.gold.ws)
+	if err != nil {
+		return RunResult{}, err
+	}
+	applying, safe := rec.RestorePoint(u.f.TriggerAddrs(), uint64(u.f.Trigger.Skip))
+	if !applying {
+		// Dormant: the corruption never applies, so the injected run is the
+		// golden run. Arm on a rebooted machine anyway — arming has its own
+		// observable failures (e.g. breakpoint exhaustion) that must stay
+		// identical to the straight path — then skip the execution.
+		m, err := p.acquire(u.c, u.cs.Input, u.budget)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if _, err := injector.Arm(m, u.mode, u.f); err != nil {
+			return RunResult{}, err
+		}
+		return resultFromRecord(rec, u.cs.Golden), nil
+	}
+	cp := rec.Nearest(safe)
+	if cp == nil {
+		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
+	}
+	m, err := p.restored(u.c, cp, u.budget)
+	if err != nil {
+		return RunResult{}, err
+	}
+	lean, err := injector.ArmLean(m, u.mode, u.f)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var s *injector.Session
+	if !lean {
+		if s, err = injector.Arm(m, u.mode, u.f); err != nil {
+			return RunResult{}, err
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		return RunResult{}, err
+	}
+	_, res := classify(m, u.cs.Golden)
+	if lean {
+		// Planted corruptions are not intercepted, so there is no exact
+		// count; the restore point guarantees at least one application.
+		res.Activations = 1
+	} else {
+		res.Activations = s.Activations()
+	}
+	return res, nil
+}
+
+// goldenSource tells the executor how to fast-forward a unit: which store
+// holds the golden records and the watch set they were (or will be)
+// recorded under. Units with a nil source take the straight path.
+type goldenSource struct {
+	store *golden.Store
+	ws    golden.WatchSet
+}
+
+// newGoldenSource builds the per-program source from every planned fault's
+// trigger addresses. It returns nil — disabling fast-forward — when no
+// fault is location-triggered.
+func newGoldenSource(faults ...[]fault.Fault) *goldenSource {
+	var addrs []uint32
+	for _, fs := range faults {
+		for fi := range fs {
+			f := &fs[fi]
+			if f.Trigger.Kind == fault.TriggerOnLocation {
+				addrs = append(addrs, f.TriggerAddrs()...)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	return &goldenSource{store: golden.Shared, ws: golden.NewWatchSet(addrs)}
+}
+
 // runUnit is one injection of a planned campaign: the (program, fault,
 // input) triple plus its calibrated watchdog budget and the index of the
-// Entry it aggregates into.
+// Entry it aggregates into. cs points into the canonical case slice — the
+// golden store keys records by that pointer. A non-nil gold enables the
+// checkpointed fast path.
 type runUnit struct {
 	program string
 	c       *cc.Compiled
 	f       *fault.Fault
-	cs      workload.Case
+	cs      *workload.Case
 	caseIx  int
 	budget  uint64
 	mode    injector.Mode
 	entry   int
+	gold    *goldenSource
 }
 
 // unitOutcome is the per-run data an Entry aggregates.
@@ -118,7 +232,13 @@ func executeUnits(workers int, units []runUnit) ([]unitOutcome, error) {
 			pools[w] = newMachinePool()
 		}
 		u := &units[i]
-		r, err := pools[w].runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
+		var r RunResult
+		var err error
+		if u.gold != nil {
+			r, err = pools[w].runFastForward(u)
+		} else {
+			r, err = pools[w].runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
+		}
 		if err != nil {
 			return fmt.Errorf("campaign: %s %s case %d: %w", u.program, u.f.ID, u.caseIx, err)
 		}
@@ -140,8 +260,34 @@ func RunCleanBatch(c *cc.Compiled, cases []workload.Case, maxCycles uint64, work
 		if pools[w] == nil {
 			pools[w] = newMachinePool()
 		}
-		return pools[w].runClean(c, cases[i], maxCycles)
+		return pools[w].runClean(c, &cases[i], maxCycles)
 	})
+}
+
+// Watchdog budget formula (see CalibrateCycles): budget = clean-run cycles
+// times budgetFactor plus budgetSlack.
+const (
+	budgetFactor = 3
+	budgetSlack  = 50_000
+)
+
+// quantileMarks derives the cycle counts the golden runner checkpoints at
+// for triggers not tied to a location: the quartiles of the calibrated
+// clean-run length, recovered by inverting the budget formula. Location
+// faults never use these (the first-arrival checkpoint is always at least
+// as good), but skip/random-trigger policies added later can.
+func quantileMarks(budget uint64) []uint64 {
+	if budget <= budgetSlack {
+		return nil
+	}
+	clean := (budget - budgetSlack) / budgetFactor
+	var marks []uint64
+	for _, q := range [...]uint64{clean / 4, clean / 2, 3 * clean / 4} {
+		if q > 0 && (len(marks) == 0 || q > marks[len(marks)-1]) {
+			marks = append(marks, q)
+		}
+	}
+	return marks
 }
 
 // calibKey identifies one calibration: budgets depend only on the compiled
@@ -174,14 +320,14 @@ func CalibrateCyclesWorkers(c *cc.Compiled, cases []workload.Case, workers int) 
 		if pools[w] == nil {
 			pools[w] = newMachinePool()
 		}
-		res, err := pools[w].runClean(c, cases[i], vm.DefaultMaxCycles)
+		res, err := pools[w].runClean(c, &cases[i], vm.DefaultMaxCycles)
 		if err != nil {
 			return 0, err
 		}
 		if res.Mode != Correct {
 			return 0, fmt.Errorf("campaign: clean run %d not correct (mode %v, state %v)", i, res.Mode, res.State)
 		}
-		return res.Cycles*3 + 50_000, nil
+		return res.Cycles*budgetFactor + budgetSlack, nil
 	})
 	if err != nil {
 		return nil, err

@@ -317,11 +317,11 @@ func VerifyEmulationWorkers(p *programs.Program, em *Emulation, s Strategy, mode
 		if pools[w] == nil {
 			pools[w] = newMachinePool()
 		}
-		real, err := pools[w].runClean(faulty, cases[i], vm.DefaultMaxCycles)
+		real, err := pools[w].runClean(faulty, &cases[i], vm.DefaultMaxCycles)
 		if err != nil {
 			return pairOutcome{}, err
 		}
-		injected, err := pools[w].runWithFault(correct, cases[i], f, mode, vm.DefaultMaxCycles)
+		injected, err := pools[w].runWithFault(correct, &cases[i], f, mode, vm.DefaultMaxCycles)
 		if err != nil {
 			return pairOutcome{}, err
 		}

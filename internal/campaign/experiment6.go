@@ -63,6 +63,12 @@ type Config struct {
 	// lives in planning, which is always serial, so the Result is
 	// bit-identical across worker counts for the same Seed.
 	Workers int
+	// NoFastForward disables golden-run checkpointing: every injection
+	// reboots and replays its full fault-free prefix, as the pre-checkpoint
+	// executor did. The Result is identical either way (the fast path is an
+	// execution shortcut, not a semantic change); the knob exists for A/B
+	// benchmarking and as the reference in equivalence tests.
+	NoFastForward bool
 }
 
 func (c *Config) fill() {
@@ -172,7 +178,11 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.MetricGuided {
 			rep = metrics.Analyze(name, c.AST)
 		}
-		for _, class := range cfg.Classes {
+		// Plan every class first: the golden watch set must cover the
+		// trigger addresses of all of the program's faults, so that one
+		// golden run per case serves every class.
+		plans := make([]*locator.Plan, len(cfg.Classes))
+		for i, class := range cfg.Classes {
 			var plan *locator.Plan
 			n := cfg.chosen(class, name)
 			switch class {
@@ -198,6 +208,20 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			plans[i] = plan
+		}
+
+		var gold *goldenSource
+		if !cfg.NoFastForward {
+			faultSets := make([][]fault.Fault, len(plans))
+			for i, plan := range plans {
+				faultSets[i] = plan.Faults
+			}
+			gold = newGoldenSource(faultSets...)
+		}
+
+		for pi, class := range cfg.Classes {
+			plan := plans[pi]
 			res.Plans = append(res.Plans, PlanInfo{
 				Program: name, Class: class,
 				Possible: plan.Possible, Chosen: len(plan.Chosen),
@@ -219,9 +243,9 @@ func Run(cfg Config) (*Result, error) {
 				for ci := range cases {
 					units = append(units, runUnit{
 						program: name, c: c, f: f,
-						cs: cases[ci], caseIx: ci,
+						cs: &cases[ci], caseIx: ci,
 						budget: budgets[ci], mode: cfg.Mode,
-						entry: ei,
+						entry: ei, gold: gold,
 					})
 				}
 			}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/fault"
+	"repro/internal/golden"
 	"repro/internal/injector"
 	"repro/internal/programs"
 	"repro/internal/vm"
@@ -80,24 +81,44 @@ func classify(m *vm.Machine, golden string) (FailureMode, RunResult) {
 		ExitStatus: m.ExitStatus(),
 	}
 	res.Exc, _ = m.Exception()
-	switch m.State() {
+	res.Mode = classifyMode(res.State, res.ExitStatus, res.Output, golden)
+	return res.Mode, res
+}
+
+// classifyMode is the failure-mode decision shared by classify and the
+// golden-record shortcut.
+func classifyMode(state vm.State, exit int32, output, golden string) FailureMode {
+	switch state {
 	case vm.StateHung:
-		res.Mode = Hang
+		return Hang
 	case vm.StateCrashed:
-		res.Mode = Crash
+		return Crash
 	case vm.StateHalted:
 		switch {
-		case m.ExitStatus() != 0:
-			res.Mode = Crash
-		case res.Output == golden:
-			res.Mode = Correct
+		case exit != 0:
+			return Crash
+		case output == golden:
+			return Correct
 		default:
-			res.Mode = Incorrect
+			return Incorrect
 		}
 	default:
-		res.Mode = Crash
+		return Crash
 	}
-	return res.Mode, res
+}
+
+// resultFromRecord rebuilds the RunResult of a run that was never executed
+// because its fault is dormant: the outcome is the golden run's, classified
+// against the oracle exactly as classify would.
+func resultFromRecord(rec *golden.Record, goldenOut string) RunResult {
+	return RunResult{
+		Mode:       classifyMode(rec.State, rec.ExitStatus, rec.Output, goldenOut),
+		State:      rec.State,
+		Exc:        rec.Exc,
+		Output:     rec.Output,
+		Cycles:     rec.Cycles,
+		ExitStatus: rec.ExitStatus,
+	}
 }
 
 // RunClean executes the program on one input with no fault armed.

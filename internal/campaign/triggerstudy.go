@@ -92,6 +92,12 @@ func RunTriggerStudyWorkers(programName string, nLocs, nCases int, seed int64, w
 		Faults:   len(faults),
 		Cases:    len(cases),
 	}
+	// One watch set serves every policy: the policies rewrite only the
+	// When parameters, never the trigger addresses. The late-activation
+	// policy benefits the most from the golden record — faults whose
+	// location executes fewer than Skip+1 times are recognised as dormant
+	// without running anything.
+	gold := newGoldenSource(faults)
 	var units []runUnit
 	for pi, pol := range res.Policies {
 		// Each policy gets its own fault copies so the trigger rewrite
@@ -106,9 +112,9 @@ func RunTriggerStudyWorkers(programName string, nLocs, nCases int, seed int64, w
 				units = append(units, runUnit{
 					program: fmt.Sprintf("trigger study %s", pol.Name),
 					c:       c, f: f,
-					cs: cases[ci], caseIx: ci,
+					cs: &cases[ci], caseIx: ci,
 					budget: budgets[ci], mode: injector.ModeHardware,
-					entry: pi,
+					entry: pi, gold: gold,
 				})
 			}
 		}

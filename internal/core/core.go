@@ -37,6 +37,11 @@ type Engine struct {
 	// runtime.GOMAXPROCS(0), 1 the legacy serial path. Results are
 	// bit-identical across worker counts for the same Seed.
 	Workers int
+	// NoFastForward disables golden-run checkpointing in the §6 campaigns,
+	// forcing every injection to reboot and replay its full fault-free
+	// prefix. Results are identical either way; the knob exists for A/B
+	// timing comparisons (swifi -no-ffwd).
+	NoFastForward bool
 
 	mu       sync.Mutex
 	campRes  *campaign.Result
@@ -187,6 +192,7 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		Seed:          e.Seed,
 		Mode:          e.Mode,
 		Workers:       e.Workers,
+		NoFastForward: e.NoFastForward,
 	}
 }
 

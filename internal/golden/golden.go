@@ -1,0 +1,279 @@
+// Package golden runs each (program, test case) pair once fault-free and
+// records everything a fault-injection campaign can reuse: the run's outcome
+// (output, final state, cycle count), the execution count and first-arrival
+// cycle of every planned trigger address, and a machine checkpoint
+// (vm.Snapshot) taken at each first arrival plus a few fixed cycle
+// quantiles.
+//
+// The record makes two fast paths sound for every injection of the same
+// (program, case):
+//
+//   - Dormant shortcut: an injected run is byte-identical to the golden run
+//     up to the first application of a corruption. If no trigger address
+//     executes often enough to apply (Count <= Skip for all of them), the
+//     corruption never applies and the injected run IS the golden run — no
+//     execution needed.
+//   - Fast-forward: otherwise the injected run can start from the latest
+//     checkpoint at or before the first arrival of any executed trigger
+//     address. Before that point zero trigger addresses have executed, so
+//     the injector's per-address execution counters — which restart at zero
+//     after a restore — count exactly what they would have counted in a
+//     full run, for any Skip/Once policy.
+//
+// Records are built on demand, once, under single-flight, and are immutable
+// afterwards; any number of campaign workers may read them concurrently.
+package golden
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// WatchSet is a canonicalised set of instruction addresses to watch during a
+// golden run: the union of every planned trigger address of a campaign over
+// one program. Its hash is part of the record's identity, so campaigns with
+// different plans do not share records built for the wrong address set.
+type WatchSet struct {
+	addrs []uint32
+	key   uint64
+}
+
+// NewWatchSet sorts, dedups and fingerprints the addresses.
+func NewWatchSet(addrs []uint32) WatchSet {
+	s := append([]uint32(nil), addrs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var last uint32
+	for i, a := range s {
+		if i == 0 || a != last {
+			out = append(out, a)
+			last = a
+		}
+	}
+	h := fnv.New64a()
+	var b [4]byte
+	for _, a := range out {
+		binary.BigEndian.PutUint32(b[:], a)
+		h.Write(b[:])
+	}
+	return WatchSet{addrs: out, key: h.Sum64()}
+}
+
+// Addrs returns the canonical (sorted, distinct) address list.
+func (w WatchSet) Addrs() []uint32 { return w.addrs }
+
+// Checkpoint is one restartable point of a golden run.
+type Checkpoint struct {
+	Addr   uint32 // watched address first reached here; 0 for a cycle mark
+	Cycles uint64 // completed instructions before the snapshot point
+	Snap   *vm.Snapshot
+}
+
+// Record is the reusable outcome of one fault-free run.
+type Record struct {
+	State      vm.State
+	Exc        vm.Exc
+	Output     string
+	Cycles     uint64
+	ExitStatus int32
+
+	// First maps each watched address that executed to the cycle count at
+	// its first arrival; Count to its total number of executions.
+	First map[uint32]uint64
+	Count map[uint32]uint64
+
+	// Checkpoints in increasing cycle order: one at the first arrival of
+	// each executed watched address, plus the cycle-quantile marks
+	// requested by the caller (for triggers not tied to a location).
+	Checkpoints []Checkpoint
+}
+
+// Nearest returns the latest checkpoint taken at or before the given cycle,
+// or nil if the earliest checkpoint is already past it.
+func (r *Record) Nearest(cycle uint64) *Checkpoint {
+	i := sort.Search(len(r.Checkpoints), func(i int) bool { return r.Checkpoints[i].Cycles > cycle })
+	if i == 0 {
+		return nil
+	}
+	return &r.Checkpoints[i-1]
+}
+
+// RestorePoint computes the fast-forward decision for a location-triggered
+// fault over the given trigger addresses and Skip count: whether any
+// corruption will apply at all (the fault is activated rather than dormant),
+// and the latest cycle an injected run may be restored at — the minimum
+// first arrival over the trigger addresses that execute. Restoring at or
+// before that cycle is sound for any Skip/Once policy because no trigger
+// address has executed yet, so the injector's execution counters see every
+// arrival a full run would count.
+func (r *Record) RestorePoint(addrs []uint32, skip uint64) (applying bool, safe uint64) {
+	safe = ^uint64(0)
+	for _, a := range addrs {
+		n := r.Count[a]
+		if n == 0 {
+			continue
+		}
+		if f := r.First[a]; f < safe {
+			safe = f
+		}
+		if n > skip {
+			applying = true
+		}
+	}
+	return applying, safe
+}
+
+// Store builds and serves Records. Each (compiled program, case, watch set)
+// triple is recorded at most once, under single-flight; concurrent callers
+// for the same key block until the one golden run finishes. Programs and
+// cases are keyed by pointer identity — programs.Program.Compile and
+// workload.Cached both return canonical values, so campaign layers hit the
+// same entries across runs.
+type Store struct {
+	mu      sync.Mutex
+	entries map[storeKey]*storeEntry
+	pools   sync.Map // *cc.Compiled -> *sync.Pool of *vm.Machine
+}
+
+type storeKey struct {
+	c  *cc.Compiled
+	cs *workload.Case
+	ws uint64
+}
+
+type storeEntry struct {
+	once sync.Once
+	rec  *Record
+	err  error
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[storeKey]*storeEntry)}
+}
+
+// Shared is the process-wide store used by the campaign executor, so
+// repeated campaigns over the same workload — including benchmark
+// iterations — reuse golden runs the way they reuse calibration budgets.
+var Shared = NewStore()
+
+// Run returns the record for (c, cs, ws), building it on first use by
+// running the program fault-free with the given watchdog budget. marks
+// lists extra cycle counts to checkpoint at (quantiles for triggers not
+// tied to a location); it is not part of the key, so callers must derive it
+// deterministically from the budget.
+func (s *Store) Run(c *cc.Compiled, cs *workload.Case, budget uint64, marks []uint64, ws WatchSet) (*Record, error) {
+	key := storeKey{c: c, cs: cs, ws: ws.key}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &storeEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.rec, e.err = s.record(c, cs, budget, marks, ws) })
+	return e.rec, e.err
+}
+
+func (s *Store) record(c *cc.Compiled, cs *workload.Case, budget uint64, marks []uint64, ws WatchSet) (*Record, error) {
+	m, err := s.acquire(c)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(c, m)
+	m.SetMaxCycles(budget)
+	m.SetInput(cs.Input.Ints)
+	m.SetByteInput(cs.Input.Bytes)
+
+	rec := &Record{
+		First: make(map[uint32]uint64),
+		Count: make(map[uint32]uint64),
+	}
+	m.SetWatch(ws.addrs, marks, func(mm *vm.Machine, pc uint32, cycleMark bool) {
+		if cycleMark {
+			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Cycles: mm.Cycles(), Snap: mm.Snapshot()})
+			return
+		}
+		n := rec.Count[pc]
+		rec.Count[pc] = n + 1
+		if n == 0 {
+			rec.First[pc] = mm.Cycles()
+			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Addr: pc, Cycles: mm.Cycles(), Snap: mm.Snapshot()})
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		return nil, err
+	}
+	rec.State = m.State()
+	rec.Exc, _ = m.Exception()
+	rec.Output = string(m.Output())
+	rec.Cycles = m.Cycles()
+	rec.ExitStatus = m.ExitStatus()
+	return rec, nil
+}
+
+// acquire hands out a rebooted machine for the program, reusing pooled ones.
+func (s *Store) acquire(c *cc.Compiled) (*vm.Machine, error) {
+	pi, _ := s.pools.LoadOrStore(c, &sync.Pool{})
+	if v := pi.(*sync.Pool).Get(); v != nil {
+		m := v.(*vm.Machine)
+		if err := m.Reset(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (s *Store) release(c *cc.Compiled, m *vm.Machine) {
+	// Drop the watch hook now (it closes over the record) rather than at
+	// the next Reset.
+	m.ClearWatch()
+	if pi, ok := s.pools.Load(c); ok {
+		pi.(*sync.Pool).Put(m)
+	}
+}
+
+// Stats reports the store's current size: how many records it holds and the
+// total checkpoints and distinct page copies they retain. Shared pages are
+// counted once, so pages*1024 approximates the memory pinned by snapshots.
+func (s *Store) Stats() (records, checkpoints, pages int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[*vm.Snapshot]bool)
+	for _, e := range s.entries {
+		if e.rec == nil {
+			continue
+		}
+		records++
+		checkpoints += len(e.rec.Checkpoints)
+		for i := range e.rec.Checkpoints {
+			snap := e.rec.Checkpoints[i].Snap
+			if !seen[snap] {
+				seen[snap] = true
+				pages += snap.Pages()
+			}
+		}
+	}
+	// Pages shared across snapshots are still multiply counted here; the
+	// figure is an upper bound.
+	return records, checkpoints, pages
+}
+
+// Purge drops every record, releasing the checkpoints' memory. Long-lived
+// processes that sweep many distinct workloads can call it between sweeps.
+func (s *Store) Purge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[storeKey]*storeEntry)
+}

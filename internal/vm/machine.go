@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strconv"
@@ -29,6 +30,21 @@ const (
 	TextBase         = 0x1000  // load address of the text segment
 	WordSize         = 4       // bytes per machine word
 	NumIABR          = 2       // PPC 601: two instruction-address breakpoints
+)
+
+// Dirty-page tracking granularity. Stores are word- or byte-sized and words
+// are 4-aligned, so no write ever crosses a page boundary.
+const (
+	pageShift = 10 // 1024-byte pages
+	pageSize  = 1 << pageShift
+)
+
+// Per-page dirty flags. pageBoot marks a page modified since Load/Reset (its
+// content may differ from the pristine image); pageSnap marks it modified
+// since the machine's most recent Snapshot. pageSnap implies pageBoot.
+const (
+	pageBoot uint8 = 1 << iota
+	pageSnap
 )
 
 // Exc identifies a hardware exception. Any exception terminates the run with
@@ -169,7 +185,10 @@ type Machine struct {
 
 	// decoded caches the decoded form of every text word so the fetch path
 	// does not re-decode on each cycle; decodedOK marks valid entries. The
-	// cache is refreshed by Load and by WriteWord into text.
+	// cache is refreshed by Load and by WriteWord into text. Invariant:
+	// an entry with decodedOK false is the zero Inst, so its OpIllegal
+	// opcode raises ExcIllegal in execute — letting the fast loop skip the
+	// decodedOK load entirely.
 	decoded   []Inst
 	decodedOK []bool
 
@@ -180,13 +199,38 @@ type Machine struct {
 	// read-only).
 	textWritable bool
 
+	// hot caches "no per-step observer is armed": no watchpoints, no trace
+	// ring, no fetch hook, no live breakpoint hook. Run uses it to pick the
+	// fused fast loop over the general step; every setter that arms or
+	// clears one of those observers refreshes it via updateHot. Load/store/
+	// trap hooks are irrelevant — they cost nothing on the fetch path.
+	hot bool
+
 	// img is the image installed by Load, retained so Reset can restore
 	// the machine without a reload. textDirty records that text memory (and
 	// hence the decoded cache) was modified after Load — by the injector
-	// planting persistent corruptions or trap words — so Reset knows when
-	// the decoded cache must be rebuilt.
+	// planting persistent corruptions or trap words, or by PlantDecoded —
+	// so Reset knows when the decoded cache must be rebuilt.
 	img       Image
 	textDirty bool
+
+	// Dirty-page tracking: pageFlags holds pageBoot/pageSnap bits per page
+	// and dirtyPages lists every page with pageBoot set, so Reset, Snapshot
+	// and Restore cost O(pages actually written) instead of O(memory size).
+	// prevSnap is the machine's most recent Snapshot; pages unchanged since
+	// it was taken are shared with it (copy-on-write) by the next Snapshot.
+	pageFlags  []uint8
+	dirtyPages []uint32
+	prevSnap   *Snapshot
+
+	// Watchpoints (see watch.go): the golden runner uses them to take
+	// checkpoints at the first arrival of planned trigger addresses and at
+	// fixed cycle marks.
+	watchIdx      []bool
+	watchAny      bool
+	watchCycles   []uint64
+	watchCyclePos int
+	watchHook     WatchHook
 }
 
 // Config parameterises a new Machine. The zero value selects defaults.
@@ -254,6 +298,9 @@ func (m *Machine) Load(img Image) error {
 	if int(dataStart)+len(img.Data) > len(m.mem)/2 {
 		return fmt.Errorf("vm: image too large: %d text bytes + %d data bytes", textBytes, len(img.Data))
 	}
+	if m.pageFlags == nil {
+		m.pageFlags = make([]uint8, (len(m.mem)+pageSize-1)/pageSize)
+	}
 	for i := range m.mem {
 		m.mem[i] = 0
 	}
@@ -292,7 +339,60 @@ func (m *Machine) Load(img Image) error {
 	m.output = m.output[:0]
 	m.img = img
 	m.textDirty = false
+	// Memory now equals the pristine image by construction.
+	clear(m.pageFlags)
+	m.dirtyPages = m.dirtyPages[:0]
+	m.prevSnap = nil
+	m.clearWatch()
 	return nil
+}
+
+// markPage flags one page dirty since boot and since the last snapshot,
+// registering it in the dirty list on its first write.
+func (m *Machine) markPage(pi uint32) {
+	if m.pageFlags[pi] == 0 {
+		m.dirtyPages = append(m.dirtyPages, pi)
+	}
+	m.pageFlags[pi] = pageBoot | pageSnap
+}
+
+// refreshPage rewrites one page to its pristine post-Load content: zeros,
+// overlaid with the text and data segments where they intersect the page.
+// It writes memory directly and leaves the page flags to the caller.
+func (m *Machine) refreshPage(pi uint32) {
+	lo := pi << pageShift
+	hi := lo + pageSize
+	if hi > uint32(len(m.mem)) {
+		hi = uint32(len(m.mem))
+	}
+	clear(m.mem[lo:hi])
+	if lo < m.textEnd && hi > m.textBase {
+		a, b := lo, hi
+		if a < m.textBase {
+			a = m.textBase
+		}
+		if b > m.textEnd {
+			b = m.textEnd
+		}
+		for addr := a; addr < b; addr += WordSize {
+			w := m.img.Text[(addr-m.textBase)/WordSize]
+			m.mem[addr] = byte(w >> 24)
+			m.mem[addr+1] = byte(w >> 16)
+			m.mem[addr+2] = byte(w >> 8)
+			m.mem[addr+3] = byte(w)
+		}
+	}
+	dEnd := m.dataBase + uint32(len(m.img.Data))
+	if lo < dEnd && hi > m.dataBase {
+		a, b := lo, hi
+		if a < m.dataBase {
+			a = m.dataBase
+		}
+		if b > dEnd {
+			b = dEnd
+		}
+		copy(m.mem[a:b], m.img.Data[a-m.dataBase:b-m.dataBase])
+	}
 }
 
 // Reset restores a loaded machine to its post-Load state — memory image,
@@ -306,11 +406,14 @@ func (m *Machine) Reset() error {
 	if m.state == 0 {
 		return ErrNotLoaded
 	}
-	clear(m.mem)
-	for i, w := range m.img.Text {
-		m.putWordRaw(m.textBase+uint32(i)*WordSize, w)
+	// Only pages actually written since Load/Reset can differ from the
+	// image, so reverting those restores all of memory.
+	for _, pi := range m.dirtyPages {
+		m.refreshPage(pi)
+		m.pageFlags[pi] = 0
 	}
-	copy(m.mem[m.dataBase:], m.img.Data)
+	m.dirtyPages = m.dirtyPages[:0]
+	m.prevSnap = nil
 	m.brk = m.dataBase + uint32(len(m.img.Data))
 	m.brk = (m.brk + WordSize - 1) &^ (WordSize - 1)
 
@@ -325,6 +428,7 @@ func (m *Machine) Reset() error {
 				m.decoded[i] = in
 				m.decodedOK[i] = true
 			} else {
+				m.decoded[i] = Inst{}
 				m.decodedOK[i] = false
 			}
 		}
@@ -353,6 +457,7 @@ func (m *Machine) Reset() error {
 	m.trapHook = nil
 	m.trace = nil
 	m.textWritable = false
+	m.clearWatch()
 	return nil
 }
 
@@ -404,20 +509,19 @@ func (m *Machine) PC() uint32 { return m.pc }
 // SetPC overrides the program counter (debugger/injector use).
 func (m *Machine) SetPC(pc uint32) { m.pc = pc }
 
-// Reg returns general-purpose register n (r0 always reads zero).
+// Reg returns general-purpose register n (r0 always reads zero). The read
+// is branchless: regs[0] is kept zero as an invariant — Load, Reset and
+// Restore all establish it and SetReg refuses to break it.
 func (m *Machine) Reg(n uint8) uint32 {
-	if n == RegZero {
-		return 0
-	}
 	return m.regs[n&31]
 }
 
-// SetReg writes general-purpose register n (writes to r0 are ignored).
+// SetReg writes general-purpose register n (writes to r0 are ignored). The
+// write is branchless: it lands unconditionally and r0 is re-zeroed, which
+// restores the regs[0]==0 invariant Reg relies on.
 func (m *Machine) SetReg(n uint8, v uint32) {
-	if n == RegZero {
-		return
-	}
 	m.regs[n&31] = v
+	m.regs[0] = 0
 }
 
 // LR returns the link register.
@@ -435,6 +539,7 @@ func (m *Machine) SetIABR(i int, addr uint32) error {
 	m.iabr[i] = addr
 	m.iabrSet[i] = true
 	m.iabrAny = true
+	m.updateHot()
 	return nil
 }
 
@@ -449,13 +554,20 @@ func (m *Machine) ClearIABR(i int) {
 			m.iabrAny = true
 		}
 	}
+	m.updateHot()
 }
 
 // SetIABRHook installs the callback run on IABR hits.
-func (m *Machine) SetIABRHook(h IABRHook) { m.iabrHook = h }
+func (m *Machine) SetIABRHook(h IABRHook) { m.iabrHook = h; m.updateHot() }
 
 // SetFetchHook installs the instruction-bus corruption hook.
-func (m *Machine) SetFetchHook(h FetchHook) { m.fetchHook = h }
+func (m *Machine) SetFetchHook(h FetchHook) { m.fetchHook = h; m.updateHot() }
+
+// updateHot refreshes the fast-loop eligibility cache; see the field.
+func (m *Machine) updateHot() {
+	m.hot = !m.watchAny && m.trace == nil && m.fetchHook == nil &&
+		!(m.iabrAny && m.iabrHook != nil)
+}
 
 // SetLoadHook installs the data-load corruption hook.
 func (m *Machine) SetLoadHook(h LoadHook) { m.loadHook = h }
@@ -496,15 +608,14 @@ func (m *Machine) raise(e Exc, at uint32) {
 
 // putWordRaw writes a big-endian word without protection checks (loader use).
 func (m *Machine) putWordRaw(addr, w uint32) {
-	m.mem[addr] = byte(w >> 24)
-	m.mem[addr+1] = byte(w >> 16)
-	m.mem[addr+2] = byte(w >> 8)
-	m.mem[addr+3] = byte(w)
+	if pi := addr >> pageShift; m.pageFlags[pi] != pageBoot|pageSnap {
+		m.markPage(pi)
+	}
+	binary.BigEndian.PutUint32(m.mem[addr:], w)
 }
 
 func (m *Machine) getWordRaw(addr uint32) uint32 {
-	return uint32(m.mem[addr])<<24 | uint32(m.mem[addr+1])<<16 |
-		uint32(m.mem[addr+2])<<8 | uint32(m.mem[addr+3])
+	return binary.BigEndian.Uint32(m.mem[addr:])
 }
 
 // ReadWord reads a word with the injector's privileges (no protection check
@@ -532,6 +643,7 @@ func (m *Machine) WriteWord(addr, w uint32) error {
 			m.decoded[i] = in
 			m.decodedOK[i] = true
 		} else {
+			m.decoded[i] = Inst{}
 			m.decodedOK[i] = false
 		}
 		m.textDirty = true
@@ -593,6 +705,9 @@ func (m *Machine) storeByte(addr, v uint32) bool {
 	if m.storeHook != nil {
 		v = m.storeHook(addr, v)
 	}
+	if pi := addr >> pageShift; m.pageFlags[pi] != pageBoot|pageSnap {
+		m.markPage(pi)
+	}
 	m.mem[addr] = byte(v)
 	return true
 }
@@ -600,21 +715,16 @@ func (m *Machine) storeByte(addr, v uint32) bool {
 // dataAccessible reports whether [addr, addr+n) is readable by the program:
 // anywhere in text (constants live there) or above the data base.
 func (m *Machine) dataAccessible(addr, n uint32) bool {
-	end := addr + n
-	if end < addr || int(end) > len(m.mem) {
-		return false
-	}
-	return addr >= m.textBase
+	// Both range conditions fold into one unsigned comparison: addr-base
+	// underflows to a huge value for addr below the base, and the bound
+	// keeps addr+n within memory (n <= 4 << base, so it cannot underflow).
+	return addr-m.textBase <= uint32(len(m.mem))-n-m.textBase
 }
 
 // dataWritable reports whether [addr, addr+n) is writable by the program:
 // data, heap or stack, but never text.
 func (m *Machine) dataWritable(addr, n uint32) bool {
-	end := addr + n
-	if end < addr || int(end) > len(m.mem) {
-		return false
-	}
-	return addr >= m.dataBase
+	return addr-m.dataBase <= uint32(len(m.mem))-n-m.dataBase
 }
 
 // Run executes until the program halts, crashes, hangs, or the watchdog
@@ -627,14 +737,117 @@ func (m *Machine) Run() (State, error) {
 		return m.state, fmt.Errorf("vm: machine not ready (state %s)", m.state)
 	}
 	m.state = StateRunning
+	// Hot-loop invariants: the text geometry and the decoded cache's
+	// backing array are fixed for the lifetime of a run — only Load
+	// replaces them, and hooks must never re-Load a running machine.
+	// Hoisting them saves their reload on every instruction (the compiler
+	// cannot prove the execute call leaves them alone). In-place cache
+	// updates (WriteWord, PlantDecoded from a trap hook) still land in the
+	// hoisted slice's backing array.
+	decoded := m.decoded
+	textBase := m.textBase
 	for m.state == StateRunning {
-		m.step()
+		// The fast loop is the general step with every absent-observer
+		// check hoisted out. hot is re-read each iteration because a trap
+		// hook (which execute can invoke) may arm an observer mid-run.
+		if !m.hot {
+			m.step()
+			continue
+		}
+		if m.cycles >= m.maxCycles {
+			m.state = StateHung
+			break
+		}
+		m.cycles++
+		pc := m.pc
+		if pc&(WordSize-1) != 0 {
+			m.raise(ExcAlign, pc)
+			break
+		}
+		idx := (pc - textBase) / WordSize
+		if idx >= uint32(len(decoded)) {
+			m.raise(ExcProt, pc)
+			break
+		}
+		// No decodedOK check: undecodable entries are kept as the zero
+		// Inst, whose OpIllegal raises ExcIllegal at pc inside execute —
+		// the same exception the check would produce.
+		//
+		// The most frequent opcodes are executed inline to spare the call
+		// into execute's full switch; each case replicates its execute
+		// counterpart exactly (the straight-vs-checkpointed equivalence
+		// tests compare the two paths instruction stream for instruction
+		// stream). The stack-overflow check runs only on writes to SP
+		// here: with no observer hooks armed, SP cannot move any other
+		// way — ops that can reach a hook (loads, stores, sc, trap) and
+		// all rarer ops take the execute path with its unconditional
+		// check.
+		in := decoded[idx]
+		switch in.Op {
+		case OpAddi:
+			m.regs[in.RD&31] = m.regs[in.RA&31] + uint32(in.Imm)
+			m.regs[0] = 0
+			if in.RD == RegSP && m.regs[RegSP] < m.stackLim && m.regs[RegSP] != 0 {
+				m.raise(ExcStackOvf, pc)
+				break
+			}
+			m.pc = pc + WordSize
+		case OpAdd:
+			m.regs[in.RD&31] = m.regs[in.RA&31] + m.regs[in.RB&31]
+			m.regs[0] = 0
+			if in.RD == RegSP && m.regs[RegSP] < m.stackLim && m.regs[RegSP] != 0 {
+				m.raise(ExcStackOvf, pc)
+				break
+			}
+			m.pc = pc + WordSize
+		case OpCmpwi:
+			m.cr[(in.RD>>2)&7] = compare(int32(m.regs[in.RA&31]), in.Imm)
+			m.pc = pc + WordSize
+		case OpCmpw:
+			m.cr[(in.RD>>2)&7] = compare(int32(m.regs[in.RA&31]), int32(m.regs[in.RB&31]))
+			m.pc = pc + WordSize
+		case OpBc:
+			if m.cr[in.RA&7].holds(Cond(in.RD)) {
+				m.pc = pc + uint32(in.Imm)
+			} else {
+				m.pc = pc + WordSize
+			}
+		case OpB:
+			m.pc = pc + uint32(in.Off26)
+		case OpBl:
+			m.lr = pc + WordSize
+			m.pc = pc + uint32(in.Off26)
+		case OpBlr:
+			m.pc = m.lr
+		case OpMflr:
+			m.regs[in.RD&31] = m.lr
+			m.regs[0] = 0
+			if in.RD == RegSP && m.regs[RegSP] < m.stackLim && m.regs[RegSP] != 0 {
+				m.raise(ExcStackOvf, pc)
+				break
+			}
+			m.pc = pc + WordSize
+		case OpMtlr:
+			m.lr = m.regs[in.RD&31]
+			m.pc = pc + WordSize
+		case OpNop:
+			m.pc = pc + WordSize
+		default:
+			m.execute(pc, in)
+		}
 	}
 	return m.state, nil
 }
 
 // step fetches, decodes and executes one instruction.
 func (m *Machine) step() {
+	// Watchpoints fire before the cycle is counted and before the watchdog,
+	// so a snapshot taken in the hook records cycles == completed
+	// instructions and a resumed machine executes the watched instruction
+	// exactly once.
+	if m.watchAny {
+		m.checkWatch()
+	}
 	if m.cycles >= m.maxCycles {
 		m.state = StateHung
 		return
@@ -837,7 +1050,11 @@ func (m *Machine) execute(pc uint32, in Inst) {
 	if m.state != StateRunning && m.state != StateReady {
 		return
 	}
-	// Stack overflow check: trip when SP dives below the heap guard.
+	// Stack overflow check: trip when SP dives below the heap guard. It
+	// must run after every instruction, not only those with RD == SP: an
+	// injector hook (CorruptRegister) can move SP from outside execute,
+	// and the trap at the next instruction is part of the observable
+	// failure-mode timing.
 	if m.regs[RegSP] < m.stackLim && m.regs[RegSP] != 0 {
 		m.raise(ExcStackOvf, pc)
 		return

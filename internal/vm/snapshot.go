@@ -1,0 +1,232 @@
+package vm
+
+import "fmt"
+
+// Snapshot/Restore is the mechanism behind golden-run checkpointing: the
+// campaign executor restores a worker machine to the state a fault-free run
+// had just before the injection's first trigger arrival, instead of
+// rebooting and replaying the whole prefix. A snapshot holds only the pages
+// written since Load — at 1024-byte granularity — so both taking and
+// restoring one cost O(dirty pages), not O(memory size). Consecutive
+// snapshots of the same machine share the copies of pages that did not
+// change in between (copy-on-write), which keeps a golden run's checkpoint
+// chain cheap even when checkpoints are cycles apart.
+
+// Snapshot is an immutable copy of a machine's execution state: registers,
+// CR, LR, PC, cycle counter, exception/exit state, I/O streams with their
+// positions, the dirty pages of memory, and whether the text segment (and
+// hence the decoded-instruction cache) had been modified. It is safe to
+// restore concurrently onto any number of machines loaded with the same
+// image.
+//
+// Deliberately excluded: the watchdog budget (callers set it per run via
+// SetMaxCycles), hooks, breakpoint registers, watchpoints and the trace
+// ring. Restore clears all of those, exactly like Reset, so an injector
+// session must be armed after Restore — never before.
+type Snapshot struct {
+	regs       [32]uint32
+	pc, lr     uint32
+	cr         [8]crField
+	brk        uint32
+	state      State
+	exc        Exc
+	excAt      uint32
+	exitStatus int32
+	cycles     uint64
+
+	input   []int32
+	inPos   int
+	inBytes []byte
+	inBPos  int
+	output  []byte
+
+	// pages holds a copy of every page whose content differs (or may
+	// differ) from the pristine image, keyed by page index. Entries may be
+	// shared with earlier snapshots of the same machine.
+	pages     map[uint32][]byte
+	textDirty bool
+
+	// Image geometry, to reject restoring onto an incompatible machine.
+	memSize  int
+	textEnd  uint32
+	dataBase uint32
+	textLen  int
+}
+
+// Cycles returns the value of the machine's cycle counter at snapshot time —
+// with the step ordering of watchpoints, the number of completed
+// instructions before the instruction the machine was about to execute.
+func (s *Snapshot) Cycles() uint64 { return s.cycles }
+
+// Pages returns the number of memory pages the snapshot carries (shared or
+// owned); a cost observability hook for tests and stats.
+func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// Snapshot captures the machine's current execution state. It returns nil if
+// no program is loaded. Taking a snapshot does not disturb the run: it may
+// be called from a watch hook mid-execution and the machine continues
+// exactly as if it had not been called.
+func (m *Machine) Snapshot() *Snapshot {
+	if m.state == 0 {
+		return nil
+	}
+	s := &Snapshot{
+		regs:       m.regs,
+		pc:         m.pc,
+		lr:         m.lr,
+		cr:         m.cr,
+		brk:        m.brk,
+		state:      m.state,
+		exc:        m.exc,
+		excAt:      m.excAt,
+		exitStatus: m.exitStatus,
+		cycles:     m.cycles,
+		input:      append([]int32(nil), m.input...),
+		inPos:      m.inPos,
+		inBytes:    append([]byte(nil), m.inBytes...),
+		inBPos:     m.inBPos,
+		output:     append([]byte(nil), m.output...),
+		textDirty:  m.textDirty,
+		memSize:    len(m.mem),
+		textEnd:    m.textEnd,
+		dataBase:   m.dataBase,
+		textLen:    len(m.img.Text),
+	}
+	s.pages = make(map[uint32][]byte, len(m.dirtyPages))
+	for _, pi := range m.dirtyPages {
+		// A page untouched since the previous snapshot shares that
+		// snapshot's copy instead of being copied again.
+		if m.pageFlags[pi]&pageSnap == 0 && m.prevSnap != nil {
+			if pg, ok := m.prevSnap.pages[pi]; ok {
+				s.pages[pi] = pg
+				continue
+			}
+		}
+		lo := pi << pageShift
+		hi := lo + pageSize
+		if hi > uint32(len(m.mem)) {
+			hi = uint32(len(m.mem))
+		}
+		pg := make([]byte, hi-lo)
+		copy(pg, m.mem[lo:hi])
+		s.pages[pi] = pg
+		m.pageFlags[pi] = pageBoot
+	}
+	m.prevSnap = s
+	return s
+}
+
+// Restore rewinds the machine to the snapshot's state. The machine must be
+// loaded with the same image the snapshot was taken from (any machine for
+// the same compiled program qualifies, not just the one that produced it).
+//
+// Memory is restored page-wise: pages dirty on this machine but absent from
+// the snapshot revert to the pristine image, then the snapshot's pages are
+// copied in. Hooks, breakpoint registers, watchpoints, trace and text
+// writability are cleared as by Reset, so injector sessions must re-arm on
+// the restored machine. A snapshot taken mid-run (inside a watch hook)
+// restores to StateReady, so Run resumes from the snapshot point; the cycle
+// counter is restored too, keeping watchdog semantics identical to a full
+// replay. The watchdog budget itself is not part of the snapshot — set it
+// with SetMaxCycles after Restore.
+func (m *Machine) Restore(s *Snapshot) error {
+	if m.state == 0 {
+		return ErrNotLoaded
+	}
+	if s == nil {
+		return fmt.Errorf("vm: restore of nil snapshot")
+	}
+	if len(m.mem) != s.memSize || m.textEnd != s.textEnd || m.dataBase != s.dataBase || len(m.img.Text) != s.textLen {
+		return fmt.Errorf("vm: snapshot is from an incompatible machine or image")
+	}
+
+	for _, pi := range m.dirtyPages {
+		if _, ok := s.pages[pi]; !ok {
+			m.refreshPage(pi)
+			m.pageFlags[pi] = 0
+		}
+	}
+	m.dirtyPages = m.dirtyPages[:0]
+	for pi, pg := range s.pages {
+		copy(m.mem[pi<<pageShift:], pg)
+		// Dirty since boot, clean since "the last snapshot" (s itself), so
+		// a future Snapshot of this machine can share the page with s.
+		m.pageFlags[pi] = pageBoot
+		m.dirtyPages = append(m.dirtyPages, pi)
+	}
+	m.prevSnap = s
+
+	m.regs = s.regs
+	m.pc = s.pc
+	m.lr = s.lr
+	m.cr = s.cr
+	m.brk = s.brk
+	// stackLim is a Load-time constant of the image (SysBrk moves brk but
+	// never the stack guard), so the loaded machine's value already matches.
+	m.state = s.state
+	if s.state == StateRunning {
+		m.state = StateReady
+	}
+	m.exc = s.exc
+	m.excAt = s.excAt
+	m.exitStatus = s.exitStatus
+	m.cycles = s.cycles
+	m.input = append(m.input[:0], s.input...)
+	m.inPos = s.inPos
+	m.inBytes = append(m.inBytes[:0], s.inBytes...)
+	m.inBPos = s.inBPos
+	m.output = append(m.output[:0], s.output...)
+
+	// The decoded cache mirrors text memory; rebuild it when either side of
+	// the restore had text modifications.
+	if m.textDirty || s.textDirty {
+		for i := range m.decoded {
+			w := m.getWordRaw(m.textBase + uint32(i)*WordSize)
+			if in, err := Decode(w); err == nil {
+				m.decoded[i] = in
+				m.decodedOK[i] = true
+			} else {
+				m.decoded[i] = Inst{}
+				m.decodedOK[i] = false
+			}
+		}
+	}
+	m.textDirty = s.textDirty
+
+	m.iabr = [NumIABR]uint32{}
+	m.iabrSet = [NumIABR]bool{}
+	m.iabrAny = false
+	m.iabrHook = nil
+	m.fetchHook = nil
+	m.loadHook = nil
+	m.storeHook = nil
+	m.trapHook = nil
+	m.trace = nil
+	m.textWritable = false
+	m.clearWatch()
+	return nil
+}
+
+// PlantDecoded replaces the decoded-cache entry for one text address with
+// the decoding of word, leaving text memory untouched. This is the
+// zero-overhead form of an every-execution instruction-bus corruption: the
+// straight engine's fetch hook intercepts every cycle to substitute the word
+// at one address, while a planted entry executes at full speed with
+// bit-identical semantics (an undecodable word raises ExcIllegal at the
+// address, exactly like a corrupted fetch). Reset and Restore rebuild the
+// cache from memory, un-planting it.
+func (m *Machine) PlantDecoded(addr, word uint32) error {
+	if addr%WordSize != 0 || addr < m.textBase || addr >= m.textEnd {
+		return fmt.Errorf("vm: plant outside text at %#x", addr)
+	}
+	i := (addr - m.textBase) / WordSize
+	if in, err := Decode(word); err == nil {
+		m.decoded[i] = in
+		m.decodedOK[i] = true
+	} else {
+		m.decoded[i] = Inst{}
+		m.decodedOK[i] = false
+	}
+	m.textDirty = true
+	return nil
+}

@@ -1,0 +1,354 @@
+package vm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/programs"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// loadFor compiles the named program and returns a loaded machine plus one
+// generated case.
+func loadFor(t *testing.T, name string) (*vm.Machine, *programs.Program, workload.Case) {
+	t.Helper()
+	p, ok := programs.ByName(name)
+	if !ok {
+		t.Fatalf("%s missing from the suite", name)
+	}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := workload.Generate(p.Kind, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	return m, p, cases[0]
+}
+
+// TestSnapshotRestoreResumesIdentically is the core checkpoint contract: a
+// machine restored from a mid-run snapshot — onto a different machine than
+// the one that produced it — finishes with the same output, cycle count and
+// state as the uninterrupted run, for every Table 4 program.
+func TestSnapshotRestoreResumesIdentically(t *testing.T) {
+	for _, p := range programs.Table4Programs() {
+		c, err := p.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		cases, err := workload.Generate(p.Kind, 2, 13)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for ci := range cases {
+			// Reference: one uninterrupted run.
+			ref := vm.New(vm.Config{})
+			if err := ref.Load(c.Prog.Image); err != nil {
+				t.Fatal(err)
+			}
+			ref.SetInput(cases[ci].Input.Ints)
+			ref.SetByteInput(cases[ci].Input.Bytes)
+			if _, err := ref.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshot(ref)
+
+			// Snapshot mid-run via a cycle-mark watch at half the run.
+			src := vm.New(vm.Config{})
+			if err := src.Load(c.Prog.Image); err != nil {
+				t.Fatal(err)
+			}
+			src.SetInput(cases[ci].Input.Ints)
+			src.SetByteInput(cases[ci].Input.Bytes)
+			var snap *vm.Snapshot
+			src.SetWatch(nil, []uint64{want.cycles / 2}, func(m *vm.Machine, pc uint32, cycleMark bool) {
+				if snap == nil {
+					snap = m.Snapshot()
+				}
+			})
+			if _, err := src.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshot(src); !got.equal(want) {
+				t.Fatalf("%s case %d: watched run diverged: %+v != %+v", p.Name, ci, got, want)
+			}
+			if snap == nil {
+				t.Fatalf("%s case %d: watch hook never fired", p.Name, ci)
+			}
+
+			// Restore onto a different, previously used machine.
+			dst := vm.New(vm.Config{})
+			if err := dst.Load(c.Prog.Image); err != nil {
+				t.Fatal(err)
+			}
+			dst.SetInput(cases[(ci+1)%len(cases)].Input.Ints)
+			dst.SetByteInput(cases[(ci+1)%len(cases)].Input.Bytes)
+			if _, err := dst.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Restore(snap); err != nil {
+				t.Fatalf("%s case %d: restore: %v", p.Name, ci, err)
+			}
+			if dst.Cycles() != snap.Cycles() {
+				t.Fatalf("%s case %d: restored cycles %d != snapshot cycles %d", p.Name, ci, dst.Cycles(), snap.Cycles())
+			}
+			if _, err := dst.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshot(dst); !got.equal(want) {
+				t.Fatalf("%s case %d: restored run %+v != uninterrupted %+v", p.Name, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotSharesUnchangedPages pins the copy-on-write design: a second
+// snapshot taken immediately after the first carries the same pages without
+// recopying (its page set is identical), and restoring either yields the
+// same memory.
+func TestSnapshotSharesUnchangedPages(t *testing.T) {
+	m, _, cs := loadFor(t, "JB.team11")
+	m.SetInput(cs.Input.Ints)
+	m.SetByteInput(cs.Input.Bytes)
+	var snaps []*vm.Snapshot
+	m.SetWatch(nil, []uint64{100, 101}, func(mm *vm.Machine, pc uint32, cycleMark bool) {
+		snaps = append(snaps, mm.Snapshot())
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("expected 2 snapshots, got %d", len(snaps))
+	}
+	a, b := snaps[0], snaps[1]
+	if a.Pages() == 0 {
+		t.Fatal("first snapshot carries no pages; the sharing check is vacuous")
+	}
+	// One instruction apart, the page sets can differ by at most the pages
+	// that instruction wrote; sharing keeps the counts nearly identical
+	// rather than doubling the copies.
+	if b.Pages() < a.Pages() {
+		t.Fatalf("second snapshot dropped pages: %d -> %d", a.Pages(), b.Pages())
+	}
+}
+
+// TestRestoreAfterInjectorMutations proves Restore un-does everything an
+// armed session leaves behind: text corruption (and its decode-cache
+// shadow), hooks, breakpoints. The restored machine must behave exactly
+// like the fault-free run from the snapshot point.
+func TestRestoreAfterInjectorMutations(t *testing.T) {
+	m, _, cs := loadFor(t, "C.team1")
+	m.SetInput(cs.Input.Ints)
+	m.SetByteInput(cs.Input.Bytes)
+	var snap *vm.Snapshot
+	m.SetWatch(nil, []uint64{50}, func(mm *vm.Machine, pc uint32, cycleMark bool) {
+		if snap == nil {
+			snap = mm.Snapshot()
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(m)
+	if snap == nil {
+		t.Fatal("no snapshot taken")
+	}
+
+	// Wreck the machine like a hostile injector session.
+	m.SetTextWritable(true)
+	if err := m.WriteWord(vm.TextBase, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTextWritable(false)
+	if err := m.PlantDecoded(vm.TextBase+4, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFetchHook(func(addr, word uint32) uint32 { return 0xffffffff })
+	m.SetStoreHook(func(addr, value uint32) uint32 { return value + 1 })
+	if err := m.SetIABR(0, vm.TextBase); err != nil {
+		t.Fatal(err)
+	}
+	m.SetIABRHook(func(mm *vm.Machine, addr uint32) { mm.SetReg(3, 0xdead) })
+
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshot(m); !got.equal(want) {
+		t.Fatalf("restored-after-corruption run %+v != clean %+v", got, want)
+	}
+}
+
+// TestPlantDecodedMatchesFetchHook pins the lean-arm foundation: planting a
+// corrupted word in the decode cache produces the same run as the
+// every-cycle fetch-hook substitution of the same word at the same address.
+func TestPlantDecodedMatchesFetchHook(t *testing.T) {
+	m, p, cs := loadFor(t, "JB.team6")
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the 5th text word into a nop via the fetch hook.
+	target := uint32(vm.TextBase + 4*4)
+	nop := vm.Encode(vm.Inst{Op: vm.OpNop})
+	m.SetInput(cs.Input.Ints)
+	m.SetByteInput(cs.Input.Bytes)
+	m.SetFetchHook(func(addr, word uint32) uint32 {
+		if addr == target {
+			return nop
+		}
+		return word
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(m)
+
+	planted := vm.New(vm.Config{})
+	if err := planted.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	planted.SetInput(cs.Input.Ints)
+	planted.SetByteInput(cs.Input.Bytes)
+	if err := planted.PlantDecoded(target, nop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := planted.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshot(planted); !got.equal(want) {
+		t.Fatalf("planted run %+v != fetch-hook run %+v", got, want)
+	}
+
+	// Reset must un-plant: the machine behaves cleanly again.
+	if err := planted.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	planted.SetInput(cs.Input.Ints)
+	planted.SetByteInput(cs.Input.Bytes)
+	if _, err := planted.Run(); err != nil {
+		t.Fatal(err)
+	}
+	clean := vm.New(vm.Config{})
+	if err := clean.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	clean.SetInput(cs.Input.Ints)
+	clean.SetByteInput(cs.Input.Bytes)
+	if _, err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshot(planted), snapshot(clean); !got.equal(want) {
+		t.Fatalf("reset did not un-plant: %+v != %+v", got, want)
+	}
+}
+
+// TestWatchSemantics pins the watch contract the golden runner depends on:
+// the address hook fires once per execution, before the instruction's cycle
+// is counted, so a snapshot taken there resumes by executing the watched
+// instruction exactly once.
+func TestWatchSemantics(t *testing.T) {
+	m, _, cs := loadFor(t, "JB.team11")
+	m.SetInput(cs.Input.Ints)
+	m.SetByteInput(cs.Input.Bytes)
+	entry := m.PC()
+	var hits int
+	var atCycle uint64
+	m.SetWatch([]uint32{entry}, nil, func(mm *vm.Machine, pc uint32, cycleMark bool) {
+		if pc != entry || cycleMark {
+			t.Fatalf("unexpected watch fire: pc=%#x cycleMark=%v", pc, cycleMark)
+		}
+		if hits == 0 {
+			atCycle = mm.Cycles()
+		}
+		hits++
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 {
+		t.Fatal("entry watch never fired")
+	}
+	if atCycle != 0 {
+		t.Fatalf("entry instruction watched at cycle %d, want 0 (before the first cycle is counted)", atCycle)
+	}
+}
+
+// TestRestoreRejectsIncompatibleImage guards the cross-machine contract.
+func TestRestoreRejectsIncompatibleImage(t *testing.T) {
+	a, _, csA := loadFor(t, "JB.team11")
+	a.SetInput(csA.Input.Ints)
+	a.SetByteInput(csA.Input.Bytes)
+	snap := a.Snapshot()
+	if snap == nil {
+		t.Fatal("snapshot of a loaded machine returned nil")
+	}
+	b, _, _ := loadFor(t, "C.team1")
+	if err := b.Restore(snap); err == nil {
+		t.Fatal("restore accepted a snapshot from a different image")
+	}
+	unloaded := vm.New(vm.Config{})
+	if err := unloaded.Restore(snap); err == nil {
+		t.Fatal("restore accepted an unloaded machine")
+	}
+	if unloaded.Snapshot() != nil {
+		t.Fatal("snapshot of an unloaded machine must be nil")
+	}
+}
+
+// TestSnapshotCapturesIO confirms the I/O streams and their positions are
+// part of the checkpoint: output produced before the snapshot reappears
+// after restore, and input is re-consumed from the snapshot position.
+func TestSnapshotCapturesIO(t *testing.T) {
+	m, p, cs := loadFor(t, "SOR")
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(cs.Input.Ints)
+	m.SetByteInput(cs.Input.Bytes)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	full := m.Output()
+	cycles := m.Cycles()
+	if len(full) == 0 {
+		t.Fatal("SOR produced no output; the I/O check is vacuous")
+	}
+
+	src := vm.New(vm.Config{})
+	if err := src.Load(c.Prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	src.SetInput(cs.Input.Ints)
+	src.SetByteInput(cs.Input.Bytes)
+	var snap *vm.Snapshot
+	src.SetWatch(nil, []uint64{cycles * 3 / 4}, func(mm *vm.Machine, pc uint32, cycleMark bool) {
+		if snap == nil {
+			snap = mm.Snapshot()
+		}
+	})
+	if _, err := src.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot taken")
+	}
+	if err := src.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src.Output(), full) {
+		t.Fatalf("restored run output %q != full run output %q", src.Output(), full)
+	}
+}

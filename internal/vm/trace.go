@@ -44,9 +44,10 @@ func (r *traceRing) snapshot() []TraceEntry {
 func (m *Machine) EnableTrace(n int) {
 	if n <= 0 {
 		m.trace = nil
-		return
+	} else {
+		m.trace = &traceRing{buf: make([]TraceEntry, n)}
 	}
-	m.trace = &traceRing{buf: make([]TraceEntry, n)}
+	m.updateHot()
 }
 
 // Trace returns the recorded instructions, oldest first. It is empty when

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench.sh — run the performance benchmarks and emit a machine-readable
+# BENCH_<tag>.json artifact (ns/op, B/op, allocs/op and the custom metrics
+# the benchmarks report, e.g. the campaign's "runs" and the VM's Minstr/s).
+#
+# Usage:
+#   scripts/bench.sh [tag] [bench-regex]
+#
+#   tag          suffix of the artifact: BENCH_<tag>.json (default: local)
+#   bench-regex  benchmarks to run (default: the campaign A/B pair plus the
+#                interpreter throughput benchmark)
+#
+# EXTRA_LABELS may hold additional "-label k=v" pairs to embed in the
+# artifact, e.g. baseline numbers measured on a pre-change checkout:
+#   EXTRA_LABELS="-label baseline_campaign_s=48.3" scripts/bench.sh pr2
+#
+# The campaign pair runs the Table 4 benchmark twice in one binary:
+# "straight" replays every injection in full (the pre-checkpoint executor)
+# and "workers=1" goes through golden-run checkpointing; the ratio of their
+# ns/op is the fast-forward speed-up on identical work. benchtime=1x keeps
+# the run at one iteration per sub-benchmark — the campaign is deterministic,
+# so more iterations only add time.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TAG="${1:-local}"
+BENCH="${2:-Table4Parallel/(straight|workers=1\$)|VMThroughput}"
+OUT="BENCH_${TAG}.json"
+
+go test -run=NONE -bench "$BENCH" -benchtime=1x -timeout 60m . |
+	tee /dev/stderr |
+	go run ./tools/benchjson \
+		-label "tag=$TAG" \
+		-label "commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		${EXTRA_LABELS:-} \
+		>"$OUT"
+
+echo "wrote $OUT" >&2

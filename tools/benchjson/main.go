@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON. It reads benchmark text on stdin and writes a JSON document on
+// stdout; scripts/bench.sh uses it to produce the BENCH_*.json artifacts
+// committed alongside performance work.
+//
+// Usage:
+//
+//	go test -run=NONE -bench . ./... | go run ./tools/benchjson [-label k=v ...]
+//
+// Each benchmark line contributes one entry keyed by benchmark name with
+// iterations, ns/op and every reported unit (B/op, allocs/op, custom
+// b.ReportMetric units). -label attaches free-form metadata (host, commit)
+// to the document.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Entry           `json:"results"`
+}
+
+type labelFlags map[string]string
+
+func (l labelFlags) String() string { return "" }
+func (l labelFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("label %q is not key=value", s)
+	}
+	l[k] = v
+	return nil
+}
+
+func main() {
+	labels := labelFlags{}
+	flag.Var(labels, "label", "attach key=value metadata (repeatable)")
+	flag.Parse()
+
+	doc := Doc{Labels: labels, Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseLine(line); ok {
+				doc.Results = append(doc.Results, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkName  N  V unit  V unit ..." line. Fields
+// come in (value, unit) pairs after the name and iteration count.
+func parseLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Entry{}, false
+	}
+	// The name column may carry a -cpu suffix like BenchmarkX-8; keep it.
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		if f[i+1] == "ns/op" {
+			e.NsPerOp = v
+		} else {
+			e.Metrics[f[i+1]] = v
+		}
+	}
+	return e, true
+}
