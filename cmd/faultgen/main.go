@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/fault"
 	"repro/internal/locator"
@@ -88,7 +91,10 @@ func run(args []string) error {
 	}
 	// Plans are deterministic per (program, seed), so parallel planning
 	// changes nothing but wall-clock; outputs are joined in argument order.
-	outs, err := parallel.Map(*workers, len(rest), func(_, i int) (string, error) {
+	// SIGINT/SIGTERM drains in-flight plans instead of killing mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	outs, err := parallel.MapCtx(ctx, *workers, len(rest), func(_, i int) (string, error) {
 		return describe(rest[i], *class, *n, *seed, *withMetrics, *asJSON)
 	})
 	if err != nil {

@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/asm"
@@ -170,8 +173,11 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 	if err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM drains in-flight runs instead of killing them mid-case.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 	start := time.Now()
-	results, err := campaign.RunCleanBatch(c, cases, vm.DefaultMaxCycles, workers)
+	results, err := campaign.RunCleanBatchCtx(ctx, c, cases, vm.DefaultMaxCycles, workers)
 	if err != nil {
 		return err
 	}

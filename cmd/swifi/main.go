@@ -9,19 +9,32 @@
 // Experiments are named after the paper: table1..table4, fig2, fig7..fig10,
 // summary5, fielddist, metrics, or "all". -scale 1.0 reproduces the paper's
 // full run counts (108,600 injections for the §6 campaign).
+//
+// Campaigns are crash-safe when journaled: run with -journal run.wal, kill
+// the process at any point (the first SIGINT drains in-flight injections and
+// flushes the journal; a second kills immediately), then rerun with
+// -journal run.wal -resume — finished injections replay from the journal and
+// the final output is byte-identical to an uninterrupted run, under any
+// -workers count.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/injector"
+	"repro/internal/journal"
 )
 
 func main() {
@@ -40,6 +53,9 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment identifiers and exit")
 	verifyCases := fs.Int("verify-cases", 50, "input count for 'verify <program>'")
 	noFFwd := fs.Bool("no-ffwd", false, "disable golden-run checkpointing (full replay per injection)")
+	journalPath := fs.String("journal", "", "journal the §6 campaign to this file (crash-safe; see -resume)")
+	resume := fs.Bool("resume", false, "resume the campaign from an existing -journal file")
+	unitTimeout := fs.Duration("unit-timeout", 0, "host wall-clock deadline per injection (0 = off); exceeding units are quarantined")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -59,10 +75,23 @@ func run(args []string) error {
 		return fmt.Errorf("no experiment given; try -list, 'all', or 'verify <program>'")
 	}
 
+	// First SIGINT/SIGTERM cancels the context: campaigns stop handing out
+	// units, drain in-flight ones, flush the journal and print partial
+	// tallies. A second signal restores default handling, so it kills the
+	// process the ordinary way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
 	e := core.New(*scale)
 	e.Seed = *seed
 	e.Workers = *workers
 	e.NoFastForward = *noFFwd
+	e.Ctx = ctx
+	e.UnitTimeout = *unitTimeout
 	switch *mode {
 	case "hw":
 		e.Mode = injector.ModeHardware
@@ -70,6 +99,28 @@ func run(args []string) error {
 		e.Mode = injector.ModeTrap
 	default:
 		return fmt.Errorf("unknown mode %q (hw or trap)", *mode)
+	}
+
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if *journalPath != "" {
+		var j *journal.Journal
+		var err error
+		if *resume {
+			j, err = journal.Open(*journalPath)
+		} else {
+			j, err = journal.Create(*journalPath)
+		}
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if *resume && j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "swifi: journal %s holds %d finished injections; replaying them\n",
+				*journalPath, j.Len())
+		}
+		e.Journal = j
 	}
 
 	if rest[0] == "verify" {
@@ -92,12 +143,48 @@ func run(args []string) error {
 		start := time.Now()
 		out, err := e.Experiment(id)
 		if err != nil {
+			var ie *campaign.InterruptedError
+			if errors.As(err, &ie) {
+				reportInterrupt(ie, *journalPath)
+				return err
+			}
 			return err
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if s := e.ResilienceSummary(); s != "" {
+		fmt.Fprintln(os.Stderr, "swifi:", s)
+	}
 	return nil
+}
+
+// reportInterrupt prints the partial per-mode tallies of an interrupted
+// campaign and, when a journal was in use, how to resume it.
+func reportInterrupt(ie *campaign.InterruptedError, journalPath string) {
+	fmt.Fprintf(os.Stderr, "swifi: interrupted: %d of %d injections finished\n", ie.Done, ie.Total)
+	if ie.Partial != nil && ie.Done > 0 {
+		counts := make(map[campaign.FailureMode]int)
+		for i := range ie.Partial.Entries {
+			for m, n := range ie.Partial.Entries[i].Counts {
+				counts[m] += n
+			}
+		}
+		var parts []string
+		for _, m := range append(campaign.Modes(), campaign.HostFault) {
+			if n := counts[m]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", m, n))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(os.Stderr, "swifi: partial tallies: %s\n", strings.Join(parts, ", "))
+		}
+	}
+	if journalPath != "" {
+		fmt.Fprintf(os.Stderr, "swifi: finished injections are journaled; resume with: swifi -journal %s -resume ...\n", journalPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "swifi: no -journal was given, so this progress is lost; journal the next run to make it resumable")
+	}
 }
 
 // startProfiles arms the pprof outputs requested on the command line and

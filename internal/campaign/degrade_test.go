@@ -1,0 +1,66 @@
+package campaign_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/golden"
+)
+
+// TestCorruptCheckpointDegradesToStraightExecution proves the degraded-mode
+// policy: when every golden checkpoint in the store fails its integrity
+// check, the campaign falls back to straight execution for the affected
+// units and still produces the exact same Result — only the degradation
+// counter betrays that the fast path was lost.
+func TestCorruptCheckpointDegradesToStraightExecution(t *testing.T) {
+	cfg := campaign.Config{
+		Programs:      []string{"JB.team11"},
+		CasesPerFault: 3,
+		Seed:          21,
+		Workers:       4,
+	}
+	// The shared store must not leak corrupted checkpoints (or stale healthy
+	// ones) into other tests, in either direction.
+	golden.Shared.Purge()
+	t.Cleanup(golden.Shared.Purge)
+
+	ref, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Exec.Degraded != 0 {
+		t.Fatalf("healthy run reports %d degraded units", ref.Exec.Degraded)
+	}
+
+	// Corrupt every checkpoint the first campaign left in the store. The
+	// records are cached by (program, case, watch set), so the rerun will
+	// hit exactly these.
+	tampered := 0
+	golden.Shared.Each(func(rec *golden.Record) {
+		for i := range rec.Checkpoints {
+			rec.Checkpoints[i].Sum ^= 0xdeadbeef
+			tampered++
+		}
+	})
+	if tampered == 0 {
+		t.Fatal("the campaign left no checkpoints to corrupt; the test is vacuous")
+	}
+
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.Degraded == 0 {
+		t.Fatal("corrupted checkpoints did not increment the degradation counter")
+	}
+	// The outcome must be unaffected: degraded units re-execute their full
+	// fault-free prefix instead of fast-forwarding, which is slower but
+	// semantically identical.
+	if !reflect.DeepEqual(res.Entries, ref.Entries) {
+		t.Errorf("degraded run changed the campaign outcome:\ndegraded: %+v\nhealthy:  %+v", res.Entries, ref.Entries)
+	}
+	if res.Runs != ref.Runs {
+		t.Errorf("degraded run counts %d runs, healthy %d", res.Runs, ref.Runs)
+	}
+}

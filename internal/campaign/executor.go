@@ -1,13 +1,19 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/fault"
 	"repro/internal/golden"
 	"repro/internal/injector"
+	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/programs"
 	"repro/internal/vm"
@@ -30,9 +36,29 @@ import (
 // reallocating the memory or decode arrays.
 
 // machinePool caches loaded machines per compiled program. Each executor
-// worker owns exactly one pool, so pools need no locking.
+// worker owns exactly one pool, so pools need no locking. degraded counts
+// checkpoint-integrity fallbacks taken on this pool (see noteDegraded).
 type machinePool struct {
 	machines map[*cc.Compiled]*vm.Machine
+	degraded int
+}
+
+// degradeLogOnce gates the one diagnostic line degraded-mode execution
+// prints: the event is surfaced per-run in the result's ExecStats, so the
+// log exists to timestamp the first occurrence, not to spam one line per
+// affected unit.
+var degradeLogOnce sync.Once
+
+// noteDegraded records that a golden checkpoint could not be used — its
+// integrity hash no longer matched, or the restore failed — and the unit
+// fell back to straight (full replay) execution. The outcome of the unit is
+// unaffected: the fast path is an execution shortcut, so skipping it
+// changes timing only.
+func (p *machinePool) noteDegraded(reason string) {
+	p.degraded++
+	degradeLogOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "campaign: degraded mode: %s; falling back to straight execution (counted in the run summary, logged once)\n", reason)
+	})
 }
 
 func newMachinePool() *machinePool {
@@ -144,9 +170,19 @@ func (p *machinePool) runFastForward(u *runUnit) (RunResult, error) {
 	if cp == nil {
 		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
 	}
+	// Degraded-mode checkpointing: a checkpoint whose integrity hash no
+	// longer matches its snapshot, or whose restore errors, must not be
+	// trusted — restoring it would replay the injection on corrupted state.
+	// Both cases fall back to the straight path (reboot + full replay),
+	// which produces the identical outcome at fast-forward's cost.
+	if !cp.Verify() {
+		p.noteDegraded(fmt.Sprintf("golden checkpoint for %s case %d failed its integrity check", u.program, u.caseIx))
+		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
+	}
 	m, err := p.restored(u.c, cp, u.budget)
 	if err != nil {
-		return RunResult{}, err
+		p.noteDegraded(fmt.Sprintf("golden checkpoint restore for %s case %d failed: %v", u.program, u.caseIx, err))
+		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
 	}
 	lean, err := injector.ArmLean(m, u.mode, u.f)
 	if err != nil {
@@ -216,47 +252,255 @@ type runUnit struct {
 	gold    *goldenSource
 }
 
-// unitOutcome is the per-run data an Entry aggregates.
+// unitOutcome is the per-run data an Entry aggregates, plus the resilience
+// flags the run summary and the journal carry. The zero value (mode 0) is
+// reserved for "not executed": an interrupted campaign leaves the slots of
+// unreached units zero, and the partial aggregation skips them.
 type unitOutcome struct {
 	mode      FailureMode
 	activated bool
+	degraded  bool // a golden checkpoint failed integrity/restore; unit ran straight
+	retried   bool // first attempt panicked host-side; retry on a fresh machine succeeded
+}
+
+func (o unitOutcome) journal() journal.Outcome {
+	return journal.Outcome{Mode: uint8(o.mode), Activated: o.activated, Degraded: o.degraded, Retried: o.retried}
+}
+
+func outcomeFromJournal(o journal.Outcome) unitOutcome {
+	return unitOutcome{mode: FailureMode(o.Mode), activated: o.Activated, degraded: o.Degraded, retried: o.Retried}
+}
+
+// execOpts is the resilience configuration of one executor invocation. The
+// zero value reproduces the legacy behaviour: background context, no
+// journal, no wall-clock deadline.
+type execOpts struct {
+	ctx         context.Context
+	workers     int
+	journal     *journal.Journal // completed units are appended; journaled units replayed
+	unitTimeout time.Duration    // host wall-clock deadline per unit attempt; 0 = off
 }
 
 // executeUnits fans the planned units out over the worker pool and returns
 // their outcomes in unit order. Each worker keeps its own machine pool.
 func executeUnits(workers int, units []runUnit) ([]unitOutcome, error) {
+	return executeUnitsOpts(execOpts{workers: workers}, units)
+}
+
+// executeUnitsOpts is the resilient executor behind every campaign:
+//
+//   - Units already on the journal are replayed from it, not executed —
+//     the resume half of crash-safe campaigns.
+//   - Each executed unit runs with per-unit isolation (see runIsolated):
+//     host panics are retried once on a fresh machine and then quarantined
+//     as HostFault verdicts instead of crashing the process.
+//   - Completed units are appended to the journal as they finish, so a kill
+//     at any point loses at most in-flight work.
+//   - Cancelling ctx stops the hand-out, drains in-flight units (and their
+//     journal appends), and returns the partial outcome slots alongside the
+//     context error — the graceful-shutdown half.
+//
+// On a fatal (non-panic) unit error the outcomes are nil, as before; on
+// cancellation they are partial, with unreached slots left at mode 0.
+func executeUnitsOpts(o execOpts, units []runUnit) ([]unitOutcome, error) {
+	ctx := o.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]unitOutcome, len(units))
-	pools := make([]*machinePool, parallel.DefaultWorkers(workers))
-	err := parallel.ForEach(workers, len(units), func(w, i int) error {
-		if pools[w] == nil {
-			pools[w] = newMachinePool()
+	todo := make([]int, 0, len(units))
+	for i := range units {
+		if o.journal != nil {
+			if jo, ok := o.journal.Done(i); ok {
+				out[i] = outcomeFromJournal(jo)
+				continue
+			}
 		}
-		u := &units[i]
-		var r RunResult
-		var err error
-		if u.gold != nil {
-			r, err = pools[w].runFastForward(u)
-		} else {
-			r, err = pools[w].runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
-		}
-		if err != nil {
-			return fmt.Errorf("campaign: %s %s case %d: %w", u.program, u.f.ID, u.caseIx, err)
-		}
-		out[i] = unitOutcome{mode: r.Mode, activated: r.Activations > 0}
-		return nil
+		todo = append(todo, i)
+	}
+	if len(todo) == 0 {
+		return out, nil
+	}
+	ex := &unitExecutor{
+		opts:  o,
+		units: units,
+		out:   out,
+		pools: make([]*machinePool, parallel.DefaultWorkers(o.workers)),
+	}
+	err := parallel.ForEachCtx(ctx, o.workers, len(todo), func(w, k int) error {
+		return ex.run(w, todo[k])
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return out, err
+		}
 		return nil, err
 	}
 	return out, nil
+}
+
+// unitExecutor carries the per-invocation state of executeUnitsOpts. Worker
+// w touches only pools[w] and the out slots of indices it claimed, so the
+// struct needs no locking.
+type unitExecutor struct {
+	opts  execOpts
+	units []runUnit
+	out   []unitOutcome
+	pools []*machinePool
+}
+
+func (e *unitExecutor) pool(w int) *machinePool {
+	if e.pools[w] == nil {
+		e.pools[w] = newMachinePool()
+	}
+	return e.pools[w]
+}
+
+// discard drops worker w's machine pool. Called after a host panic or an
+// abandoned (timed-out) attempt: the pooled machines may hold corrupted
+// state — or still be owned by the abandoned goroutine — and must never be
+// handed to another unit.
+func (e *unitExecutor) discard(w int) { e.pools[w] = nil }
+
+// run executes one unit with isolation and journals the outcome.
+func (e *unitExecutor) run(w, i int) error {
+	u := &e.units[i]
+	o, err := e.runIsolated(w, u)
+	if err != nil {
+		return fmt.Errorf("campaign: %s %s case %d: %w", u.program, u.f.ID, u.caseIx, err)
+	}
+	e.out[i] = o
+	if e.opts.journal != nil {
+		if err := e.opts.journal.Append(i, o.journal()); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	return nil
+}
+
+// runIsolated is the per-unit isolation policy of the tentpole: a host-side
+// panic in one injection is retried exactly once on a fresh machine (the
+// worker's whole pool is discarded — a panicking decode may have corrupted
+// any pooled machine), and a second panic — or a wall-clock timeout —
+// quarantines the unit as a HostFault verdict instead of killing the
+// campaign. Ordinary unit errors (arm failures and the like) stay fatal,
+// exactly as before.
+func (e *unitExecutor) runIsolated(w int, u *runUnit) (unitOutcome, error) {
+	pool := e.pool(w)
+	d0 := pool.degraded
+	r, err, timedOut := e.attempt(pool, u, 1)
+	if timedOut {
+		e.discard(w)
+		quarantineLog(u, fmt.Sprintf("exceeded the %v unit deadline; abandoned", e.opts.unitTimeout), nil)
+		return unitOutcome{mode: HostFault}, nil
+	}
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		if err != nil {
+			return unitOutcome{}, err
+		}
+		return unitOutcome{mode: r.Mode, activated: r.Activations > 0, degraded: pool.degraded > d0}, nil
+	}
+
+	// First attempt panicked host-side: retry once, on a brand-new pool.
+	e.discard(w)
+	fresh := e.pool(w)
+	d1 := fresh.degraded
+	r2, err2, timedOut2 := e.attempt(fresh, u, 2)
+	if timedOut2 {
+		e.discard(w)
+		quarantineLog(u, fmt.Sprintf("retry exceeded the %v unit deadline; abandoned", e.opts.unitTimeout), nil)
+		return unitOutcome{mode: HostFault}, nil
+	}
+	var pe2 *parallel.PanicError
+	if errors.As(err2, &pe2) {
+		e.discard(w)
+		quarantineLog(u, fmt.Sprintf("host panic on fresh machine after panic %v: %v", pe.Value, pe2.Value), pe2.Stack)
+		return unitOutcome{mode: HostFault}, nil
+	}
+	if err2 != nil {
+		return unitOutcome{}, err2
+	}
+	return unitOutcome{mode: r2.Mode, activated: r2.Activations > 0, degraded: fresh.degraded > d1, retried: true}, nil
+}
+
+// attempt executes one unit attempt, optionally bounded by the host
+// wall-clock watchdog. With a deadline armed the attempt runs on its own
+// goroutine; on expiry the goroutine is abandoned (it writes only into its
+// own channel and the discarded pool, so nothing races) and the unit is
+// reported timed out. Without a deadline the attempt runs inline — the
+// deterministic default.
+func (e *unitExecutor) attempt(pool *machinePool, u *runUnit, attempt int) (RunResult, error, bool) {
+	if e.opts.unitTimeout <= 0 {
+		r, err := runUnitGuarded(pool, u, attempt)
+		return r, err, false
+	}
+	type res struct {
+		r   RunResult
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := runUnitGuarded(pool, u, attempt)
+		ch <- res{r, err}
+	}()
+	t := time.NewTimer(e.opts.unitTimeout)
+	defer t.Stop()
+	select {
+	case v := <-ch:
+		return v.r, v.err, false
+	case <-t.C:
+		return RunResult{}, nil, true
+	}
+}
+
+// runUnitGuarded executes one unit attempt with panic isolation: a panic
+// anywhere in the interpreter, injector or golden-store path comes back as
+// a *parallel.PanicError instead of unwinding the worker.
+func runUnitGuarded(pool *machinePool, u *runUnit, attempt int) (r RunResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &parallel.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if h := testUnitHook; h != nil {
+		h(u, attempt)
+	}
+	if u.gold != nil {
+		return pool.runFastForward(u)
+	}
+	return pool.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
+}
+
+// testUnitHook, when non-nil (tests only), runs before every unit attempt;
+// it may panic or stall to exercise the isolation machinery.
+var testUnitHook func(u *runUnit, attempt int)
+
+// quarantineLog records a quarantined unit on stderr with its fault
+// descriptor and, for panics, the captured stack. The per-mode tallies only
+// say how many units were lost; this is where to look up which.
+func quarantineLog(u *runUnit, reason string, stack []byte) {
+	fmt.Fprintf(os.Stderr, "campaign: host fault quarantined: program %s fault %s case %d: %s\n",
+		u.program, u.f.ID, u.caseIx, reason)
+	if len(stack) > 0 {
+		os.Stderr.Write(stack)
+	}
 }
 
 // RunCleanBatch executes the program over every case with no fault armed,
 // fanning the runs across workers with pooled machines. Results are in
 // case order, identical to calling RunClean per case.
 func RunCleanBatch(c *cc.Compiled, cases []workload.Case, maxCycles uint64, workers int) ([]RunResult, error) {
+	return RunCleanBatchCtx(context.Background(), c, cases, maxCycles, workers)
+}
+
+// RunCleanBatchCtx is RunCleanBatch with cooperative cancellation: once ctx
+// is done no new case starts, in-flight cases drain, and the ctx error is
+// returned (results are dropped — clean batches are cheap to redo and have
+// no journal).
+func RunCleanBatchCtx(ctx context.Context, c *cc.Compiled, cases []workload.Case, maxCycles uint64, workers int) ([]RunResult, error) {
 	pools := make([]*machinePool, parallel.DefaultWorkers(workers))
-	return parallel.Map(workers, len(cases), func(w, i int) (RunResult, error) {
+	return parallel.MapCtx(ctx, workers, len(cases), func(w, i int) (RunResult, error) {
 		if pools[w] == nil {
 			pools[w] = newMachinePool()
 		}

@@ -1,11 +1,17 @@
 package campaign
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/injector"
+	"repro/internal/journal"
 	"repro/internal/locator"
 	"repro/internal/metrics"
 	"repro/internal/programs"
@@ -69,6 +75,21 @@ type Config struct {
 	// execution shortcut, not a semantic change); the knob exists for A/B
 	// benchmarking and as the reference in equivalence tests.
 	NoFastForward bool
+	// Ctx, when non-nil, allows graceful interruption: once it is
+	// cancelled no new injection starts, in-flight injections drain, and
+	// Run returns an *InterruptedError carrying the partial Result.
+	Ctx context.Context
+	// Journal, when non-nil, makes the campaign crash-safe: Run binds the
+	// journal to the plan's fingerprint after planning, replays units the
+	// journal already holds instead of executing them, and appends every
+	// completed unit as it finishes. A journal written by an interrupted or
+	// killed run resumes under any worker count with a bit-identical Result.
+	Journal *journal.Journal
+	// UnitTimeout bounds each injection's host wall-clock time; a unit (and
+	// its one retry) exceeding it is abandoned and quarantined as a
+	// HostFault. 0 disables the watchdog — the default, since the target's
+	// own cycle watchdog already classifies in-target hangs.
+	UnitTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -133,11 +154,92 @@ type PlanInfo struct {
 	Injected int // Faults × cases (the paper's "Injected faults" column)
 }
 
+// ExecStats counts the resilience events of a campaign's execution. All
+// three are zero on a healthy run; they are diagnostics about the host, not
+// measurements of the target, and none of them perturbs the failure-mode
+// distributions (a degraded or retried unit still reports its true outcome,
+// and HostFault units appear only in Entry.Counts[HostFault]).
+type ExecStats struct {
+	// Degraded counts units that fell back to straight execution because a
+	// golden checkpoint failed its integrity check or could not be restored.
+	Degraded int
+	// Retried counts units whose first attempt panicked host-side and whose
+	// retry on a fresh machine succeeded.
+	Retried int
+	// HostFaults counts quarantined units: two host panics, or a wall-clock
+	// timeout.
+	HostFaults int
+}
+
 // Result is the outcome of a class campaign.
 type Result struct {
 	Entries []Entry
 	Plans   []PlanInfo
 	Runs    int
+	// Exec reports the resilience events of this execution. It is the one
+	// Result field that may differ between a run and its resumed replay in
+	// spirit — but not in value: the journal persists the degraded/retried
+	// flags per unit, so a resume reconstructs the same totals.
+	Exec ExecStats
+}
+
+// InterruptedError is returned by Run when its context is cancelled before
+// every unit has executed. It carries the partial Result aggregated from the
+// units that did finish (their journal records, if any, are already
+// flushed), so callers can print partial tallies with a resume hint.
+type InterruptedError struct {
+	Done    int     // units executed (or replayed) before the interrupt
+	Total   int     // units planned
+	Partial *Result // aggregation of the Done units only
+	Cause   error   // the context error (context.Canceled or DeadlineExceeded)
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("campaign interrupted after %d/%d injections: %v", e.Done, e.Total, e.Cause)
+}
+
+func (e *InterruptedError) Unwrap() error { return e.Cause }
+
+// planFingerprint hashes everything that determines a campaign plan's units
+// and their outcomes: the seed and, per unit in planning order, the program,
+// fault identity (ID, error type, trigger addresses, trigger policy), case
+// index, watchdog budget, injector mode and entry slot. Deliberately
+// excluded: Workers, NoFastForward, Ctx, UnitTimeout — none of them changes
+// any unit's outcome, so a journal written under one executor configuration
+// resumes under any other.
+func planFingerprint(cfg *Config, units []runUnit) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	ws := func(s string) {
+		w64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	w64(uint64(cfg.Seed))
+	w64(uint64(len(units)))
+	for i := range units {
+		u := &units[i]
+		ws(u.program)
+		ws(u.f.ID)
+		ws(string(u.f.ErrType))
+		for _, a := range u.f.TriggerAddrs() {
+			w64(uint64(a))
+		}
+		if u.f.Trigger.Once {
+			w64(1)
+		} else {
+			w64(0)
+		}
+		w64(uint64(u.f.Trigger.Skip))
+		w64(uint64(u.caseIx))
+		w64(u.budget)
+		w64(uint64(u.mode))
+		w64(uint64(u.entry))
+	}
+	return h.Sum64()
 }
 
 // Run executes the campaign. It is deterministic for a given Config:
@@ -252,24 +354,67 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Planning is complete: the plan fingerprint is now defined, so a
+	// journal can be bound (fresh) or checked (resume) before any
+	// execution happens.
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Bind(planFingerprint(&cfg, units)); err != nil {
+			return nil, err
+		}
+	}
+
 	// Execution: the only parallel section. Outcomes land in per-unit
 	// slots and are folded into the entries in planning order.
-	outcomes, err := executeUnits(cfg.Workers, units)
+	outcomes, err := executeUnitsOpts(execOpts{
+		ctx:         cfg.Ctx,
+		workers:     cfg.Workers,
+		journal:     cfg.Journal,
+		unitTimeout: cfg.UnitTimeout,
+	}, units)
 	if err != nil {
+		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && outcomes != nil {
+			done := foldOutcomes(res, entryList, units, outcomes)
+			return nil, &InterruptedError{Done: done, Total: len(units), Partial: res, Cause: err}
+		}
 		return nil, err
 	}
+	foldOutcomes(res, entryList, units, outcomes)
+	return res, nil
+}
+
+// foldOutcomes aggregates per-unit outcome slots into the entries, in
+// planning order, skipping the zero (not-executed) slots an interrupted run
+// leaves behind. It finalises res.Entries and returns the number of slots
+// folded.
+func foldOutcomes(res *Result, entryList []*Entry, units []runUnit, outcomes []unitOutcome) int {
+	done := 0
 	for i := range units {
+		o := outcomes[i]
+		if o.mode == 0 {
+			continue
+		}
+		done++
 		e := entryList[units[i].entry]
 		e.Runs++
-		e.Counts[outcomes[i].mode]++
-		if outcomes[i].activated {
+		e.Counts[o.mode]++
+		if o.activated {
 			e.Activated++
 		}
 		res.Runs++
+		if o.degraded {
+			res.Exec.Degraded++
+		}
+		if o.retried {
+			res.Exec.Retried++
+		}
+		if o.mode == HostFault {
+			res.Exec.HostFaults++
+		}
 	}
-
 	for _, e := range entryList {
-		res.Entries = append(res.Entries, *e)
+		if e.Runs > 0 || done == len(units) {
+			res.Entries = append(res.Entries, *e)
+		}
 	}
 	sort.Slice(res.Entries, func(i, j int) bool {
 		a, b := res.Entries[i], res.Entries[j]
@@ -281,7 +426,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return a.ErrType < b.ErrType
 	})
-	return res, nil
+	return done
 }
 
 // Dist is a failure-mode distribution.

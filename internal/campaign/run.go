@@ -20,12 +20,18 @@ import (
 // FailureMode is the outcome classification of one run (§6.2).
 type FailureMode int
 
-// Failure modes, in the order of the paper's figures.
+// Failure modes, in the order of the paper's figures. HostFault is not a
+// paper mode: it marks a unit whose *host-side* execution failed — the
+// interpreter or injector panicked twice, or the unit exceeded its
+// wall-clock deadline — and was quarantined so the campaign could finish.
+// Target programs can never produce it; any non-zero HostFault count in a
+// result points at a bug in this repository, not in the target.
 const (
 	Correct   FailureMode = iota + 1 // terminated normally, output correct
 	Incorrect                        // terminated normally, output wrong
 	Hang                             // watchdog expired (dead loop)
 	Crash                            // terminated abnormally (hardware exception)
+	HostFault                        // host-side failure, unit quarantined (not a paper mode)
 )
 
 var modeNames = map[FailureMode]string{
@@ -33,6 +39,7 @@ var modeNames = map[FailureMode]string{
 	Incorrect: "incorrect",
 	Hang:      "hang",
 	Crash:     "crash",
+	HostFault: "hostfault",
 }
 
 // String names the failure mode.

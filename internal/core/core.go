@@ -6,14 +6,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/injector"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/mutation"
 	"repro/internal/programs"
@@ -42,11 +45,30 @@ type Engine struct {
 	// prefix. Results are identical either way; the knob exists for A/B
 	// timing comparisons (swifi -no-ffwd).
 	NoFastForward bool
+	// Ctx, when non-nil, interrupts long experiments gracefully: cancelled
+	// campaigns drain in-flight injections and surface a
+	// *campaign.InterruptedError with partial tallies.
+	Ctx context.Context
+	// Journal, when non-nil, makes the main §6 campaign crash-safe (swifi
+	// -journal/-resume). Side campaigns (hwcompare, triggers) do not use
+	// it: a journal binds to exactly one campaign plan.
+	Journal *journal.Journal
+	// UnitTimeout bounds each injection's host wall-clock time; see
+	// campaign.Config.UnitTimeout. 0 disables the watchdog.
+	UnitTimeout time.Duration
 
 	mu       sync.Mutex
 	campRes  *campaign.Result
 	campErr  error
 	campDone bool
+}
+
+// ctx returns the engine's context, defaulting to Background.
+func (e *Engine) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // New returns an engine at the given scale (0 selects 0.1, i.e. a tenth of
@@ -165,7 +187,7 @@ func (e *Engine) Table1Rows() ([]stats.Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := campaign.RunCleanBatch(c, cases, vm.DefaultMaxCycles, e.Workers)
+		results, err := campaign.RunCleanBatchCtx(e.ctx(), c, cases, vm.DefaultMaxCycles, e.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", p.Name, err)
 		}
@@ -193,19 +215,42 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		Mode:          e.Mode,
 		Workers:       e.Workers,
 		NoFastForward: e.NoFastForward,
+		Ctx:           e.Ctx,
+		UnitTimeout:   e.UnitTimeout,
 	}
 }
 
 // CampaignResult runs (once, cached) the full §6 class campaign at the
-// engine's scale.
+// engine's scale. This is the one campaign the engine's Journal attaches
+// to: every table and figure derived from it resumes from the same journal.
 func (e *Engine) CampaignResult() (*campaign.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.campDone {
-		e.campRes, e.campErr = campaign.Run(e.CampaignConfig())
+		cfg := e.CampaignConfig()
+		cfg.Journal = e.Journal
+		e.campRes, e.campErr = campaign.Run(cfg)
 		e.campDone = true
 	}
 	return e.campRes, e.campErr
+}
+
+// ResilienceSummary renders the resilience events of the cached campaign —
+// degraded fast-forwards, host-side retries, quarantined units — or ""
+// when the campaign has not run or ran clean. Callers print it to stderr:
+// it describes the host's health, not the paper's results.
+func (e *Engine) ResilienceSummary() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.campDone || e.campRes == nil {
+		return ""
+	}
+	x := e.campRes.Exec
+	if x == (campaign.ExecStats{}) {
+		return ""
+	}
+	return fmt.Sprintf("campaign resilience: %d degraded fast-forwards, %d retried units, %d host faults quarantined",
+		x.Degraded, x.Retried, x.HostFaults)
 }
 
 // HardwareComparison runs a three-class campaign (assignment and checking

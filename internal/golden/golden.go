@@ -73,6 +73,17 @@ type Checkpoint struct {
 	Addr   uint32 // watched address first reached here; 0 for a cycle mark
 	Cycles uint64 // completed instructions before the snapshot point
 	Snap   *vm.Snapshot
+	// Sum is the snapshot's Checksum at record time. The executor verifies
+	// it before restoring; a mismatch means the retained snapshot no longer
+	// matches what the golden run recorded (host memory corruption, or a
+	// bug mutating shared state) and the unit must not fast-forward.
+	Sum uint64
+}
+
+// Verify recomputes the snapshot checksum and reports whether the
+// checkpoint is still intact.
+func (cp *Checkpoint) Verify() bool {
+	return cp.Snap != nil && cp.Snap.Checksum() == cp.Sum
 }
 
 // Record is the reusable outcome of one fault-free run.
@@ -197,14 +208,16 @@ func (s *Store) record(c *cc.Compiled, cs *workload.Case, budget uint64, marks [
 	}
 	m.SetWatch(ws.addrs, marks, func(mm *vm.Machine, pc uint32, cycleMark bool) {
 		if cycleMark {
-			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Cycles: mm.Cycles(), Snap: mm.Snapshot()})
+			snap := mm.Snapshot()
+			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Cycles: mm.Cycles(), Snap: snap, Sum: snap.Checksum()})
 			return
 		}
 		n := rec.Count[pc]
 		rec.Count[pc] = n + 1
 		if n == 0 {
 			rec.First[pc] = mm.Cycles()
-			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Addr: pc, Cycles: mm.Cycles(), Snap: mm.Snapshot()})
+			snap := mm.Snapshot()
+			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Addr: pc, Cycles: mm.Cycles(), Snap: snap, Sum: snap.Checksum()})
 		}
 	})
 	if _, err := m.Run(); err != nil {
@@ -268,6 +281,20 @@ func (s *Store) Stats() (records, checkpoints, pages int) {
 	// Pages shared across snapshots are still multiply counted here; the
 	// figure is an upper bound.
 	return records, checkpoints, pages
+}
+
+// Each calls fn for every completed record in the store. The iteration
+// order is unspecified. Records are immutable by contract once built;
+// mutating one through this hook (as the degradation tests do, to simulate
+// in-store corruption) is only safe while no campaign is executing.
+func (s *Store) Each(fn func(*Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.rec != nil {
+			fn(e.rec)
+		}
+	}
 }
 
 // Purge drops every record, releasing the checkpoints' memory. Long-lived

@@ -206,3 +206,44 @@ func TestStoreKeysByWatchSet(t *testing.T) {
 		t.Fatal("expected two records")
 	}
 }
+
+// TestCheckpointsCarryValidSums: every checkpoint the store records must
+// verify against its snapshot, and a tampered Sum must fail Verify — the
+// hook degraded-mode execution hangs off.
+func TestCheckpointsCarryValidSums(t *testing.T) {
+	rec := buildRecordForTest(t)
+	if len(rec.Checkpoints) == 0 {
+		t.Fatal("record carries no checkpoints; the integrity check is vacuous")
+	}
+	for i := range rec.Checkpoints {
+		cp := &rec.Checkpoints[i]
+		if cp.Sum == 0 {
+			t.Fatalf("checkpoint %d has no integrity sum", i)
+		}
+		if !cp.Verify() {
+			t.Fatalf("checkpoint %d fails verification right after recording", i)
+		}
+	}
+	cp := rec.Checkpoints[0]
+	cp.Sum ^= 0xdeadbeef
+	if cp.Verify() {
+		t.Fatal("tampered checkpoint still verifies")
+	}
+}
+
+// buildRecordForTest records one JB.team6 golden run with a checkpoint at
+// the entry address.
+func buildRecordForTest(t *testing.T) *Record {
+	t.Helper()
+	p, wp := compiled(t, "JB.team6")
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWatchSet([]uint32{c.Prog.Image.Entry})
+	rec, err := NewStore().Run(c, wp.cs, vm.DefaultMaxCycles, nil, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}

@@ -1,0 +1,274 @@
+// Package journal is the crash-safety layer of the campaign executor: an
+// append-only, CRC-protected write-ahead log of completed (unit → outcome)
+// records. A campaign journaling into a file can be killed at any point —
+// SIGKILL included — and resumed later; the resumed run replays the
+// journaled outcomes and executes only the remaining units, producing a
+// Result bit-identical to an uninterrupted run.
+//
+// The file is bound to a campaign *plan fingerprint*: a hash over the
+// planned unit sequence (programs, faults, cases, budgets, injector mode)
+// that is independent of the worker count and of execution shortcuts like
+// golden-run fast-forward. Resuming with a different plan — another seed,
+// scale or program set — is refused instead of silently mixing outcomes.
+//
+// Layout (all little-endian):
+//
+//	header   magic "SWFJ" | version u16 | reserved u16 | fingerprint u64 | crc32 u32
+//	record   unit u32 | mode u8 | flags u8 | reserved u16 | crc32 u32
+//
+// Each record's CRC covers its first 8 bytes, so a torn tail — the record
+// being appended when the process died — is detected and truncated away on
+// open, and any corrupt record cuts the replay off at the last good one
+// (everything before it is still trusted; everything after is re-executed).
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	magic      = "SWFJ"
+	version    = 1
+	headerSize = 20
+	recordSize = 12
+)
+
+// Outcome flag bits.
+const (
+	flagActivated = 1 << iota // the fault's corruption applied at least once
+	flagDegraded              // checkpoint integrity failure; unit fell back to straight execution
+	flagRetried               // unit panicked once and succeeded on a fresh machine
+)
+
+// Outcome is the journaled result of one campaign unit. Mode is the
+// campaign.FailureMode as a small integer (the journal does not import the
+// campaign package; the dependency points the other way).
+type Outcome struct {
+	Mode      uint8
+	Activated bool
+	Degraded  bool
+	Retried   bool
+}
+
+func (o Outcome) flags() uint8 {
+	var f uint8
+	if o.Activated {
+		f |= flagActivated
+	}
+	if o.Degraded {
+		f |= flagDegraded
+	}
+	if o.Retried {
+		f |= flagRetried
+	}
+	return f
+}
+
+// Journal is an open campaign journal. All methods are safe for concurrent
+// use by executor workers.
+type Journal struct {
+	// OnAppend, when non-nil, observes every successful Append with the
+	// number of distinct completed units so far. Callers use it for progress
+	// reporting; tests use it to interrupt campaigns at exact points. It is
+	// invoked with the journal's lock held — do not call back into the
+	// Journal from it.
+	OnAppend func(done int)
+
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	fp     uint64
+	bound  bool
+	resume bool
+	done   map[int]Outcome
+}
+
+// Create opens a fresh journal at path, truncating any existing file. The
+// plan fingerprint is not known until the campaign has planned its units,
+// so the header is written by Bind.
+func Create(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path, done: make(map[int]Outcome)}, nil
+}
+
+// Open loads an existing journal for resumption: the header is read and
+// retained for verification by Bind, every intact record is loaded, and a
+// torn or corrupt tail is truncated so subsequent appends extend the last
+// good record.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, resume: true, done: make(map[int]Outcome)}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load parses the header and records, truncating a damaged tail.
+func (j *Journal) load() error {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(j.f, hdr[:]); err != nil {
+		return fmt.Errorf("journal %s: unreadable header (not a journal, or died before any unit completed): %w", j.path, err)
+	}
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("journal %s: bad magic %q", j.path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != version {
+		return fmt.Errorf("journal %s: unsupported version %d", j.path, v)
+	}
+	if crc := crc32.ChecksumIEEE(hdr[:16]); crc != binary.LittleEndian.Uint32(hdr[16:20]) {
+		return fmt.Errorf("journal %s: header checksum mismatch", j.path)
+	}
+	j.fp = binary.LittleEndian.Uint64(hdr[8:16])
+
+	good := int64(headerSize)
+	var rec [recordSize]byte
+	for {
+		n, err := io.ReadFull(j.f, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn tail: the process died mid-append. Drop it.
+			_ = n
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("journal %s: %w", j.path, err)
+		}
+		if crc32.ChecksumIEEE(rec[:8]) != binary.LittleEndian.Uint32(rec[8:12]) {
+			// Corrupt record: trust nothing at or past it.
+			break
+		}
+		unit := int(binary.LittleEndian.Uint32(rec[0:4]))
+		flags := rec[5]
+		if _, dup := j.done[unit]; !dup {
+			j.done[unit] = Outcome{
+				Mode:      rec[4],
+				Activated: flags&flagActivated != 0,
+				Degraded:  flags&flagDegraded != 0,
+				Retried:   flags&flagRetried != 0,
+			}
+		}
+		good += recordSize
+	}
+	if err := j.f.Truncate(good); err != nil {
+		return fmt.Errorf("journal %s: truncating damaged tail: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Bind fixes the journal to a campaign plan fingerprint. On a fresh journal
+// it writes the header; on a resumed one it verifies the stored fingerprint
+// and fails if the plan differs. Append refuses to run before Bind.
+func (j *Journal) Bind(fingerprint uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.bound {
+		if j.fp != fingerprint {
+			return fmt.Errorf("journal %s: already bound to plan %016x, got %016x", j.path, j.fp, fingerprint)
+		}
+		return nil
+	}
+	if j.resume {
+		if j.fp != fingerprint {
+			return fmt.Errorf("journal %s: belongs to a different campaign plan (journal %016x, current %016x); same seed, scale, programs and mode are required to resume", j.path, j.fp, fingerprint)
+		}
+		j.bound = true
+		return nil
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal %s: writing header: %w", j.path, err)
+	}
+	j.fp = fingerprint
+	j.bound = true
+	return nil
+}
+
+// Done returns the journaled outcome of a unit, if one exists.
+func (j *Journal) Done(unit int) (Outcome, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	o, ok := j.done[unit]
+	return o, ok
+}
+
+// Len returns the number of distinct completed units on record.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Resumed reports whether the journal was opened over an existing file.
+func (j *Journal) Resumed() bool { return j.resume }
+
+// Path returns the journal's file path (for resume hints).
+func (j *Journal) Path() string { return j.path }
+
+// Append records one completed unit. Records go straight to the file — no
+// user-space buffering — so a kill loses at most the record being written,
+// which the next Open truncates away. Appending a unit that is already on
+// record is a no-op (a resumed campaign never re-executes journaled units,
+// but the guard keeps duplicates harmless).
+func (j *Journal) Append(unit int, o Outcome) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.bound {
+		return fmt.Errorf("journal %s: Append before Bind", j.path)
+	}
+	if _, dup := j.done[unit]; dup {
+		return nil
+	}
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(unit))
+	rec[4] = o.Mode
+	rec[5] = o.flags()
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[:8]))
+	if _, err := j.f.Write(rec[:]); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	j.done[unit] = o
+	if j.OnAppend != nil {
+		j.OnAppend(len(j.done))
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close syncs and closes the file. The Journal must not be used afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,282 @@
+package journal_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func tempPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "campaign.wal")
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tempPath(t)
+	j, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind(0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]journal.Outcome{
+		0:  {Mode: 1, Activated: true},
+		7:  {Mode: 4},
+		12: {Mode: 3, Activated: true, Degraded: true},
+		99: {Mode: 5, Retried: true},
+	}
+	for u, o := range want {
+		if err := j.Append(u, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Bind(0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(want) {
+		t.Fatalf("reloaded %d units, want %d", r.Len(), len(want))
+	}
+	for u, o := range want {
+		got, ok := r.Done(u)
+		if !ok || got != o {
+			t.Fatalf("unit %d: got (%+v, %v), want %+v", u, got, ok, o)
+		}
+	}
+	if _, ok := r.Done(1); ok {
+		t.Fatal("unit 1 was never journaled but reports done")
+	}
+}
+
+func TestFingerprintMismatchRefused(t *testing.T) {
+	path := tempPath(t)
+	j, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind(111); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, journal.Outcome{Mode: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	err = r.Bind(222)
+	if err == nil || !strings.Contains(err.Error(), "different campaign plan") {
+		t.Fatalf("binding a foreign plan succeeded or gave a vague error: %v", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := tempPath(t)
+	j, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind(5); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		if err := j.Append(u, journal.Outcome{Mode: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a kill mid-append: chop the last record in half.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 9 {
+		t.Fatalf("torn journal reloaded %d units, want 9", r.Len())
+	}
+	// The truncated tail must be gone so new appends produce a clean file.
+	if err := r.Bind(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(9, journal.Outcome{Mode: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	r2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 10 {
+		t.Fatalf("after repair and re-append got %d units, want 10", r2.Len())
+	}
+}
+
+func TestCorruptRecordCutsReplay(t *testing.T) {
+	path := tempPath(t)
+	j, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind(5); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		if err := j.Append(u, journal.Outcome{Mode: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Flip a byte inside record 4 (header is 20 bytes, records 12 each).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 20+4*12+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 4 {
+		t.Fatalf("replay past a corrupt record: got %d units, want 4", r.Len())
+	}
+	for u := 0; u < 4; u++ {
+		if _, ok := r.Done(u); !ok {
+			t.Fatalf("unit %d before the corruption was dropped", u)
+		}
+	}
+}
+
+func TestCorruptHeaderRefused(t *testing.T) {
+	path := tempPath(t)
+	j, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind(5); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xaa}, 9); err != nil { // inside the fingerprint
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := journal.Open(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt header accepted: %v", err)
+	}
+}
+
+func TestAppendBeforeBindRefused(t *testing.T) {
+	j, err := journal.Create(tempPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(0, journal.Outcome{Mode: 1}); err == nil {
+		t.Fatal("Append before Bind succeeded")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	path := tempPath(t)
+	j, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind(9); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := w; u < n; u += 8 {
+				if err := j.Append(u, journal.Outcome{Mode: uint8(1 + u%4)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if j.Len() != n {
+		t.Fatalf("got %d units, want %d", j.Len(), n)
+	}
+	j.Close()
+
+	r, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("reloaded %d units, want %d", r.Len(), n)
+	}
+	for u := 0; u < n; u++ {
+		if o, ok := r.Done(u); !ok || o.Mode != uint8(1+u%4) {
+			t.Fatalf("unit %d: got (%+v, %v)", u, o, ok)
+		}
+	}
+}
+
+func TestOnAppendObservesProgress(t *testing.T) {
+	j, err := journal.Create(tempPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Bind(1); err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	j.OnAppend = func(done int) { seen = append(seen, done) }
+	for u := 0; u < 3; u++ {
+		if err := j.Append(u, journal.Outcome{Mode: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A duplicate append must not fire the hook.
+	if err := j.Append(1, journal.Outcome{Mode: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[2] != 3 {
+		t.Fatalf("OnAppend saw %v, want [1 2 3]", seen)
+	}
+}

@@ -12,13 +12,38 @@
 // makes the error stable across schedules whenever the first failing index
 // is reached on every schedule (campaign executors fail fast and treat any
 // error as fatal, so the distinction only matters for error text).
+//
+// Isolation contract: a panic inside fn never escapes. It is recovered —
+// on the worker goroutine and on the legacy serial path alike — and
+// converted into a *PanicError carrying the panic value and stack, so one
+// misbehaving unit reports an error instead of killing the whole process
+// (or, worse, deadlocking the join on a dead worker goroutine).
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic from a ForEach/Map body, recovered and converted
+// into an error. Callers that want to treat host-side panics differently
+// from ordinary unit errors (the campaign executor quarantines them as
+// HostFault verdicts) unwrap it with errors.As.
+type PanicError struct {
+	Index int    // the index whose fn panicked
+	Value any    // the value passed to panic
+	Stack []byte // debug.Stack() captured at the recovery point
+}
+
+// Error renders the panic value; the stack is carried separately so error
+// text stays one line.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic in unit %d: %v", e.Index, e.Value)
+}
 
 // DefaultWorkers resolves a worker-count knob: values above zero are taken
 // as-is, anything else selects runtime.GOMAXPROCS(0).
@@ -27,6 +52,16 @@ func DefaultWorkers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// call runs fn(worker, i) with panic isolation.
+func call(fn func(worker, i int) error, worker, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
 }
 
 // ForEach executes fn(worker, i) for every i in [0, n) across the given
@@ -40,13 +75,26 @@ func DefaultWorkers(n int) int {
 // claimed still complete. ForEach returns the error of the lowest failed
 // index.
 func ForEach(workers, n int, fn func(worker, i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// new index is handed out, indices already claimed drain to completion
+// (in-flight units are never abandoned mid-run), and the join returns
+// ctx.Err() — unless some unit failed first, in which case the usual
+// lowest-failed-index error wins. The drain property is what lets the
+// campaign layer flush every completed unit to its journal on SIGINT.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	workers = DefaultWorkers(workers)
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := call(fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -78,12 +126,12 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(worker, i); err != nil {
+				if err := call(fn, worker, i); err != nil {
 					record(i, err)
 					return
 				}
@@ -91,14 +139,22 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 		}(w)
 	}
 	wg.Wait()
-	return bestErr
+	if bestErr != nil {
+		return bestErr
+	}
+	return ctx.Err()
 }
 
 // Map runs fn over [0, n) with ForEach and collects the results in index
 // order, so the output is independent of the schedule.
 func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with the cancellation semantics of ForEachCtx.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(worker, i int) error {
+	err := ForEachCtx(ctx, workers, n, func(worker, i int) error {
 		v, err := fn(worker, i)
 		if err != nil {
 			return err

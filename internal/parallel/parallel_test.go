@@ -1,8 +1,10 @@
 package parallel_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -118,6 +120,106 @@ func TestMapKeepsIndexOrder(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("index %d holds %d", i, v)
 		}
+	}
+}
+
+// TestForEachRecoversPanics is the per-unit isolation gate: a panicking fn
+// must surface as a *PanicError — value, index and stack attached — on the
+// serial path and on a real fan-out alike, never as a process crash or a
+// deadlocked join.
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := parallel.ForEach(workers, 50, func(worker, i int) error {
+			if i == 3 {
+				panic(fmt.Sprintf("host bug at %d", i))
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was swallowed", workers)
+		}
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %T (%v), want *PanicError", workers, err, err)
+		}
+		if pe.Index != 3 || pe.Value != "host bug at 3" {
+			t.Fatalf("workers=%d: wrong panic payload: %+v", workers, pe)
+		}
+		if !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Fatalf("workers=%d: stack not captured", workers)
+		}
+	}
+}
+
+// TestForEachPanicBeatsLaterErrors checks that a recovered panic competes
+// in the lowest-failed-index rule like any other unit error.
+func TestForEachPanicBeatsLaterErrors(t *testing.T) {
+	err := parallel.ForEach(1, 10, func(worker, i int) error {
+		switch i {
+		case 2:
+			panic("early panic")
+		case 5:
+			return errors.New("late error")
+		}
+		return nil
+	})
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("got %v, want the panic from index 2", err)
+	}
+}
+
+// TestForEachCtxDrainsOnCancel verifies the graceful-shutdown contract:
+// cancellation stops the hand-out of new indices, claimed indices complete,
+// and the join reports ctx.Err().
+func TestForEachCtxDrainsOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started, finished atomic.Int32
+		err := parallel.ForEachCtx(ctx, workers, 10_000, func(worker, i int) error {
+			started.Add(1)
+			if started.Load() == 5 {
+				cancel()
+			}
+			finished.Add(1)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if s, f := started.Load(), finished.Load(); s != f {
+			t.Fatalf("workers=%d: %d units started but only %d drained", workers, s, f)
+		}
+		if started.Load() == 10_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the hand-out", workers)
+		}
+	}
+}
+
+// TestForEachCtxErrorWinsOverCancel: a unit failure reported before (or
+// alongside) cancellation takes precedence, keeping error text stable.
+func TestForEachCtxErrorWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := parallel.ForEachCtx(ctx, 4, 1000, func(worker, i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the unit error", err)
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := parallel.MapCtx(ctx, 4, 100, func(worker, i int) (int, error) { return i, nil })
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", out, err)
 	}
 }
 

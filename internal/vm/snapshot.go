@@ -1,6 +1,11 @@
 package vm
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
 
 // Snapshot/Restore is the mechanism behind golden-run checkpointing: the
 // campaign executor restores a worker machine to the state a fault-free run
@@ -61,6 +66,82 @@ func (s *Snapshot) Cycles() uint64 { return s.cycles }
 // Pages returns the number of memory pages the snapshot carries (shared or
 // owned); a cost observability hook for tests and stats.
 func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// Checksum fingerprints the snapshot's full restorable state: registers,
+// control state, I/O streams, geometry and every carried page (in address
+// order, so the map's iteration order cannot leak in). Restoring a snapshot
+// whose current Checksum differs from the one recorded when it was taken
+// would resurrect corrupted machine state, which is why the campaign
+// executor verifies it before every fast-forward and degrades to straight
+// execution on mismatch.
+func (s *Snapshot) Checksum() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		h.Write(b[:4])
+	}
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, r := range s.regs {
+		w32(r)
+	}
+	w32(s.pc)
+	w32(s.lr)
+	for _, f := range s.cr {
+		var v uint32
+		if f.lt {
+			v |= 1
+		}
+		if f.gt {
+			v |= 2
+		}
+		if f.eq {
+			v |= 4
+		}
+		w32(v)
+	}
+	w32(s.brk)
+	w32(uint32(s.state))
+	w32(uint32(s.exc))
+	w32(s.excAt)
+	w32(uint32(s.exitStatus))
+	w64(s.cycles)
+
+	w32(uint32(len(s.input)))
+	for _, v := range s.input {
+		w32(uint32(v))
+	}
+	w32(uint32(s.inPos))
+	w32(uint32(len(s.inBytes)))
+	h.Write(s.inBytes)
+	w32(uint32(s.inBPos))
+	w32(uint32(len(s.output)))
+	h.Write(s.output)
+
+	if s.textDirty {
+		w32(1)
+	} else {
+		w32(0)
+	}
+	w32(uint32(s.memSize))
+	w32(s.textEnd)
+	w32(s.dataBase)
+	w32(uint32(s.textLen))
+
+	idx := make([]uint32, 0, len(s.pages))
+	for pi := range s.pages {
+		idx = append(idx, pi)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	for _, pi := range idx {
+		w32(pi)
+		h.Write(s.pages[pi])
+	}
+	return h.Sum64()
+}
 
 // Snapshot captures the machine's current execution state. It returns nil if
 // no program is loaded. Taking a snapshot does not disturb the run: it may
