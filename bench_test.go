@@ -15,9 +15,11 @@ package repro
 import (
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/cc"
@@ -27,8 +29,23 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/programs"
 	"repro/internal/vm"
+	"repro/internal/worker"
 	"repro/internal/workload"
 )
+
+// TestMain lets the bench binary serve as its own campaign worker: the
+// proc-isolation benchmark re-executes this binary with REPRO_BENCH_WORKER
+// set, exactly as swifi re-executes itself with -worker-mode.
+func TestMain(m *testing.M) {
+	if os.Getenv("REPRO_BENCH_WORKER") == "1" {
+		if err := worker.Serve(os.Stdin, os.Stdout, campaign.WorkerFactory); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // benchScale reads the scale factor for benchmark workloads.
 func benchScale() float64 {
@@ -152,6 +169,42 @@ func BenchmarkTable4Parallel(b *testing.B) {
 		seen[w] = true
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { run(b, w, false) })
 	}
+}
+
+// BenchmarkTable4ProcIsolation prices the out-of-process worker sandbox: the
+// same Table 4 campaign once with in-process goroutine workers and once with
+// supervised worker subprocesses (the bench binary re-executing itself, the
+// swifi -isolation=proc path). Both produce bit-identical Results — the
+// proc/inproc time-per-op ratio is the IPC + supervision overhead, which the
+// DESIGN.md budget caps at 15%.
+func BenchmarkTable4ProcIsolation(b *testing.B) {
+	run := func(b *testing.B, proc bool) {
+		b.ReportAllocs()
+		cfg := campaignCfg([]fault.Class{fault.ClassAssignment, fault.ClassChecking},
+			"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR")
+		cfg.Workers = 4
+		if proc {
+			cfg.Isolation = campaign.IsolationProc
+			cfg.Proc = &campaign.ProcOptions{
+				Spawn: func() *exec.Cmd {
+					cmd := exec.Command(os.Args[0])
+					cmd.Env = append(os.Environ(), "REPRO_BENCH_WORKER=1")
+					cmd.Stderr = os.Stderr
+					return cmd
+				},
+				HeartbeatInterval: 100 * time.Millisecond,
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := campaign.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Runs), "runs")
+		}
+	}
+	b.Run("inproc", func(b *testing.B) { run(b, false) })
+	b.Run("proc", func(b *testing.B) { run(b, true) })
 }
 
 // benchCampaign runs a one-class campaign and reports the share of correct

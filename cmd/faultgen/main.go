@@ -21,17 +21,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"syscall"
 
+	"repro/internal/cliutil"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/locator"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/programs"
+	"repro/internal/worker"
 )
 
 func main() {
@@ -49,9 +53,21 @@ func run(args []string) error {
 	withMetrics := fs.Bool("metrics", false, "print complexity-guided location weights (§6.1)")
 	asJSON := fs.Bool("json", false, "emit the expanded fault list as JSON")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel planning workers when several programs are given (1 = serial)")
+	isolation := fs.String("isolation", "inproc", "planning execution: inproc (goroutines) or proc (supervised worker subprocesses)")
+	workerMode := fs.Bool("worker-mode", false, "internal: serve plans over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workerMode {
+		return worker.Serve(os.Stdin, os.Stdout, planFactory)
+	}
+	procIsolation, err := cliutil.ParseIsolation(*isolation)
+	if err != nil {
+		return err
+	}
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
 	if *cpuProfile != "" {
@@ -94,9 +110,17 @@ func run(args []string) error {
 	// SIGINT/SIGTERM drains in-flight plans instead of killing mid-write.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSignals()
-	outs, err := parallel.MapCtx(ctx, *workers, len(rest), func(_, i int) (string, error) {
-		return describe(rest[i], *class, *n, *seed, *withMetrics, *asJSON)
-	})
+	var outs []string
+	if procIsolation {
+		outs, err = describeProc(ctx, planSpec{
+			Programs: rest, Class: *class, N: *n, Seed: *seed,
+			Metrics: *withMetrics, JSON: *asJSON,
+		}, *workers)
+	} else {
+		outs, err = parallel.MapCtx(ctx, *workers, len(rest), func(_, i int) (string, error) {
+			return describe(rest[i], *class, *n, *seed, *withMetrics, *asJSON)
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -104,6 +128,105 @@ func run(args []string) error {
 		fmt.Print(out)
 	}
 	return nil
+}
+
+// specKindPlan is the worker.Spec kind faultgen serves in -worker-mode.
+const specKindPlan = "faultgen/v1"
+
+// planSpec is the faultgen worker spec payload: one unit per program, in
+// argument order.
+type planSpec struct {
+	Programs []string `json:"programs"`
+	Class    string   `json:"class"`
+	N        int      `json:"n"`
+	Seed     int64    `json:"seed"`
+	Metrics  bool     `json:"metrics"`
+	JSON     bool     `json:"json"`
+}
+
+// planFactory is the worker-side factory: rebuild the spec, verify the
+// fingerprint, serve describe() per program with the rendered text as the
+// verdict payload.
+func planFactory(spec worker.Spec) (worker.Runner, error) {
+	if spec.Kind != specKindPlan {
+		return nil, fmt.Errorf("worker spec kind %q, faultgen serves %q", spec.Kind, specKindPlan)
+	}
+	if fp := worker.PayloadFingerprint(spec.Kind, spec.Payload); fp != spec.Fingerprint {
+		return nil, fmt.Errorf("spec fingerprint %016x does not match payload hash %016x", spec.Fingerprint, fp)
+	}
+	var s planSpec
+	if err := json.Unmarshal(spec.Payload, &s); err != nil {
+		return nil, err
+	}
+	return &planRunner{spec: s}, nil
+}
+
+type planRunner struct{ spec planSpec }
+
+func (r *planRunner) Units() int { return len(r.spec.Programs) }
+
+func (r *planRunner) Run(unit int) (journal.Outcome, []byte, error) {
+	s := &r.spec
+	out, err := describe(s.Programs[unit], s.Class, s.N, s.Seed, s.Metrics, s.JSON)
+	if err != nil {
+		return journal.Outcome{}, nil, err
+	}
+	return journal.Outcome{Mode: 1}, []byte(out), nil
+}
+
+// describeProc fans the programs out over supervised faultgen worker
+// subprocesses and returns the rendered outputs in argument order. A
+// program whose plan repeatedly crashes its worker is reported as an error,
+// not silently dropped.
+func describeProc(ctx context.Context, s planSpec, workers int) ([]string, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	pool, err := worker.NewPool(worker.Options{
+		Workers: workers,
+		Command: func() *exec.Cmd {
+			cmd := exec.Command(exe, "-worker-mode")
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Spec: worker.Spec{
+			Kind:        specKindPlan,
+			Fingerprint: worker.PayloadFingerprint(specKindPlan, payload),
+			Payload:     payload,
+		},
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	indices := make([]int, len(s.Programs))
+	for i := range indices {
+		indices[i] = i
+	}
+	outs := make([]string, len(s.Programs))
+	var lost []string
+	err = pool.Run(ctx, indices, func(r worker.Result) error {
+		if r.Quarantined {
+			lost = append(lost, s.Programs[r.Index])
+			return nil
+		}
+		outs[r.Index] = string(r.Payload)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(lost) > 0 {
+		return nil, fmt.Errorf("planning crashed the worker for: %s", strings.Join(lost, ", "))
+	}
+	return outs, nil
 }
 
 // describe renders the requested report for one program.

@@ -16,9 +16,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
@@ -30,9 +32,12 @@ import (
 	"repro/internal/asm"
 	"repro/internal/campaign"
 	"repro/internal/cc"
+	"repro/internal/cliutil"
+	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/programs"
 	"repro/internal/vm"
+	"repro/internal/worker"
 	"repro/internal/workload"
 )
 
@@ -54,9 +59,21 @@ func run(args []string) error {
 	selftest := fs.Int("selftest", 0, "run N generated inputs against the oracle instead of one run")
 	seed := fs.Int64("seed", 99, "random seed for -selftest input generation")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for -selftest (1 = serial)")
+	isolation := fs.String("isolation", "inproc", "-selftest execution: inproc (goroutines) or proc (supervised worker subprocesses)")
+	workerMode := fs.Bool("worker-mode", false, "internal: serve selftest cases over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workerMode {
+		return worker.Serve(os.Stdin, os.Stdout, selftestFactory)
+	}
+	procIsolation, err := cliutil.ParseIsolation(*isolation)
+	if err != nil {
+		return err
+	}
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
 	if *cpuProfile != "" {
@@ -118,7 +135,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *selftest > 0 {
-		return runSelftest(p, c, *selftest, *seed, *workers)
+		return runSelftest(p, c, *selftest, *seed, *workers, procIsolation, *faulty)
 	}
 
 	var ints []int32
@@ -164,10 +181,21 @@ func run(args []string) error {
 	return nil
 }
 
+// caseResult is one selftest case's outcome, in the shape both execution
+// paths produce: the in-process batch directly, the worker path as the
+// verdict payload on the wire.
+type caseResult struct {
+	Mode   campaign.FailureMode `json:"mode"`
+	State  string               `json:"state"`
+	Output string               `json:"output"`
+}
+
 // runSelftest batch-runs the compiled program over n generated inputs and
 // checks every output against the oracle — the fast way to confirm a
 // (possibly faulty) build still behaves before pointing a campaign at it.
-func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int) error {
+// With proc set the cases run in supervised worker subprocesses instead of
+// goroutines; the verdicts are identical.
+func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int, proc, faulty bool) error {
 	workers = parallel.DefaultWorkers(workers)
 	cases, err := workload.Generate(p.Kind, n, seed)
 	if err != nil {
@@ -177,9 +205,21 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSignals()
 	start := time.Now()
-	results, err := campaign.RunCleanBatchCtx(ctx, c, cases, vm.DefaultMaxCycles, workers)
-	if err != nil {
-		return err
+	var results []caseResult
+	if proc {
+		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers)
+		if err != nil {
+			return err
+		}
+	} else {
+		rr, err := campaign.RunCleanBatchCtx(ctx, c, cases, vm.DefaultMaxCycles, workers)
+		if err != nil {
+			return err
+		}
+		results = make([]caseResult, len(rr))
+		for i, r := range rr {
+			results[i] = caseResult{Mode: r.Mode, State: r.State.String(), Output: string(r.Output)}
+		}
 	}
 	elapsed := time.Since(start)
 	counts := make(map[campaign.FailureMode]int)
@@ -202,4 +242,127 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 		return fmt.Errorf("%d of %d runs deviated from the oracle", len(results)-counts[campaign.Correct], len(results))
 	}
 	return nil
+}
+
+// specKindSelftest is the worker.Spec kind progrun serves in -worker-mode.
+const specKindSelftest = "selftest/v1"
+
+// selftestSpec is the progrun worker spec payload: one unit per generated
+// case, numbered in generation order.
+type selftestSpec struct {
+	Program string `json:"program"`
+	Faulty  bool   `json:"faulty"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+}
+
+// selftestFactory is the worker-side factory: recompile the program and
+// regenerate the identical case set (workload generation is deterministic
+// per kind, count and seed), then serve cases as units.
+func selftestFactory(spec worker.Spec) (worker.Runner, error) {
+	if spec.Kind != specKindSelftest {
+		return nil, fmt.Errorf("worker spec kind %q, progrun serves %q", spec.Kind, specKindSelftest)
+	}
+	if fp := worker.PayloadFingerprint(spec.Kind, spec.Payload); fp != spec.Fingerprint {
+		return nil, fmt.Errorf("spec fingerprint %016x does not match payload hash %016x", spec.Fingerprint, fp)
+	}
+	var s selftestSpec
+	if err := json.Unmarshal(spec.Payload, &s); err != nil {
+		return nil, err
+	}
+	p, ok := programs.ByName(s.Program)
+	if !ok {
+		return nil, fmt.Errorf("unknown program %q", s.Program)
+	}
+	var c *cc.Compiled
+	var err error
+	if s.Faulty {
+		c, err = p.CompileFaulty()
+	} else {
+		c, err = p.Compile()
+	}
+	if err != nil {
+		return nil, err
+	}
+	cases, err := workload.Generate(p.Kind, s.N, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &selftestRunner{c: c, cases: cases}, nil
+}
+
+type selftestRunner struct {
+	c     *cc.Compiled
+	cases []workload.Case
+}
+
+func (r *selftestRunner) Units() int { return len(r.cases) }
+
+func (r *selftestRunner) Run(unit int) (journal.Outcome, []byte, error) {
+	cs := &r.cases[unit]
+	res, err := campaign.RunClean(r.c, cs.Input, cs.Golden, vm.DefaultMaxCycles)
+	if err != nil {
+		return journal.Outcome{}, nil, err
+	}
+	payload, err := json.Marshal(caseResult{Mode: res.Mode, State: res.State.String(), Output: string(res.Output)})
+	if err != nil {
+		return journal.Outcome{}, nil, err
+	}
+	return journal.Outcome{Mode: uint8(res.Mode)}, payload, nil
+}
+
+// selftestProc fans the cases out over supervised progrun worker
+// subprocesses and returns per-case results in case order. A case that
+// repeatedly crashes its worker comes back as a HostFault deviation rather
+// than aborting the batch.
+func selftestProc(ctx context.Context, s selftestSpec, workers int) ([]caseResult, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	pool, err := worker.NewPool(worker.Options{
+		Workers: workers,
+		Command: func() *exec.Cmd {
+			cmd := exec.Command(exe, "-worker-mode")
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Spec: worker.Spec{
+			Kind:        specKindSelftest,
+			Fingerprint: worker.PayloadFingerprint(specKindSelftest, payload),
+			Payload:     payload,
+		},
+		Quarantine: journal.Outcome{Mode: uint8(campaign.HostFault)},
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	indices := make([]int, s.N)
+	for i := range indices {
+		indices[i] = i
+	}
+	results := make([]caseResult, s.N)
+	err = pool.Run(ctx, indices, func(r worker.Result) error {
+		if r.Quarantined {
+			results[r.Index] = caseResult{Mode: campaign.HostFault, State: "quarantined"}
+			return nil
+		}
+		var cr caseResult
+		if err := json.Unmarshal(r.Payload, &cr); err != nil {
+			return fmt.Errorf("case %d verdict payload: %w", r.Index, err)
+		}
+		results[r.Index] = cr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }

@@ -16,6 +16,13 @@
 // -journal run.wal -resume — finished injections replay from the journal and
 // the final output is byte-identical to an uninterrupted run, under any
 // -workers count.
+//
+// With -isolation=proc the campaign's injections run in supervised worker
+// subprocesses (swifi re-executes itself with -worker-mode): a hard host
+// failure — OOM-kill, wedge, crash — costs one worker and at most one
+// in-flight injection instead of the campaign. Results are bit-identical to
+// -isolation=inproc; if the host cannot keep workers alive, the campaign
+// degrades back to in-process execution on its own.
 package main
 
 import (
@@ -32,9 +39,11 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/injector"
 	"repro/internal/journal"
+	"repro/internal/worker"
 )
 
 func main() {
@@ -56,9 +65,27 @@ func run(args []string) error {
 	journalPath := fs.String("journal", "", "journal the §6 campaign to this file (crash-safe; see -resume)")
 	resume := fs.Bool("resume", false, "resume the campaign from an existing -journal file")
 	unitTimeout := fs.Duration("unit-timeout", 0, "host wall-clock deadline per injection (0 = off); exceeding units are quarantined")
+	isolation := fs.String("isolation", "inproc", "campaign unit execution: inproc (goroutines) or proc (supervised worker subprocesses)")
+	workerMode := fs.Bool("worker-mode", false, "internal: serve campaign units over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workerMode {
+		return worker.Serve(os.Stdin, os.Stdout, campaign.WorkerFactory)
+	}
+	procIsolation, err := cliutil.ParseIsolation(*isolation)
+	if err != nil {
+		return err
+	}
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateUnitTimeout(fs, "unit-timeout", *unitTimeout); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateResume(*resume, *journalPath); err != nil {
 		return err
 	}
 	stopProf, err := startProfiles(*cpuProfile, *memProfile)
@@ -92,6 +119,9 @@ func run(args []string) error {
 	e.NoFastForward = *noFFwd
 	e.Ctx = ctx
 	e.UnitTimeout = *unitTimeout
+	if procIsolation {
+		e.Isolation = campaign.IsolationProc
+	}
 	switch *mode {
 	case "hw":
 		e.Mode = injector.ModeHardware
@@ -101,9 +131,6 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q (hw or trap)", *mode)
 	}
 
-	if *resume && *journalPath == "" {
-		return fmt.Errorf("-resume requires -journal")
-	}
 	if *journalPath != "" {
 		var j *journal.Journal
 		var err error

@@ -79,6 +79,7 @@ func (p *machinePool) acquire(c *cc.Compiled, in programs.Input, maxCycles uint6
 		return nil, err
 	}
 	m.SetMaxCycles(maxCycles)
+	m.SetCycleQuota(hardQuota(maxCycles))
 	m.SetInput(in.Ints)
 	m.SetByteInput(in.Bytes)
 	return m, nil
@@ -99,6 +100,7 @@ func (p *machinePool) restored(c *cc.Compiled, cp *golden.Checkpoint, maxCycles 
 		return nil, err
 	}
 	m.SetMaxCycles(maxCycles)
+	m.SetCycleQuota(hardQuota(maxCycles))
 	return m, nil
 }
 
@@ -279,6 +281,10 @@ type execOpts struct {
 	workers     int
 	journal     *journal.Journal // completed units are appended; journaled units replayed
 	unitTimeout time.Duration    // host wall-clock deadline per unit attempt; 0 = off
+	// prefill, when non-nil, carries outcomes already obtained elsewhere
+	// (the proc path's circuit-breaker fallback): non-zero slots are taken
+	// as done instead of executed.
+	prefill []unitOutcome
 }
 
 // executeUnits fans the planned units out over the worker pool and returns
@@ -310,6 +316,10 @@ func executeUnitsOpts(o execOpts, units []runUnit) ([]unitOutcome, error) {
 	out := make([]unitOutcome, len(units))
 	todo := make([]int, 0, len(units))
 	for i := range units {
+		if o.prefill != nil && o.prefill[i].mode != 0 {
+			out[i] = o.prefill[i]
+			continue
+		}
 		if o.journal != nil {
 			if jo, ok := o.journal.Done(i); ok {
 				out[i] = outcomeFromJournal(jo)
@@ -394,6 +404,14 @@ func (e *unitExecutor) runIsolated(w int, u *runUnit) (unitOutcome, error) {
 		quarantineLog(u, fmt.Sprintf("exceeded the %v unit deadline; abandoned", e.opts.unitTimeout), nil)
 		return unitOutcome{mode: HostFault}, nil
 	}
+	if errors.Is(err, vm.ErrCycleQuota) {
+		// The hard instruction quota only fires when watchdog accounting is
+		// itself broken; the unit's machine state cannot be trusted and a
+		// retry would spin just as long. Deterministic quarantine, no retry.
+		e.discard(w)
+		quarantineLog(u, fmt.Sprintf("hard cycle quota: %v", err), nil)
+		return unitOutcome{mode: HostFault}, nil
+	}
 	var pe *parallel.PanicError
 	if !errors.As(err, &pe) {
 		if err != nil {
@@ -410,6 +428,11 @@ func (e *unitExecutor) runIsolated(w int, u *runUnit) (unitOutcome, error) {
 	if timedOut2 {
 		e.discard(w)
 		quarantineLog(u, fmt.Sprintf("retry exceeded the %v unit deadline; abandoned", e.opts.unitTimeout), nil)
+		return unitOutcome{mode: HostFault}, nil
+	}
+	if errors.Is(err2, vm.ErrCycleQuota) {
+		e.discard(w)
+		quarantineLog(u, fmt.Sprintf("hard cycle quota on retry: %v", err2), nil)
 		return unitOutcome{mode: HostFault}, nil
 	}
 	var pe2 *parallel.PanicError
@@ -514,6 +537,23 @@ const (
 	budgetFactor = 3
 	budgetSlack  = 50_000
 )
+
+// hardQuota derives a unit's hard instruction quota from its watchdog
+// budget. The quota sits strictly above the watchdog, so on a healthy host
+// it never fires — a hang is always classified by the watchdog as the
+// target's own failure mode first. It is the backstop for the pathological
+// case where watchdog accounting itself is corrupted (a host bug, not a
+// target fault): vm.Run then stops at the quota with vm.ErrCycleQuota and
+// runIsolated quarantines the unit as a HostFault instead of spinning the
+// worker forever.
+const quotaFactor = 4
+
+func hardQuota(maxCycles uint64) uint64 {
+	if maxCycles == 0 {
+		maxCycles = vm.DefaultMaxCycles // SetMaxCycles treats 0 the same way
+	}
+	return maxCycles*quotaFactor + budgetSlack
+}
 
 // quantileMarks derives the cycle counts the golden runner checkpoints at
 // for triggers not tied to a location: the quartiles of the calibrated

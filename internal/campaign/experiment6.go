@@ -90,6 +90,16 @@ type Config struct {
 	// HostFault. 0 disables the watchdog — the default, since the target's
 	// own cycle watchdog already classifies in-target hangs.
 	UnitTimeout time.Duration
+	// Isolation selects where units execute: IsolationInProc (the default)
+	// on goroutines in this process, IsolationProc in supervised worker
+	// subprocesses (see internal/worker). The Result is bit-identical in
+	// both modes; proc trades IPC overhead for surviving hard host
+	// failures — an OOM-kill or wedge costs one worker, not the campaign.
+	Isolation Isolation
+	// Proc tunes the worker pool under IsolationProc; nil picks defaults
+	// (re-exec the current binary with -worker-mode, 500ms heartbeats, 10s
+	// silence timeout, one redelivery before quarantine).
+	Proc *ProcOptions
 }
 
 func (c *Config) fill() {
@@ -204,9 +214,10 @@ func (e *InterruptedError) Unwrap() error { return e.Cause }
 // and their outcomes: the seed and, per unit in planning order, the program,
 // fault identity (ID, error type, trigger addresses, trigger policy), case
 // index, watchdog budget, injector mode and entry slot. Deliberately
-// excluded: Workers, NoFastForward, Ctx, UnitTimeout — none of them changes
-// any unit's outcome, so a journal written under one executor configuration
-// resumes under any other.
+// excluded: Workers, NoFastForward, Ctx, UnitTimeout, Isolation and Proc —
+// none of them changes any unit's outcome, so a journal written under one
+// executor configuration resumes under any other (a proc campaign resumes
+// in-process and vice versa).
 func planFingerprint(cfg *Config, units []runUnit) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -242,12 +253,22 @@ func planFingerprint(cfg *Config, units []runUnit) uint64 {
 	return h.Sum64()
 }
 
-// Run executes the campaign. It is deterministic for a given Config:
-// planning (location choice, fault expansion, input generation) is serial
-// and seeded, execution fans out over cfg.Workers with per-unit result
-// slots merged in planning order, so any worker count yields the same
-// Result.
-func Run(cfg Config) (*Result, error) {
+// plannedCampaign is the output of the serial planning phase: the Result
+// shell with its Plans rows, the entry slots units aggregate into, the unit
+// list in planning order, and the plan fingerprint over all of it. Planning
+// is fully deterministic for a Config, which is what lets a worker
+// subprocess rebuild the identical plan from the serialized Config alone.
+type plannedCampaign struct {
+	res       *Result
+	entryList []*Entry
+	units     []runUnit
+	fp        uint64
+}
+
+// planCampaign runs the serial planning phase: location choice, fault
+// expansion, input generation, watchdog calibration. It fills cfg's
+// defaults in place.
+func planCampaign(cfg *Config) (*plannedCampaign, error) {
 	cfg.fill()
 	res := &Result{}
 	entryIdx := make(map[string]int)
@@ -354,23 +375,50 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	return &plannedCampaign{
+		res:       res,
+		entryList: entryList,
+		units:     units,
+		fp:        planFingerprint(cfg, units),
+	}, nil
+}
+
+// Run executes the campaign. It is deterministic for a given Config:
+// planning (location choice, fault expansion, input generation) is serial
+// and seeded, execution fans out over cfg.Workers — goroutines or worker
+// subprocesses, per cfg.Isolation — with per-unit result slots merged in
+// planning order, so any worker count in either isolation mode yields the
+// same Result.
+func Run(cfg Config) (*Result, error) {
+	pc, err := planCampaign(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, entryList, units := pc.res, pc.entryList, pc.units
+
 	// Planning is complete: the plan fingerprint is now defined, so a
 	// journal can be bound (fresh) or checked (resume) before any
 	// execution happens.
 	if cfg.Journal != nil {
-		if err := cfg.Journal.Bind(planFingerprint(&cfg, units)); err != nil {
+		if err := cfg.Journal.Bind(pc.fp); err != nil {
 			return nil, err
 		}
 	}
 
 	// Execution: the only parallel section. Outcomes land in per-unit
 	// slots and are folded into the entries in planning order.
-	outcomes, err := executeUnitsOpts(execOpts{
+	eo := execOpts{
 		ctx:         cfg.Ctx,
 		workers:     cfg.Workers,
 		journal:     cfg.Journal,
 		unitTimeout: cfg.UnitTimeout,
-	}, units)
+	}
+	var outcomes []unitOutcome
+	if cfg.Isolation == IsolationProc {
+		outcomes, err = executeUnitsProc(&cfg, eo, units, pc.fp)
+	} else {
+		outcomes, err = executeUnitsOpts(eo, units)
+	}
 	if err != nil {
 		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && outcomes != nil {
 			done := foldOutcomes(res, entryList, units, outcomes)

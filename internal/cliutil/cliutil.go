@@ -1,0 +1,66 @@
+// Package cliutil holds the flag validation shared by the three CLIs
+// (swifi, faultgen, progrun). Every rule here exists because the
+// misconfiguration it rejects used to fail later and worse: a -resume
+// without -journal silently started a fresh campaign, -workers 0 looked
+// like a request for the serial path but actually selected GOMAXPROCS, and
+// a zero -unit-timeout read as "quarantine instantly" when the user meant
+// "no deadline".
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// ValidateWorkers rejects worker counts below 1. The flag defaults to
+// runtime.GOMAXPROCS(0) in every CLI, so a sub-1 value is always an
+// explicit -workers 0 or negative — historically interpreted as "pick for
+// me", which is indistinguishable from a typo.
+func ValidateWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d (omit the flag to use all CPUs)", n)
+	}
+	return nil
+}
+
+// ValidateUnitTimeout rejects an explicitly-set zero or negative duration
+// for the named flag. The unset default (0) keeps meaning "no per-unit
+// deadline" — only a user who typed the flag and gave it a non-positive
+// value is told so, instead of getting a deadline that never (or always)
+// fires.
+func ValidateUnitTimeout(fs *flag.FlagSet, name string, v time.Duration) error {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	if set && v <= 0 {
+		return fmt.Errorf("-%s must be positive, got %v (omit the flag to disable the per-unit deadline)", name, v)
+	}
+	return nil
+}
+
+// ValidateResume rejects -resume without -journal: there is no file to
+// resume from, and silently running a fresh campaign would discard exactly
+// the progress the user asked to keep.
+func ValidateResume(resume bool, journalPath string) error {
+	if resume && journalPath == "" {
+		return fmt.Errorf("-resume requires -journal (there is no journal file to resume from)")
+	}
+	return nil
+}
+
+// ParseIsolation parses the -isolation flag shared by the CLIs, reporting
+// whether process isolation (supervised worker subprocesses) was requested.
+func ParseIsolation(s string) (proc bool, err error) {
+	switch s {
+	case "inproc":
+		return false, nil
+	case "proc":
+		return true, nil
+	default:
+		return false, fmt.Errorf("-isolation must be inproc or proc, got %q", s)
+	}
+}

@@ -1,0 +1,89 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 64} {
+		if err := ValidateWorkers(n); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -8} {
+		if err := ValidateWorkers(n); err == nil {
+			t.Errorf("ValidateWorkers(%d) accepted", n)
+		} else if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("ValidateWorkers(%d) error %q does not name the flag", n, err)
+		}
+	}
+}
+
+func TestValidateUnitTimeout(t *testing.T) {
+	parse := func(args ...string) (*flag.FlagSet, time.Duration) {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		d := fs.Duration("unit-timeout", 0, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return fs, *d
+	}
+
+	// Unset: 0 means "no deadline" and must pass.
+	fs, d := parse()
+	if err := ValidateUnitTimeout(fs, "unit-timeout", d); err != nil {
+		t.Errorf("unset default rejected: %v", err)
+	}
+	// Explicit positive: fine.
+	fs, d = parse("-unit-timeout", "30s")
+	if err := ValidateUnitTimeout(fs, "unit-timeout", d); err != nil {
+		t.Errorf("explicit 30s rejected: %v", err)
+	}
+	// Explicit zero and negative: rejected with the flag named.
+	for _, v := range []string{"0", "-5s"} {
+		fs, d = parse("-unit-timeout", v)
+		if err := ValidateUnitTimeout(fs, "unit-timeout", d); err == nil {
+			t.Errorf("explicit %s accepted", v)
+		} else if !strings.Contains(err.Error(), "unit-timeout") {
+			t.Errorf("error %q does not name the flag", err)
+		}
+	}
+}
+
+func TestValidateResume(t *testing.T) {
+	if err := ValidateResume(false, ""); err != nil {
+		t.Errorf("no resume, no journal: %v", err)
+	}
+	if err := ValidateResume(true, "run.wal"); err != nil {
+		t.Errorf("resume with journal: %v", err)
+	}
+	if err := ValidateResume(false, "run.wal"); err != nil {
+		t.Errorf("fresh journal without resume: %v", err)
+	}
+	err := ValidateResume(true, "")
+	if err == nil {
+		t.Fatal("resume without journal accepted")
+	}
+	if !strings.Contains(err.Error(), "-journal") {
+		t.Errorf("error %q does not name the missing flag", err)
+	}
+}
+
+func TestParseIsolation(t *testing.T) {
+	if proc, err := ParseIsolation("inproc"); err != nil || proc {
+		t.Errorf("inproc -> (%v, %v)", proc, err)
+	}
+	if proc, err := ParseIsolation("proc"); err != nil || !proc {
+		t.Errorf("proc -> (%v, %v)", proc, err)
+	}
+	for _, s := range []string{"", "process", "PROC", "subprocess"} {
+		if _, err := ParseIsolation(s); err == nil {
+			t.Errorf("ParseIsolation(%q) accepted", s)
+		}
+	}
+}

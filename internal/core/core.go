@@ -56,6 +56,14 @@ type Engine struct {
 	// UnitTimeout bounds each injection's host wall-clock time; see
 	// campaign.Config.UnitTimeout. 0 disables the watchdog.
 	UnitTimeout time.Duration
+	// Isolation selects where campaign injections execute: in-process
+	// goroutines (default) or supervised worker subprocesses (swifi
+	// -isolation=proc). Results are bit-identical either way; see
+	// campaign.Config.Isolation.
+	Isolation campaign.Isolation
+	// Proc tunes the worker pool when Isolation is campaign.IsolationProc;
+	// nil picks the defaults (re-exec this binary with -worker-mode).
+	Proc *campaign.ProcOptions
 
 	mu       sync.Mutex
 	campRes  *campaign.Result
@@ -217,6 +225,8 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		NoFastForward: e.NoFastForward,
 		Ctx:           e.Ctx,
 		UnitTimeout:   e.UnitTimeout,
+		Isolation:     e.Isolation,
+		Proc:          e.Proc,
 	}
 }
 

@@ -55,7 +55,11 @@ type Outcome struct {
 	Retried   bool
 }
 
-func (o Outcome) flags() uint8 {
+// Flags packs the outcome's booleans into the journal's (and the worker
+// protocol's) flag byte; DecodeOutcome is its inverse. The two wire formats
+// deliberately share this encoding so a verdict received from a worker
+// subprocess appends to the journal without translation.
+func (o Outcome) Flags() uint8 {
 	var f uint8
 	if o.Activated {
 		f |= flagActivated
@@ -67,6 +71,17 @@ func (o Outcome) flags() uint8 {
 		f |= flagRetried
 	}
 	return f
+}
+
+// DecodeOutcome rebuilds an Outcome from its wire form (mode byte plus the
+// Flags bit set).
+func DecodeOutcome(mode, flags uint8) Outcome {
+	return Outcome{
+		Mode:      mode,
+		Activated: flags&flagActivated != 0,
+		Degraded:  flags&flagDegraded != 0,
+		Retried:   flags&flagRetried != 0,
+	}
 }
 
 // Journal is an open campaign journal. All methods are safe for concurrent
@@ -91,10 +106,24 @@ type Journal struct {
 // Create opens a fresh journal at path, truncating any existing file. The
 // plan fingerprint is not known until the campaign has planned its units,
 // so the header is written by Bind.
+//
+// Create takes an exclusive advisory lock on the file: a second campaign
+// opening the same journal — Create or Open — fails fast instead of
+// interleaving appends into one log. The truncation happens only after the
+// lock is held, so a Create losing the race cannot destroy the winner's
+// records.
 func Create(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: %w", path, err)
 	}
 	return &Journal{f: f, path: path, done: make(map[int]Outcome)}, nil
 }
@@ -102,11 +131,16 @@ func Create(path string) (*Journal, error) {
 // Open loads an existing journal for resumption: the header is read and
 // retained for verification by Bind, every intact record is loaded, and a
 // torn or corrupt tail is truncated so subsequent appends extend the last
-// good record.
+// good record. Like Create, Open holds the journal's exclusive advisory
+// lock for the lifetime of the Journal.
 func Open(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: %w", path, err)
 	}
 	j := &Journal{f: f, path: path, resume: true, done: make(map[int]Outcome)}
 	if err := j.load(); err != nil {
@@ -153,14 +187,8 @@ func (j *Journal) load() error {
 			break
 		}
 		unit := int(binary.LittleEndian.Uint32(rec[0:4]))
-		flags := rec[5]
 		if _, dup := j.done[unit]; !dup {
-			j.done[unit] = Outcome{
-				Mode:      rec[4],
-				Activated: flags&flagActivated != 0,
-				Degraded:  flags&flagDegraded != 0,
-				Retried:   flags&flagRetried != 0,
-			}
+			j.done[unit] = DecodeOutcome(rec[4], rec[5])
 		}
 		good += recordSize
 	}
@@ -243,7 +271,7 @@ func (j *Journal) Append(unit int, o Outcome) error {
 	var rec [recordSize]byte
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(unit))
 	rec[4] = o.Mode
-	rec[5] = o.flags()
+	rec[5] = o.Flags()
 	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[:8]))
 	if _, err := j.f.Write(rec[:]); err != nil {
 		return fmt.Errorf("journal %s: %w", j.path, err)

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op on platforms without flock. The single-writer
+// guarantee then rests on the operator, as it did before journal locking.
+func lockFile(*os.File) error { return nil }

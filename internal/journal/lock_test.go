@@ -1,0 +1,53 @@
+package journal
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalLockExcludesSecondOpener: while one campaign holds a journal,
+// any second opener — resume or fresh create — must fail fast with a
+// readable error instead of interleaving appends into the same file.
+func TestJournalLockExcludesSecondOpener(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Bind(0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, Outcome{Mode: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path); err == nil {
+		t.Fatal("second Open succeeded while the journal is held")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open error %q does not mention the lock", err)
+	}
+	if _, err := Create(path); err == nil {
+		t.Fatal("second Create succeeded while the journal is held")
+	}
+
+	// A lost Create race must not have truncated the holder's records.
+	if err := j.Append(1, Outcome{Mode: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lock dies with the holder: reopening after Close succeeds and
+	// replays both records.
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reopened journal holds %d records, want 2", j2.Len())
+	}
+}

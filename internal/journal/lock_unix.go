@@ -1,0 +1,23 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the journal file. The
+// lock belongs to the open file description, so it is released when the
+// Journal closes the file (or the process dies — SIGKILL included, which is
+// exactly when the next opener must still be able to resume). A held lock
+// turns into a fast, readable refusal instead of two campaigns silently
+// interleaving records.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errors.New("locked by another running campaign; journals are single-writer — wait for it to finish or use a different -journal file")
+	}
+	return err
+}

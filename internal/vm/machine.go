@@ -165,6 +165,17 @@ type Machine struct {
 	cycles     uint64
 	maxCycles  uint64
 
+	// cycleQuota is the hard instruction quota of the worker sandbox: a
+	// host-robustness backstop set (when non-zero) above the calibrated
+	// watchdog budget. The watchdog expiring classifies the *target* as hung;
+	// the quota expiring means the *host* mis-set or lost the watchdog, so
+	// Run reports ErrCycleQuota instead of a target state. runLimit caches
+	// min(maxCycles, cycleQuota) so the hot loop keeps its single compare;
+	// quotaHit carries the quota verdict from the step path out to Run.
+	cycleQuota uint64
+	runLimit   uint64
+	quotaHit   bool
+
 	input   []int32 // integer input stream (SysReadInt)
 	inPos   int
 	inBytes []byte // byte input stream (SysReadChar)
@@ -253,6 +264,7 @@ func New(cfg Config) *Machine {
 	return &Machine{
 		mem:       make([]byte, cfg.MemSize),
 		maxCycles: cfg.MaxCycles,
+		runLimit:  cfg.MaxCycles,
 	}
 }
 
@@ -441,6 +453,7 @@ func (m *Machine) Reset() error {
 	m.exc = ExcNone
 	m.excAt = 0
 	m.cycles = 0
+	m.quotaHit = false
 	m.exitStatus = 0
 	m.input = m.input[:0]
 	m.inBytes = m.inBytes[:0]
@@ -469,6 +482,40 @@ func (m *Machine) SetMaxCycles(n uint64) {
 		n = DefaultMaxCycles
 	}
 	m.maxCycles = n
+	m.recomputeRunLimit()
+}
+
+// ErrCycleQuota is returned by Run when the hard cycle quota (SetCycleQuota)
+// expires. It signals a host-side failure — the watchdog budget was lost or
+// mis-set — not a target outcome: the campaign executor quarantines the unit
+// instead of classifying it.
+var ErrCycleQuota = errors.New("vm: hard cycle quota exceeded")
+
+// SetCycleQuota installs a hard instruction quota (0 disables it, the
+// default). The quota is a robustness backstop, not a classification
+// mechanism: callers set it strictly above the watchdog budget, so an honest
+// run always hits the watchdog (and classifies as a hang) first. Run returns
+// ErrCycleQuota if the quota ever expires.
+func (m *Machine) SetCycleQuota(n uint64) {
+	m.cycleQuota = n
+	m.recomputeRunLimit()
+}
+
+func (m *Machine) recomputeRunLimit() {
+	m.runLimit = m.maxCycles
+	if m.cycleQuota != 0 && m.cycleQuota < m.runLimit {
+		m.runLimit = m.cycleQuota
+	}
+}
+
+// limitExpire classifies an expired run limit: reaching the hard quota marks
+// the run as a host fault (quotaHit makes Run return ErrCycleQuota); reaching
+// only the watchdog budget is the paper's dead-loop timeout, state hung.
+func (m *Machine) limitExpire() {
+	if m.cycleQuota != 0 && m.cycles >= m.cycleQuota {
+		m.quotaHit = true
+	}
+	m.state = StateHung
 }
 
 // SetInput installs the integer input stream consumed by SysReadInt.
@@ -754,8 +801,8 @@ func (m *Machine) Run() (State, error) {
 			m.step()
 			continue
 		}
-		if m.cycles >= m.maxCycles {
-			m.state = StateHung
+		if m.cycles >= m.runLimit {
+			m.limitExpire()
 			break
 		}
 		m.cycles++
@@ -836,6 +883,11 @@ func (m *Machine) Run() (State, error) {
 			m.execute(pc, in)
 		}
 	}
+	if m.quotaHit {
+		m.quotaHit = false
+		return m.state, fmt.Errorf("%w after %d cycles (quota %d, watchdog %d)",
+			ErrCycleQuota, m.cycles, m.cycleQuota, m.maxCycles)
+	}
 	return m.state, nil
 }
 
@@ -848,8 +900,8 @@ func (m *Machine) step() {
 	if m.watchAny {
 		m.checkWatch()
 	}
-	if m.cycles >= m.maxCycles {
-		m.state = StateHung
+	if m.cycles >= m.runLimit {
+		m.limitExpire()
 		return
 	}
 	m.cycles++

@@ -252,6 +252,7 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.excAt = s.excAt
 	m.exitStatus = s.exitStatus
 	m.cycles = s.cycles
+	m.quotaHit = false
 	m.input = append(m.input[:0], s.input...)
 	m.inPos = s.inPos
 	m.inBytes = append(m.inBytes[:0], s.inBytes...)

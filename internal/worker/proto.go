@@ -1,0 +1,248 @@
+// Package worker is the out-of-process execution sandbox of the campaign
+// layer: units run in supervised worker subprocesses that speak a
+// length-prefixed, versioned binary protocol over stdin/stdout, so a hard
+// host failure — an OS OOM-kill, a runaway allocation, a stuck syscall —
+// costs one worker process and at most one in-flight unit, never the
+// campaign.
+//
+// The package has two halves. Serve is the worker side: a re-exec'd binary
+// (swifi -worker-mode and friends) reads a Spec, builds a Runner from it,
+// and answers unit-execution requests until told to shut down, heartbeating
+// the whole time. Pool is the supervisor side: it owns a fleet of worker
+// processes and enforces the robustness policy — heartbeat and wall-clock
+// deadlines, restart with exponential backoff, at-most-N redelivery before
+// a unit is quarantined, and a circuit breaker that gives up on process
+// isolation when worker churn shows the host cannot sustain it.
+//
+// The wire protocol, version 1 (all integers little-endian):
+//
+//	frame    length u32 | type u8 | payload (length counts type+payload)
+//
+//	hello    version u16 | heartbeat-ms u32 | mem-quota u64 |
+//	         fingerprint u64 | kind-len u16 | kind | spec-len u32 | spec
+//	ready    version u16 | fingerprint u64 | units u32
+//	exec     unit u32
+//	verdict  unit u32 | mode u8 | flags u8 | last u8 | payload-len u32 | payload
+//	heartbeat (empty)
+//	shutdown  (empty)
+//	error    message (UTF-8)
+//
+// The supervisor opens with hello; the worker answers ready after building
+// its Runner, echoing the negotiated version and the fingerprint of the
+// plan it reconstructed — a supervisor whose fingerprint differs is talking
+// to a worker from a different build or configuration and must not trust
+// its unit numbering. Verdict mode/flags use the journal.Outcome wire
+// encoding, so a verdict appends to a campaign journal byte-for-byte. A
+// verdict with last set is the worker's final answer (it recycles itself —
+// e.g. its RSS crossed the memory quota) and the supervisor respawns it
+// without penalty. Frames above MaxFrame, unknown types, and short reads
+// are protocol errors: the supervisor kills the worker and redelivers.
+package worker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// PayloadFingerprint fingerprints a spec whose payload alone determines the
+// unit numbering: fnv64a over the kind and the payload bytes. Simple
+// fan-out specs (faultgen plans, progrun selftests) use this on both sides
+// of the handshake; campaign specs use a plan-level fingerprint instead
+// (see internal/campaign), which also covers state derived from the
+// payload, like calibrated budgets.
+func PayloadFingerprint(kind string, payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return h.Sum64()
+}
+
+const (
+	// ProtocolVersion is the frame-format version sent in hello and echoed
+	// in ready. There is exactly one version so far; the field exists so a
+	// mixed-build supervisor/worker pair fails the handshake instead of
+	// mis-parsing frames.
+	ProtocolVersion = 1
+
+	// MaxFrame bounds any frame's length prefix. A frame claiming more is
+	// garbage (a worker writing junk to stdout, a supervisor reading from
+	// the wrong process) and is rejected before any allocation.
+	MaxFrame = 16 << 20
+)
+
+// Message types.
+const (
+	msgHello uint8 = 1 + iota
+	msgReady
+	msgExec
+	msgVerdict
+	msgHeartbeat
+	msgShutdown
+	msgError
+)
+
+// Spec tells a worker what work it will be asked to execute. Kind selects
+// the runner factory branch (each binary registers the kinds it can serve);
+// Payload is kind-specific (JSON in practice) and must fully determine the
+// unit numbering, because supervisor and worker derive it independently;
+// Fingerprint is the supervisor's hash of that numbering, which the worker
+// must reproduce for the handshake to succeed.
+type Spec struct {
+	Kind        string
+	Fingerprint uint64
+	Payload     []byte
+}
+
+// hello is the supervisor's opening frame.
+type hello struct {
+	Version           uint16
+	HeartbeatInterval time.Duration
+	MemQuota          uint64
+	Spec              Spec
+}
+
+// ready is the worker's handshake answer.
+type ready struct {
+	Version     uint16
+	Fingerprint uint64
+	Units       uint32
+}
+
+// verdict is one completed unit.
+type verdict struct {
+	Unit    uint32
+	Outcome journal.Outcome
+	Last    bool // the worker exits after this verdict (self-recycle)
+	Payload []byte
+}
+
+// writeFrame emits one frame. Callers serialise writes themselves.
+func writeFrame(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("worker: frame type %d overflows MaxFrame (%d bytes)", typ, len(payload))
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(payload)))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, rejecting empty and oversized length prefixes.
+func readFrame(r io.Reader) (typ uint8, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("worker: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // a frame header with no body is torn, not a clean end
+		}
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func encodeHello(h hello) []byte {
+	kind := []byte(h.Spec.Kind)
+	buf := make([]byte, 0, 24+len(kind)+len(h.Spec.Payload))
+	buf = binary.LittleEndian.AppendUint16(buf, h.Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.HeartbeatInterval/time.Millisecond))
+	buf = binary.LittleEndian.AppendUint64(buf, h.MemQuota)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Spec.Fingerprint)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(kind)))
+	buf = append(buf, kind...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.Spec.Payload)))
+	buf = append(buf, h.Spec.Payload...)
+	return buf
+}
+
+func decodeHello(b []byte) (hello, error) {
+	var h hello
+	if len(b) < 24 {
+		return h, fmt.Errorf("worker: hello frame too short (%d bytes)", len(b))
+	}
+	h.Version = binary.LittleEndian.Uint16(b[0:2])
+	h.HeartbeatInterval = time.Duration(binary.LittleEndian.Uint32(b[2:6])) * time.Millisecond
+	h.MemQuota = binary.LittleEndian.Uint64(b[6:14])
+	h.Spec.Fingerprint = binary.LittleEndian.Uint64(b[14:22])
+	kn := int(binary.LittleEndian.Uint16(b[22:24]))
+	b = b[24:]
+	if len(b) < kn+4 {
+		return h, fmt.Errorf("worker: hello frame truncated in kind")
+	}
+	h.Spec.Kind = string(b[:kn])
+	b = b[kn:]
+	pn := int(binary.LittleEndian.Uint32(b[:4]))
+	b = b[4:]
+	if len(b) != pn {
+		return h, fmt.Errorf("worker: hello spec length %d, frame holds %d", pn, len(b))
+	}
+	h.Spec.Payload = b
+	return h, nil
+}
+
+func encodeReady(r ready) []byte {
+	buf := make([]byte, 0, 14)
+	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Fingerprint)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Units)
+	return buf
+}
+
+func decodeReady(b []byte) (ready, error) {
+	if len(b) != 14 {
+		return ready{}, fmt.Errorf("worker: ready frame is %d bytes, want 14", len(b))
+	}
+	return ready{
+		Version:     binary.LittleEndian.Uint16(b[0:2]),
+		Fingerprint: binary.LittleEndian.Uint64(b[2:10]),
+		Units:       binary.LittleEndian.Uint32(b[10:14]),
+	}, nil
+}
+
+func encodeVerdict(v verdict) []byte {
+	buf := make([]byte, 0, 11+len(v.Payload))
+	buf = binary.LittleEndian.AppendUint32(buf, v.Unit)
+	buf = append(buf, v.Outcome.Mode, v.Outcome.Flags(), boolByte(v.Last))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Payload)))
+	buf = append(buf, v.Payload...)
+	return buf
+}
+
+func decodeVerdict(b []byte) (verdict, error) {
+	var v verdict
+	if len(b) < 11 {
+		return v, fmt.Errorf("worker: verdict frame too short (%d bytes)", len(b))
+	}
+	v.Unit = binary.LittleEndian.Uint32(b[0:4])
+	v.Outcome = journal.DecodeOutcome(b[4], b[5])
+	v.Last = b[6] != 0
+	pn := int(binary.LittleEndian.Uint32(b[7:11]))
+	if len(b)-11 != pn {
+		return v, fmt.Errorf("worker: verdict payload length %d, frame holds %d", pn, len(b)-11)
+	}
+	if pn > 0 {
+		v.Payload = b[11:]
+	}
+	return v, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

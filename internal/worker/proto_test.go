@@ -1,0 +1,117 @@
+package worker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := hello{
+		Version:           ProtocolVersion,
+		HeartbeatInterval: 250 * time.Millisecond,
+		MemQuota:          2 << 30,
+		Spec: Spec{
+			Kind:        "campaign/v1",
+			Fingerprint: 0xdeadbeefcafef00d,
+			Payload:     []byte(`{"seed":42}`),
+		},
+	}
+	out, err := decodeHello(encodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != in.Version || out.HeartbeatInterval != in.HeartbeatInterval ||
+		out.MemQuota != in.MemQuota || out.Spec.Kind != in.Spec.Kind ||
+		out.Spec.Fingerprint != in.Spec.Fingerprint || !bytes.Equal(out.Spec.Payload, in.Spec.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestHelloTruncated(t *testing.T) {
+	full := encodeHello(hello{Version: 1, Spec: Spec{Kind: "k", Payload: []byte("pp")}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeHello(full[:cut]); err == nil {
+			t.Fatalf("decodeHello accepted a %d-byte prefix of a %d-byte frame", cut, len(full))
+		}
+	}
+}
+
+func TestReadyRoundTrip(t *testing.T) {
+	in := ready{Version: ProtocolVersion, Fingerprint: 0x0123456789abcdef, Units: 991}
+	out, err := decodeReady(encodeReady(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if _, err := decodeReady(encodeReady(in)[:13]); err == nil {
+		t.Fatal("decodeReady accepted a short frame")
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	cases := []verdict{
+		{Unit: 0, Outcome: journal.Outcome{Mode: 1}},
+		{Unit: 7, Outcome: journal.Outcome{Mode: 5, Activated: true, Retried: true}, Last: true},
+		{Unit: 123456, Outcome: journal.Outcome{Mode: 3, Degraded: true}, Payload: []byte("case output")},
+	}
+	for _, in := range cases {
+		out, err := decodeVerdict(encodeVerdict(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Unit != in.Unit || out.Outcome != in.Outcome || out.Last != in.Last ||
+			!bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+		}
+	}
+	if _, err := decodeVerdict(encodeVerdict(cases[2])[:12]); err == nil {
+		t.Fatal("decodeVerdict accepted a truncated payload")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgExec, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgExec || !bytes.Equal(payload, []byte{1, 2, 3, 4}) {
+		t.Fatalf("got type %d payload %v", typ, payload)
+	}
+}
+
+func TestFrameRejectsBadLengths(t *testing.T) {
+	// Zero-length frame: not even a type byte.
+	zero := make([]byte, 4)
+	if _, _, err := readFrame(bytes.NewReader(zero)); err == nil || !strings.Contains(err.Error(), "bad frame length") {
+		t.Fatalf("zero-length frame: %v", err)
+	}
+	// Oversized claim: reject before allocating.
+	huge := make([]byte, 4)
+	binary.LittleEndian.PutUint32(huge, MaxFrame+1)
+	if _, _, err := readFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "bad frame length") {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// Header claiming more body than exists: torn, not clean EOF.
+	torn := make([]byte, 4, 6)
+	binary.LittleEndian.PutUint32(torn, 10)
+	torn = append(torn, msgExec, 0)
+	if _, _, err := readFrame(bytes.NewReader(torn)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: %v", err)
+	}
+	// Oversized write is refused at the source too.
+	if err := writeFrame(io.Discard, msgVerdict, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+}
