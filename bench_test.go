@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/metrics"
 	"repro/internal/programs"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/worker"
 	"repro/internal/workload"
@@ -205,6 +207,53 @@ func BenchmarkTable4ProcIsolation(b *testing.B) {
 	}
 	b.Run("inproc", func(b *testing.B) { run(b, false) })
 	b.Run("proc", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTable4Telemetry prices the observability layer on the Table 4
+// campaign (both classes, all eight programs, 4 workers): telemetry off
+// (the nil fast path every plane short-circuits on), the metric registry
+// plus a non-TTY progress surface (the swifi default on a terminal), and
+// additionally the full trace firehose into a discarded JSONL sink. The
+// Result is bit-identical across all three (asserted by the property tests
+// in internal/campaign); the DESIGN.md budget caps metrics+progress at 2%
+// over off.
+func BenchmarkTable4Telemetry(b *testing.B) {
+	run := func(b *testing.B, tel func() *telemetry.Telemetry) {
+		b.ReportAllocs()
+		cfg := campaignCfg([]fault.Class{fault.ClassAssignment, fault.ClassChecking},
+			"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR")
+		cfg.Workers = 4
+		for i := 0; i < b.N; i++ {
+			cfg.Telemetry = tel()
+			res, err := campaign.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Runs), "runs")
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func() *telemetry.Telemetry { return nil })
+	})
+	b.Run("metrics+progress", func(b *testing.B) {
+		run(b, func() *telemetry.Telemetry {
+			return &telemetry.Telemetry{
+				Reg:      telemetry.NewRegistry(),
+				Progress: telemetry.NewProgress(io.Discard, false, 0),
+			}
+		})
+	})
+	b.Run("metrics+progress+trace", func(b *testing.B) {
+		run(b, func() *telemetry.Telemetry {
+			tr := telemetry.NewTracer(telemetry.DefaultTraceCap)
+			tr.SinkJSONL(io.Discard)
+			return &telemetry.Telemetry{
+				Reg:      telemetry.NewRegistry(),
+				Trace:    tr,
+				Progress: telemetry.NewProgress(io.Discard, false, 0),
+			}
+		})
+	})
 }
 
 // benchCampaign runs a one-class campaign and reports the share of correct

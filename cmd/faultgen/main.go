@@ -24,7 +24,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -35,6 +35,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/programs"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -57,11 +58,17 @@ func run(args []string) error {
 	workerMode := fs.Bool("worker-mode", false, "internal: serve plans over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	version := fs.Bool("version", false, "print the binary version and exit")
+	tf := cliutil.AddTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workerMode {
 		return worker.Serve(os.Stdin, os.Stdout, planFactory)
+	}
+	if *version {
+		cliutil.PrintVersion("faultgen")
+		return nil
 	}
 	procIsolation, err := cliutil.ParseIsolation(*isolation)
 	if err != nil {
@@ -70,31 +77,16 @@ func run(args []string) error {
 	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := cliutil.StartProfiles("faultgen", *cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "faultgen:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "faultgen:", err)
-			}
-		}()
+	defer stopProf()
+	tel, telCleanup, err := tf.Setup("faultgen")
+	if err != nil {
+		return err
 	}
+	defer telCleanup()
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("usage: faultgen [flags] <program>... (or 'all')")
@@ -110,15 +102,27 @@ func run(args []string) error {
 	// SIGINT/SIGTERM drains in-flight plans instead of killing mid-write.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSignals()
+	var plans *telemetry.Counter
+	if reg := tel.Registry(); reg != nil {
+		reg.Gauge("faultgen_programs_total").Set(int64(len(rest)))
+		plans = reg.Counter("faultgen_plans_total")
+	}
 	var outs []string
 	if procIsolation {
 		outs, err = describeProc(ctx, planSpec{
 			Programs: rest, Class: *class, N: *n, Seed: *seed,
 			Metrics: *withMetrics, JSON: *asJSON,
-		}, *workers)
+		}, *workers, tel, plans)
 	} else {
-		outs, err = parallel.MapCtx(ctx, *workers, len(rest), func(_, i int) (string, error) {
-			return describe(rest[i], *class, *n, *seed, *withMetrics, *asJSON)
+		tr := tel.Tracer()
+		outs, err = parallel.MapCtx(ctx, *workers, len(rest), func(w, i int) (string, error) {
+			tr.Emit(telemetry.Event{Kind: telemetry.KindDispatched, Unit: i, Program: rest[i], Worker: w})
+			out, derr := describe(rest[i], *class, *n, *seed, *withMetrics, *asJSON)
+			if derr == nil {
+				plans.AddShard(w, 1)
+				tr.Emit(telemetry.Event{Kind: telemetry.KindExecuted, Unit: i, Program: rest[i], Worker: w})
+			}
+			return out, derr
 		})
 	}
 	if err != nil {
@@ -127,7 +131,14 @@ func run(args []string) error {
 	for _, out := range outs {
 		fmt.Print(out)
 	}
-	return nil
+	rep := telemetry.NewReport("faultgen")
+	rep.Params["class"] = *class
+	rep.Params["n"] = strconv.Itoa(*n)
+	rep.Params["seed"] = strconv.FormatInt(*seed, 10)
+	rep.Params["programs"] = strings.Join(rest, " ")
+	rep.Units.Total = len(rest)
+	rep.Units.Executed = len(rest)
+	return tf.WriteReport(rep, tel)
 }
 
 // specKindPlan is the worker.Spec kind faultgen serves in -worker-mode.
@@ -178,7 +189,7 @@ func (r *planRunner) Run(unit int) (journal.Outcome, []byte, error) {
 // subprocesses and returns the rendered outputs in argument order. A
 // program whose plan repeatedly crashes its worker is reported as an error,
 // not silently dropped.
-func describeProc(ctx context.Context, s planSpec, workers int) ([]string, error) {
+func describeProc(ctx context.Context, s planSpec, workers int, tel *telemetry.Telemetry, plans *telemetry.Counter) ([]string, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
 		return nil, err
@@ -202,6 +213,8 @@ func describeProc(ctx context.Context, s planSpec, workers int) ([]string, error
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
 		},
+		Metrics: telemetry.NewWorkerMetrics(tel.Registry()),
+		Tracer:  tel.Tracer(),
 	})
 	if err != nil {
 		return nil, err
@@ -217,6 +230,7 @@ func describeProc(ctx context.Context, s planSpec, workers int) ([]string, error
 			lost = append(lost, s.Programs[r.Index])
 			return nil
 		}
+		plans.Inc()
 		outs[r.Index] = string(r.Payload)
 		return nil
 	})

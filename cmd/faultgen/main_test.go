@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestRunSummary(t *testing.T) {
 	if err := run([]string{"JB.team11"}); err != nil {
@@ -25,6 +30,30 @@ func TestRunJSON(t *testing.T) {
 func TestRunMetrics(t *testing.T) {
 	if err := run([]string{"-metrics", "C.team1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReport: planning with -report records the plan counter per program.
+func TestRunReport(t *testing.T) {
+	repPath := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{"-class", "assign", "-n", "1", "-report", repPath, "JB.team11", "C.team1"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := telemetry.ReadReport(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "faultgen" || rep.Units.Total != 2 {
+		t.Errorf("report = tool %q units %+v", rep.Tool, rep.Units)
+	}
+	if rep.Counters["faultgen_plans_total"] != 2 {
+		t.Errorf("faultgen_plans_total = %d, want 2", rep.Counters["faultgen_plans_total"])
 	}
 }
 

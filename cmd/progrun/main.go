@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	progrun [-faulty] [-disasm] [-trace-cycles] <program> [int...]
+//	progrun [-faulty] [-disasm] [-itrace N] <program> [int...]
 //	progrun -string "seed len text" JB.team6     # JamesB byte input
 //	progrun -programs                            # list suite programs
 //	progrun -selftest 500 -workers 8 C.team1     # batch-run against the oracle
+//
+// -itrace prints the last N executed instructions; -trace <file> (shared
+// with the other CLIs) streams structured telemetry events as JSON lines.
 //
 // Camelot example:
 //
@@ -23,7 +26,6 @@ import (
 	"os/exec"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/programs"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/worker"
 	"repro/internal/workload"
@@ -55,7 +58,7 @@ func run(args []string) error {
 	pretty := fs.Bool("pretty", false, "print the normalised (pretty-printed) source instead of running")
 	listP := fs.Bool("programs", false, "list the program suite and exit")
 	strIn := fs.String("string", "", "byte input for the character stream (JamesB programs)")
-	trace := fs.Int("trace", 0, "record and print the last N executed instructions")
+	itrace := fs.Int("itrace", 0, "record and print the last N executed instructions")
 	selftest := fs.Int("selftest", 0, "run N generated inputs against the oracle instead of one run")
 	seed := fs.Int64("seed", 99, "random seed for -selftest input generation")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for -selftest (1 = serial)")
@@ -63,11 +66,17 @@ func run(args []string) error {
 	workerMode := fs.Bool("worker-mode", false, "internal: serve selftest cases over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	version := fs.Bool("version", false, "print the binary version and exit")
+	tf := cliutil.AddTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workerMode {
 		return worker.Serve(os.Stdin, os.Stdout, selftestFactory)
+	}
+	if *version {
+		cliutil.PrintVersion("progrun")
+		return nil
 	}
 	procIsolation, err := cliutil.ParseIsolation(*isolation)
 	if err != nil {
@@ -76,31 +85,11 @@ func run(args []string) error {
 	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := cliutil.StartProfiles("progrun", *cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "progrun:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "progrun:", err)
-			}
-		}()
-	}
+	defer stopProf()
 	if *listP {
 		for _, p := range programs.All() {
 			fault := "-"
@@ -134,8 +123,13 @@ func run(args []string) error {
 		fmt.Print(cc.Print(c.AST))
 		return nil
 	}
+	tel, telCleanup, err := tf.Setup("progrun")
+	if err != nil {
+		return err
+	}
+	defer telCleanup()
 	if *selftest > 0 {
-		return runSelftest(p, c, *selftest, *seed, *workers, procIsolation, *faulty)
+		return runSelftest(p, c, *selftest, *seed, *workers, procIsolation, *faulty, tel, tf)
 	}
 
 	var ints []int32
@@ -152,13 +146,18 @@ func run(args []string) error {
 	}
 	m.SetInput(ints)
 	m.SetByteInput([]byte(*strIn))
-	if *trace > 0 {
-		m.EnableTrace(*trace)
+	if *itrace > 0 {
+		m.EnableTrace(*itrace)
 	}
+	runStart := time.Now()
 	state, err := m.Run()
 	if err != nil {
 		return err
 	}
+	tel.Tracer().Emit(telemetry.Event{
+		Kind: telemetry.KindExecuted, Program: p.Name,
+		DurUS: time.Since(runStart).Microseconds(),
+	})
 	os.Stdout.Write(m.Output())
 	if !strings.HasSuffix(string(m.Output()), "\n") {
 		fmt.Println()
@@ -172,13 +171,17 @@ func run(args []string) error {
 	case vm.StateHung:
 		fmt.Fprintf(os.Stderr, "[hung after %d cycles]\n", m.Cycles())
 	}
-	if *trace > 0 {
+	if *itrace > 0 {
 		fmt.Fprintln(os.Stderr, "trace (oldest first):")
 		for _, e := range m.Trace() {
 			fmt.Fprintf(os.Stderr, "  %s\n", asm.FormatWord(c.Prog, e.PC, e.Word))
 		}
 	}
-	return nil
+	rep := telemetry.NewReport("progrun")
+	rep.Params["program"] = p.Name
+	rep.Units.Total = 1
+	rep.Units.Executed = 1
+	return tf.WriteReport(rep, tel)
 }
 
 // caseResult is one selftest case's outcome, in the shape both execution
@@ -195,7 +198,7 @@ type caseResult struct {
 // (possibly faulty) build still behaves before pointing a campaign at it.
 // With proc set the cases run in supervised worker subprocesses instead of
 // goroutines; the verdicts are identical.
-func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int, proc, faulty bool) error {
+func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int, proc, faulty bool, tel *telemetry.Telemetry, tf *cliutil.TelemetryFlags) error {
 	workers = parallel.DefaultWorkers(workers)
 	cases, err := workload.Generate(p.Kind, n, seed)
 	if err != nil {
@@ -207,7 +210,7 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 	start := time.Now()
 	var results []caseResult
 	if proc {
-		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers)
+		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers, tel)
 		if err != nil {
 			return err
 		}
@@ -230,9 +233,31 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 			firstWrong = i
 		}
 	}
-	fmt.Printf("%s: %d runs in %s (%d workers): %d correct, %d incorrect, %d hang, %d crash\n",
-		p.Name, len(results), elapsed.Round(time.Millisecond), workers,
-		counts[campaign.Correct], counts[campaign.Incorrect], counts[campaign.Hang], counts[campaign.Crash])
+	if reg := tel.Registry(); reg != nil {
+		reg.Counter("selftest_runs_total").Add(uint64(len(results)))
+		for m, cnt := range counts {
+			reg.Counter(fmt.Sprintf(`selftest_verdicts_total{mode=%q}`, m)).Add(uint64(cnt))
+		}
+	}
+	if tr := tel.Tracer(); tr != nil {
+		for i, r := range results {
+			tr.Emit(telemetry.Event{Kind: telemetry.KindVerdict, Unit: i, Program: p.Name, Mode: r.Mode.String()})
+		}
+	}
+	tally := campaign.ModeTally(counts)
+	fmt.Printf("%s: %d runs in %s (%d workers): %s\n",
+		p.Name, len(results), elapsed.Round(time.Millisecond), workers, telemetry.FormatTally(tally))
+	rep := telemetry.NewReport("progrun")
+	rep.Params["program"] = p.Name
+	rep.Params["selftest"] = strconv.Itoa(n)
+	rep.Params["seed"] = strconv.FormatInt(seed, 10)
+	rep.Params["faulty"] = strconv.FormatBool(faulty)
+	rep.Units.Total = len(results)
+	rep.Units.Executed = len(results)
+	rep.Tallies = tally
+	if werr := tf.WriteReport(rep, tel); werr != nil {
+		return werr
+	}
 	if firstWrong >= 0 {
 		r := results[firstWrong]
 		fmt.Printf("first deviation at case %d (mode %s, state %s):\n  input: %v %q\n  got:    %q\n  golden: %q\n",
@@ -315,7 +340,7 @@ func (r *selftestRunner) Run(unit int) (journal.Outcome, []byte, error) {
 // subprocesses and returns per-case results in case order. A case that
 // repeatedly crashes its worker comes back as a HostFault deviation rather
 // than aborting the batch.
-func selftestProc(ctx context.Context, s selftestSpec, workers int) ([]caseResult, error) {
+func selftestProc(ctx context.Context, s selftestSpec, workers int, tel *telemetry.Telemetry) ([]caseResult, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
 		return nil, err
@@ -340,6 +365,8 @@ func selftestProc(ctx context.Context, s selftestSpec, workers int) ([]caseResul
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
 		},
+		Metrics: telemetry.NewWorkerMetrics(tel.Registry()),
+		Tracer:  tel.Tracer(),
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestRunListPrograms(t *testing.T) {
 	if err := run([]string{"-programs"}); err != nil {
@@ -15,7 +21,7 @@ func TestRunCamelot(t *testing.T) {
 }
 
 func TestRunFaultyAndTrace(t *testing.T) {
-	if err := run([]string{"-faulty", "-trace", "4", "JB.team7", "5", "2"}); err != nil {
+	if err := run([]string{"-faulty", "-itrace", "4", "JB.team7", "5", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,6 +29,51 @@ func TestRunFaultyAndTrace(t *testing.T) {
 func TestRunDisasm(t *testing.T) {
 	if err := run([]string{"-disasm", "JB.team11"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelftestReport: a selftest run writes a report whose tallies match the
+// run count, and the JSONL trace holds one verdict event per case.
+func TestSelftestReport(t *testing.T) {
+	dir := t.TempDir()
+	repPath := filepath.Join(dir, "report.json")
+	trPath := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"-selftest", "5", "-report", repPath, "-trace", trPath, "C.team1"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := telemetry.ReadReport(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "progrun" || rep.Units.Total != 5 || rep.Tallies["correct"] != 5 {
+		t.Errorf("report = tool %q units %+v tallies %+v", rep.Tool, rep.Units, rep.Tallies)
+	}
+	if rep.Counters["selftest_runs_total"] != 5 {
+		t.Errorf("selftest_runs_total = %d, want 5", rep.Counters["selftest_runs_total"])
+	}
+	f, err := os.Open(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := 0
+	for _, e := range events {
+		if e.Kind == telemetry.KindVerdict {
+			verdicts++
+		}
+	}
+	if verdicts != 5 {
+		t.Errorf("trace has %d verdict events, want 5", verdicts)
 	}
 }
 

@@ -23,6 +23,12 @@
 // in-flight injection instead of the campaign. Results are bit-identical to
 // -isolation=inproc; if the host cannot keep workers alive, the campaign
 // degrades back to in-process execution on its own.
+//
+// Campaigns are observable without changing their results: -progress draws
+// a live tally line on stderr (on by default on a terminal), -trace
+// streams structured per-injection events as JSON lines, -debug-addr
+// serves Prometheus-style /metrics plus expvar and pprof over HTTP, and
+// -report writes a machine-readable end-of-run JSON summary.
 package main
 
 import (
@@ -33,7 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/injector"
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -69,11 +76,17 @@ func run(args []string) error {
 	workerMode := fs.Bool("worker-mode", false, "internal: serve campaign units over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	version := fs.Bool("version", false, "print the binary version and exit")
+	tf := cliutil.AddTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workerMode {
 		return worker.Serve(os.Stdin, os.Stdout, campaign.WorkerFactory)
+	}
+	if *version {
+		cliutil.PrintVersion("swifi")
+		return nil
 	}
 	procIsolation, err := cliutil.ParseIsolation(*isolation)
 	if err != nil {
@@ -88,7 +101,7 @@ func run(args []string) error {
 	if err := cliutil.ValidateResume(*resume, *journalPath); err != nil {
 		return err
 	}
-	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	stopProf, err := cliutil.StartProfiles("swifi", *cpuProfile, *memProfile)
 	if err != nil {
 		return err
 	}
@@ -97,6 +110,11 @@ func run(args []string) error {
 		fmt.Println(strings.Join(core.ExperimentIDs(), "\n"))
 		return nil
 	}
+	tel, telCleanup, err := tf.Setup("swifi")
+	if err != nil {
+		return err
+	}
+	defer telCleanup()
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("no experiment given; try -list, 'all', or 'verify <program>'")
@@ -119,6 +137,7 @@ func run(args []string) error {
 	e.NoFastForward = *noFFwd
 	e.Ctx = ctx
 	e.UnitTimeout = *unitTimeout
+	e.Telemetry = tel
 	if procIsolation {
 		e.Isolation = campaign.IsolationProc
 	}
@@ -150,6 +169,14 @@ func run(args []string) error {
 		e.Journal = j
 	}
 
+	rep := telemetry.NewReport("swifi")
+	rep.Params["scale"] = strconv.FormatFloat(*scale, 'g', -1, 64)
+	rep.Params["seed"] = strconv.FormatInt(*seed, 10)
+	rep.Params["mode"] = *mode
+	rep.Params["workers"] = strconv.Itoa(*workers)
+	rep.Params["isolation"] = *isolation
+	rep.Params["args"] = strings.Join(rest, " ")
+
 	if rest[0] == "verify" {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: swifi verify <program>")
@@ -159,7 +186,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(out)
-		return nil
+		return tf.WriteReport(rep, tel)
 	}
 
 	ids := rest
@@ -173,6 +200,11 @@ func run(args []string) error {
 			var ie *campaign.InterruptedError
 			if errors.As(err, &ie) {
 				reportInterrupt(ie, *journalPath)
+				rep.Interrupted = true
+				campaign.FillReport(rep, ie.Partial)
+				if werr := tf.WriteReport(rep, tel); werr != nil {
+					fmt.Fprintln(os.Stderr, "swifi: report:", werr)
+				}
 				return err
 			}
 			return err
@@ -180,10 +212,17 @@ func run(args []string) error {
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if res := e.CachedCampaignResult(); res != nil {
+		campaign.FillReport(rep, res)
+		if res.Exec.Replayed > 0 {
+			fmt.Fprintf(os.Stderr, "swifi: resume: %d injections replayed from the journal, %d executed this run\n",
+				res.Exec.Replayed, res.Runs-res.Exec.Replayed)
+		}
+	}
 	if s := e.ResilienceSummary(); s != "" {
 		fmt.Fprintln(os.Stderr, "swifi:", s)
 	}
-	return nil
+	return tf.WriteReport(rep, tel)
 }
 
 // reportInterrupt prints the partial per-mode tallies of an interrupted
@@ -197,55 +236,11 @@ func reportInterrupt(ie *campaign.InterruptedError, journalPath string) {
 				counts[m] += n
 			}
 		}
-		var parts []string
-		for _, m := range append(campaign.Modes(), campaign.HostFault) {
-			if n := counts[m]; n > 0 {
-				parts = append(parts, fmt.Sprintf("%s %d", m, n))
-			}
-		}
-		if len(parts) > 0 {
-			fmt.Fprintf(os.Stderr, "swifi: partial tallies: %s\n", strings.Join(parts, ", "))
-		}
+		fmt.Fprintf(os.Stderr, "swifi: partial tallies: %s\n", telemetry.FormatTally(campaign.ModeTally(counts)))
 	}
 	if journalPath != "" {
 		fmt.Fprintf(os.Stderr, "swifi: finished injections are journaled; resume with: swifi -journal %s -resume ...\n", journalPath)
 	} else {
 		fmt.Fprintln(os.Stderr, "swifi: no -journal was given, so this progress is lost; journal the next run to make it resumable")
 	}
-}
-
-// startProfiles arms the pprof outputs requested on the command line and
-// returns the function that finalises them. The heap profile is written at
-// stop time, after a GC, so it reflects live retention (e.g. the golden
-// store's checkpoint chains) rather than transient allocation.
-func startProfiles(cpuPath, memPath string) (stop func(), err error) {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
-			return nil, err
-		}
-	}
-	return func() {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "swifi:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "swifi:", err)
-			}
-		}
-	}, nil
 }

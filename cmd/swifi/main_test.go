@@ -1,10 +1,47 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReportAndTrace: -report writes a readable JSON report stamped with
+// the run's parameters, and -trace creates the JSONL sink, even for static
+// experiments that spawn no campaign.
+func TestRunReportAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	repPath := filepath.Join(dir, "report.json")
+	trPath := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"-report", repPath, "-trace", trPath, "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := telemetry.ReadReport(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "swifi" {
+		t.Errorf("report tool = %q, want swifi", rep.Tool)
+	}
+	if rep.Params["args"] != "table2" || rep.Params["seed"] != "2000" {
+		t.Errorf("report params = %+v", rep.Params)
+	}
+	if _, err := os.Stat(trPath); err != nil {
+		t.Errorf("trace sink not created: %v", err)
 	}
 }
 
@@ -32,5 +69,8 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"verify"}); err == nil {
 		t.Error("verify without program accepted")
+	}
+	if err := run([]string{"-progress", "sometimes", "table2"}); err == nil {
+		t.Error("bad -progress value accepted")
 	}
 }

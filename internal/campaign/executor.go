@@ -16,6 +16,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/programs"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -41,6 +42,30 @@ import (
 type machinePool struct {
 	machines map[*cc.Compiled]*vm.Machine
 	degraded int
+	// met/w are the owning worker's metric bundle and shard index; both are
+	// zero for pools outside an instrumented campaign (calibration, clean
+	// batches, worker subprocesses), making every count below a no-op.
+	met *campMetrics
+	w   int
+}
+
+// ffwd counter helpers; nil-safe through campMetrics.
+func (p *machinePool) countFfwdHit() {
+	if p.met != nil {
+		p.met.ffwdHits.AddShard(p.w, 1)
+	}
+}
+
+func (p *machinePool) countFfwdMiss() {
+	if p.met != nil {
+		p.met.ffwdMisses.AddShard(p.w, 1)
+	}
+}
+
+func (p *machinePool) countDormantSkip() {
+	if p.met != nil {
+		p.met.dormantSkips.AddShard(p.w, 1)
+	}
 }
 
 // degradeLogOnce gates the one diagnostic line degraded-mode execution
@@ -166,10 +191,12 @@ func (p *machinePool) runFastForward(u *runUnit) (RunResult, error) {
 		if _, err := injector.Arm(m, u.mode, u.f); err != nil {
 			return RunResult{}, err
 		}
+		p.countDormantSkip()
 		return resultFromRecord(rec, u.cs.Golden), nil
 	}
 	cp := rec.Nearest(safe)
 	if cp == nil {
+		p.countFfwdMiss()
 		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
 	}
 	// Degraded-mode checkpointing: a checkpoint whose integrity hash no
@@ -179,13 +206,16 @@ func (p *machinePool) runFastForward(u *runUnit) (RunResult, error) {
 	// which produces the identical outcome at fast-forward's cost.
 	if !cp.Verify() {
 		p.noteDegraded(fmt.Sprintf("golden checkpoint for %s case %d failed its integrity check", u.program, u.caseIx))
+		p.countFfwdMiss()
 		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
 	}
 	m, err := p.restored(u.c, cp, u.budget)
 	if err != nil {
 		p.noteDegraded(fmt.Sprintf("golden checkpoint restore for %s case %d failed: %v", u.program, u.caseIx, err))
+		p.countFfwdMiss()
 		return p.runWithFault(u.c, u.cs, u.f, u.mode, u.budget)
 	}
+	p.countFfwdHit()
 	lean, err := injector.ArmLean(m, u.mode, u.f)
 	if err != nil {
 		return RunResult{}, err
@@ -263,6 +293,11 @@ type unitOutcome struct {
 	activated bool
 	degraded  bool // a golden checkpoint failed integrity/restore; unit ran straight
 	retried   bool // first attempt panicked host-side; retry on a fresh machine succeeded
+	// replayed marks an outcome taken from the journal instead of executed
+	// this run. It is execution provenance, not part of the unit's result, so
+	// it is never journaled — a journal replayed twice still says "replayed"
+	// each time about its own run.
+	replayed bool
 }
 
 func (o unitOutcome) journal() journal.Outcome {
@@ -283,8 +318,13 @@ type execOpts struct {
 	unitTimeout time.Duration    // host wall-clock deadline per unit attempt; 0 = off
 	// prefill, when non-nil, carries outcomes already obtained elsewhere
 	// (the proc path's circuit-breaker fallback): non-zero slots are taken
-	// as done instead of executed.
+	// as done instead of executed. Prefilled slots were already counted by
+	// whoever obtained them, so the metric/trace paths below skip them.
 	prefill []unitOutcome
+	// met/tracer instrument execution; both nil outside telemetry-carrying
+	// campaigns (the zero value keeps the legacy behaviour and cost).
+	met    *campMetrics
+	tracer *telemetry.Tracer
 }
 
 // executeUnits fans the planned units out over the worker pool and returns
@@ -323,6 +363,13 @@ func executeUnitsOpts(o execOpts, units []runUnit) ([]unitOutcome, error) {
 		if o.journal != nil {
 			if jo, ok := o.journal.Done(i); ok {
 				out[i] = outcomeFromJournal(jo)
+				out[i].replayed = true
+				o.met.noteReplayed(out[i])
+				if o.tracer != nil {
+					e := traceUnit(telemetry.KindReplayed, i, &units[i], 0)
+					e.Mode = out[i].mode.String()
+					o.tracer.Emit(e)
+				}
 				continue
 			}
 		}
@@ -362,6 +409,7 @@ type unitExecutor struct {
 func (e *unitExecutor) pool(w int) *machinePool {
 	if e.pools[w] == nil {
 		e.pools[w] = newMachinePool()
+		e.pools[w].met, e.pools[w].w = e.opts.met, w
 	}
 	return e.pools[w]
 }
@@ -372,12 +420,30 @@ func (e *unitExecutor) pool(w int) *machinePool {
 // handed to another unit.
 func (e *unitExecutor) discard(w int) { e.pools[w] = nil }
 
-// run executes one unit with isolation and journals the outcome.
+// run executes one unit with isolation, observes it, and journals the
+// outcome. The observability block is bracketed on e.opts.met/tracer being
+// nil, so the uninstrumented path pays two pointer checks and no time.Now.
 func (e *unitExecutor) run(w, i int) error {
 	u := &e.units[i]
+	observed := e.opts.met != nil || e.opts.tracer != nil
+	var start time.Time
+	if observed {
+		start = time.Now()
+		if e.opts.tracer != nil {
+			e.opts.tracer.Emit(traceUnit(telemetry.KindDispatched, i, u, w))
+		}
+	}
 	o, err := e.runIsolated(w, u)
 	if err != nil {
 		return fmt.Errorf("campaign: %s %s case %d: %w", u.program, u.f.ID, u.caseIx, err)
+	}
+	if observed {
+		dur := time.Since(start)
+		e.opts.met.noteVerdict(w, o)
+		if e.opts.met != nil {
+			e.opts.met.unitLatency.Observe(uint64(dur.Microseconds()))
+		}
+		emitOutcomeTrace(e.opts.tracer, i, u, w, o, dur)
 	}
 	e.out[i] = o
 	if e.opts.journal != nil {

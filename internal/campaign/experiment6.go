@@ -13,8 +13,10 @@ import (
 	"repro/internal/injector"
 	"repro/internal/journal"
 	"repro/internal/locator"
+	"repro/internal/golden"
 	"repro/internal/metrics"
 	"repro/internal/programs"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -100,6 +102,11 @@ type Config struct {
 	// (re-exec the current binary with -worker-mode, 500ms heartbeats, 10s
 	// silence timeout, one redelivery before quarantine).
 	Proc *ProcOptions
+	// Telemetry, when non-nil, observes the campaign: unit counters and
+	// latency histograms on its registry, lifecycle events on its tracer,
+	// and a live progress line on its surface while units execute. Purely
+	// passive — the Result is bit-identical with or without it.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) fill() {
@@ -179,6 +186,12 @@ type ExecStats struct {
 	// HostFaults counts quarantined units: two host panics, or a wall-clock
 	// timeout.
 	HostFaults int
+	// Replayed counts units whose outcome was taken from the journal instead
+	// of executed — non-zero exactly on resumed runs. Unlike the three
+	// fields above it is provenance, not a resilience event: it says how the
+	// outcomes were obtained this run, never changes them, and is not
+	// persisted (a journal replayed twice reports it both times).
+	Replayed int
 }
 
 // Result is the outcome of a class campaign.
@@ -405,6 +418,32 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Observability: register the campaign instruments, point the journal
+	// and the shared golden store at the same registry, and bracket the
+	// execution phase with the live progress line. All of it degrades to
+	// nil instruments (single pointer checks) when cfg.Telemetry is unset.
+	met := newCampMetrics(cfg.Telemetry.Registry())
+	tracer := cfg.Telemetry.Tracer()
+	if met != nil {
+		met.unitsTotal.Add(int64(len(units)))
+	}
+	if cfg.Journal != nil && met != nil {
+		cfg.Journal.Metrics = newJournalMetrics(cfg.Telemetry.Registry())
+	}
+	if met != nil && !cfg.NoFastForward {
+		golden.Shared.SetMetrics(newGoldenMetrics(cfg.Telemetry.Registry()))
+	}
+	if tracer != nil {
+		for i := range units {
+			tracer.Emit(traceUnit(telemetry.KindPlanned, i, &units[i], 0))
+		}
+	}
+	progress := cfg.Telemetry.ProgressSurface()
+	if met != nil {
+		progress.Start(met.snapshot)
+		defer progress.Stop()
+	}
+
 	// Execution: the only parallel section. Outcomes land in per-unit
 	// slots and are folded into the entries in planning order.
 	eo := execOpts{
@@ -412,6 +451,8 @@ func Run(cfg Config) (*Result, error) {
 		workers:     cfg.Workers,
 		journal:     cfg.Journal,
 		unitTimeout: cfg.UnitTimeout,
+		met:         met,
+		tracer:      tracer,
 	}
 	var outcomes []unitOutcome
 	if cfg.Isolation == IsolationProc {
@@ -457,6 +498,9 @@ func foldOutcomes(res *Result, entryList []*Entry, units []runUnit, outcomes []u
 		}
 		if o.mode == HostFault {
 			res.Exec.HostFaults++
+		}
+		if o.replayed {
+			res.Exec.Replayed++
 		}
 	}
 	for _, e := range entryList {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/injector"
 	"repro/internal/journal"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -226,6 +227,13 @@ func executeUnitsProc(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]un
 		if o.journal != nil {
 			if jo, ok := o.journal.Done(i); ok {
 				out[i] = outcomeFromJournal(jo)
+				out[i].replayed = true
+				o.met.noteReplayed(out[i])
+				if o.tracer != nil {
+					e := traceUnit(telemetry.KindReplayed, i, &units[i], 0)
+					e.Mode = out[i].mode.String()
+					o.tracer.Emit(e)
+				}
 				continue
 			}
 		}
@@ -247,6 +255,10 @@ func executeUnitsProc(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]un
 	if spawn == nil {
 		spawn = defaultSpawn
 	}
+	var wm *telemetry.WorkerMetrics
+	if o.met != nil && cfg.Telemetry != nil {
+		wm = newWorkerMetrics(cfg.Telemetry.Registry())
+	}
 	pool, err := worker.NewPool(worker.Options{
 		Workers:           parallel.DefaultWorkers(o.workers),
 		Command:           spawn,
@@ -260,6 +272,8 @@ func executeUnitsProc(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]un
 		BackoffMax:        po.BackoffMax,
 		MemQuota:          po.MemQuota,
 		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
+		Metrics:           wm,
+		Tracer:            o.tracer,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
 		},
@@ -276,6 +290,13 @@ func executeUnitsProc(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]un
 			quarantineLog(u, "crashed its worker subprocess on every delivery; quarantined by the supervisor", nil)
 		}
 		out[r.Index] = outcomeFromJournal(r.Outcome)
+		o.met.noteVerdict(0, out[r.Index])
+		if o.tracer != nil {
+			u := &units[r.Index]
+			v := traceUnit(telemetry.KindVerdict, r.Index, u, 0)
+			v.Mode = out[r.Index].mode.String()
+			o.tracer.Emit(v)
+		}
 		if o.journal != nil {
 			if err := o.journal.Append(r.Index, r.Outcome); err != nil {
 				return fmt.Errorf("campaign: %w", err)

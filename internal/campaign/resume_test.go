@@ -88,13 +88,22 @@ func TestResumeAfterKillBitIdentical(t *testing.T) {
 		cfg2 := resumeBase()
 		cfg2.Workers = tc.resumeWorkers
 		cfg2.Journal = j2
+		replayed := j2.Len()
 		res, err := campaign.Run(cfg2)
 		if err != nil {
 			t.Fatalf("kill=%d: resume failed: %v", tc.kill, err)
 		}
 		j2.Close()
 
-		if !reflect.DeepEqual(res, ref) {
+		// Exec.Replayed is execution provenance — how many outcomes came from
+		// the journal this run — so it is the one field allowed (required, in
+		// fact) to differ from the uninterrupted reference.
+		if res.Exec.Replayed != replayed {
+			t.Errorf("kill=%d: resumed run reports %d replayed units, journal held %d", tc.kill, res.Exec.Replayed, replayed)
+		}
+		norm := *res
+		norm.Exec.Replayed = 0
+		if !reflect.DeepEqual(&norm, ref) {
 			t.Errorf("kill=%d workers=%d→%d: resumed Result differs from the uninterrupted run:\nresumed: %+v\nref:     %+v",
 				tc.kill, tc.killWorkers, tc.resumeWorkers, res, ref)
 		}
@@ -141,7 +150,12 @@ func TestJournaledRunMatchesPlain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(replay, ref) {
+	if replay.Exec.Replayed != ref.Runs {
+		t.Errorf("full-journal replay reports %d replayed units, want all %d", replay.Exec.Replayed, ref.Runs)
+	}
+	norm := *replay
+	norm.Exec.Replayed = 0
+	if !reflect.DeepEqual(&norm, ref) {
 		t.Errorf("full-journal replay differs from plain run:\nreplay: %+v\nplain:  %+v", replay, ref)
 	}
 }

@@ -1,0 +1,149 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetryFlags holds the observability flags shared by the three CLIs:
+// the JSONL trace sink, the end-of-run JSON report, the debug HTTP server,
+// and the live progress line. The zero value (no flag given, non-TTY
+// stderr) disables every plane, which keeps the telemetry-off hot path a
+// single nil check.
+type TelemetryFlags struct {
+	TracePath  string // -trace: stream events as JSON lines to this file
+	ReportPath string // -report: write the end-of-run JSON report here
+	DebugAddr  string // -debug-addr: serve /metrics, expvar and pprof
+	Progress   string // -progress: auto (TTY only), on, off
+}
+
+// AddTelemetryFlags registers the shared observability flags on fs and
+// returns the struct they parse into.
+func AddTelemetryFlags(fs *flag.FlagSet) *TelemetryFlags {
+	tf := &TelemetryFlags{}
+	fs.StringVar(&tf.TracePath, "trace", "", "stream structured telemetry events to this file as JSON lines")
+	fs.StringVar(&tf.ReportPath, "report", "", "write a machine-readable end-of-run JSON report to this file")
+	fs.StringVar(&tf.DebugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port (use :0 for an ephemeral port)")
+	fs.StringVar(&tf.Progress, "progress", "auto", "live progress line on stderr: auto (TTY only), on or off")
+	return tf
+}
+
+// Setup builds the telemetry handle the flags ask for and returns it with a
+// cleanup function (always non-nil) that flushes the trace sink and shuts
+// the debug server down. When no plane is enabled — no flag given and
+// stderr is not a terminal — the handle is nil and everything downstream
+// short-circuits on that.
+func (tf *TelemetryFlags) Setup(tool string) (*telemetry.Telemetry, func(), error) {
+	progressOn := false
+	switch tf.Progress {
+	case "auto":
+		progressOn = telemetry.IsTTY(os.Stderr)
+	case "on":
+		progressOn = true
+	case "off":
+	default:
+		return nil, nil, fmt.Errorf("-progress must be auto, on or off, got %q", tf.Progress)
+	}
+	if tf.TracePath == "" && tf.ReportPath == "" && tf.DebugAddr == "" && !progressOn {
+		return nil, func() {}, nil
+	}
+
+	tel := &telemetry.Telemetry{Reg: telemetry.NewRegistry()}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	if tf.TracePath != "" {
+		f, err := os.Create(tf.TracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr := telemetry.NewTracer(telemetry.DefaultTraceCap)
+		tr.SinkJSONL(f)
+		tel.Trace = tr
+		cleanups = append(cleanups, func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: trace sink: %v\n", tool, err)
+			}
+		})
+	}
+	if progressOn {
+		tel.Progress = telemetry.NewProgress(os.Stderr, telemetry.IsTTY(os.Stderr), 0)
+		cleanups = append(cleanups, tel.Progress.Stop)
+	}
+	if tf.DebugAddr != "" {
+		srv, err := telemetry.StartDebugServer(tf.DebugAddr, tel.Reg)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server listening on http://%s/ (metrics, expvar, pprof)\n", tool, srv.Addr)
+		cleanups = append(cleanups, func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: debug server: %v\n", tool, err)
+			}
+		})
+	}
+	return tel, cleanup, nil
+}
+
+// WriteReport finalises r — telemetry snapshot, elapsed time — and writes it
+// to the -report path. A no-op when -report was not given.
+func (tf *TelemetryFlags) WriteReport(r *telemetry.Report, tel *telemetry.Telemetry) error {
+	if tf.ReportPath == "" || r == nil {
+		return nil
+	}
+	r.FillTelemetry(tel)
+	r.ElapsedMS = time.Since(r.StartedAt).Milliseconds()
+	return r.WriteFile(tf.ReportPath)
+}
+
+// PrintVersion prints the -version line: tool name, module version, VCS
+// revision and toolchain, as stamped into the binary by the Go linker.
+func PrintVersion(tool string) {
+	fmt.Printf("%s %s\n", tool, telemetry.BinaryVersion())
+}
+
+// StartProfiles arms the -cpuprofile/-memprofile outputs and returns the
+// function that finalises them (always non-nil). The heap profile is
+// written at stop time, after a GC, so it reflects live retention (e.g. the
+// golden store's checkpoint chains) rather than transient allocation.
+func StartProfiles(tool, cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+			}
+		}
+	}, nil
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/mutation"
 	"repro/internal/programs"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -64,6 +65,11 @@ type Engine struct {
 	// Proc tunes the worker pool when Isolation is campaign.IsolationProc;
 	// nil picks the defaults (re-exec this binary with -worker-mode).
 	Proc *campaign.ProcOptions
+	// Telemetry, when non-nil, observes every campaign the engine runs:
+	// counters and histograms on the unit hot path, structured trace events,
+	// and the live progress surface (swifi -trace/-debug-addr/-progress).
+	// Strictly passive — results are bit-identical with or without it.
+	Telemetry *telemetry.Telemetry
 
 	mu       sync.Mutex
 	campRes  *campaign.Result
@@ -227,6 +233,7 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		UnitTimeout:   e.UnitTimeout,
 		Isolation:     e.Isolation,
 		Proc:          e.Proc,
+		Telemetry:     e.Telemetry,
 	}
 }
 
@@ -245,10 +252,25 @@ func (e *Engine) CampaignResult() (*campaign.Result, error) {
 	return e.campRes, e.campErr
 }
 
+// CachedCampaignResult returns the §6 campaign result if CampaignResult has
+// already run (and succeeded), without triggering a run. CLIs use it to
+// build the end-of-run report and the resume summary from whatever campaign
+// the requested experiments actually executed.
+func (e *Engine) CachedCampaignResult() *campaign.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.campDone {
+		return nil
+	}
+	return e.campRes
+}
+
 // ResilienceSummary renders the resilience events of the cached campaign —
 // degraded fast-forwards, host-side retries, quarantined units — or ""
-// when the campaign has not run or ran clean. Callers print it to stderr:
-// it describes the host's health, not the paper's results.
+// when the campaign has not run or ran clean. Journal replays alone do not
+// trigger it: a resumed run that re-executed nothing is healthy, and the
+// replayed split is surfaced separately. Callers print it to stderr: it
+// describes the host's health, not the paper's results.
 func (e *Engine) ResilienceSummary() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -256,7 +278,7 @@ func (e *Engine) ResilienceSummary() string {
 		return ""
 	}
 	x := e.campRes.Exec
-	if x == (campaign.ExecStats{}) {
+	if x.Degraded == 0 && x.Retried == 0 && x.HostFaults == 0 {
 		return ""
 	}
 	return fmt.Sprintf("campaign resilience: %d degraded fast-forwards, %d retried units, %d host faults quarantined",

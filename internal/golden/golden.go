@@ -29,8 +29,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cc"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -150,6 +152,23 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[storeKey]*storeEntry
 	pools   sync.Map // *cc.Compiled -> *sync.Pool of *vm.Machine
+	met     telemetry.GoldenMetrics
+}
+
+// SetMetrics installs the store's instrument bundle: golden runs recorded,
+// checkpoints retained, record latency. Records built before the call are
+// not retroactively counted; the zero bundle (the default) disables all of
+// it. Safe to call concurrently with Run.
+func (s *Store) SetMetrics(m telemetry.GoldenMetrics) {
+	s.mu.Lock()
+	s.met = m
+	s.mu.Unlock()
+}
+
+func (s *Store) metrics() telemetry.GoldenMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.met
 }
 
 type storeKey struct {
@@ -193,6 +212,11 @@ func (s *Store) Run(c *cc.Compiled, cs *workload.Case, budget uint64, marks []ui
 }
 
 func (s *Store) record(c *cc.Compiled, cs *workload.Case, budget uint64, marks []uint64, ws WatchSet) (*Record, error) {
+	met := s.metrics()
+	var start time.Time
+	if met.RunLatency != nil {
+		start = time.Now()
+	}
 	m, err := s.acquire(c)
 	if err != nil {
 		return nil, err
@@ -228,6 +252,11 @@ func (s *Store) record(c *cc.Compiled, cs *workload.Case, budget uint64, marks [
 	rec.Output = string(m.Output())
 	rec.Cycles = m.Cycles()
 	rec.ExitStatus = m.ExitStatus()
+	met.Runs.Inc()
+	met.Checkpoints.Add(uint64(len(rec.Checkpoints)))
+	if met.RunLatency != nil {
+		met.RunLatency.ObserveSince(start)
+	}
 	return rec, nil
 }
 

@@ -29,6 +29,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 const (
@@ -93,6 +96,11 @@ type Journal struct {
 	// invoked with the journal's lock held — do not call back into the
 	// Journal from it.
 	OnAppend func(done int)
+
+	// Metrics, when its instruments are non-nil, counts appends and their
+	// write latency. Set it before execution starts; the zero value (the
+	// default) disables both at the cost of one nil check per Append.
+	Metrics telemetry.JournalMetrics
 
 	mu     sync.Mutex
 	f      *os.File
@@ -268,6 +276,10 @@ func (j *Journal) Append(unit int, o Outcome) error {
 	if _, dup := j.done[unit]; dup {
 		return nil
 	}
+	var start time.Time
+	if j.Metrics.AppendLatency != nil {
+		start = time.Now()
+	}
 	var rec [recordSize]byte
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(unit))
 	rec[4] = o.Mode
@@ -277,6 +289,10 @@ func (j *Journal) Append(unit int, o Outcome) error {
 		return fmt.Errorf("journal %s: %w", j.path, err)
 	}
 	j.done[unit] = o
+	j.Metrics.Appends.Inc()
+	if j.Metrics.AppendLatency != nil {
+		j.Metrics.AppendLatency.ObserveSince(start)
+	}
 	if j.OnAppend != nil {
 		j.OnAppend(len(j.done))
 	}

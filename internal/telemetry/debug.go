@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg is the registry the process-wide expvar "telemetry" variable
+// reads from; swapped by StartDebugServer. Publishing happens once — expvar
+// panics on duplicate names — and surviving a registry swap matters for
+// tests that start several servers.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// DebugServer is a running debug HTTP endpoint. Close stops it.
+type DebugServer struct {
+	Addr string // actual listen address (useful with ":0")
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// StartDebugServer serves the observability surfaces on addr (host:port;
+// port 0 picks a free one):
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/debug/vars  expvar (Go runtime memstats plus the registry snapshot)
+//	/debug/pprof net/http/pprof profiles (heap, goroutine, profile, trace…)
+//
+// The server runs on its own mux — nothing leaks onto http.DefaultServeMux —
+// and on its own goroutine; it never blocks campaign execution.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return expvarReg.Load().Counters()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "endpoints: /metrics /debug/vars /debug/pprof/")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return d, nil
+}
+
+// Close shuts the server down immediately (in-flight scrapes are dropped —
+// the debug surface has no delivery guarantees).
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("campaign_units_done_total").Add(12)
+	d, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr
+
+	metrics := getBody(t, base+"/metrics")
+	if !strings.Contains(metrics, "campaign_units_done_total 12") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	vars := getBody(t, base+"/debug/vars")
+	if !strings.Contains(vars, "campaign_units_done_total") {
+		t.Fatalf("/debug/vars missing telemetry var:\n%s", vars)
+	}
+	if cmdline := getBody(t, base+"/debug/pprof/cmdline"); cmdline == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if idx := getBody(t, base+"/"); !strings.Contains(idx, "/metrics") {
+		t.Fatalf("index = %q", idx)
+	}
+}
+
+func TestDebugServerRestartSwapsRegistry(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("first_total").Inc()
+	d1, err := StartDebugServer("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	r2 := NewRegistry()
+	r2.Counter("second_total").Add(2)
+	d2, err := StartDebugServer("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	// expvar "telemetry" must now reflect r2 (Publish happened once, but the
+	// registry pointer was swapped).
+	var vars string
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		vars = getBody(t, fmt.Sprintf("http://%s/debug/vars", d2.Addr))
+		if strings.Contains(vars, "second_total") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(vars, "second_total") {
+		t.Fatalf("expvar not swapped to new registry:\n%s", vars)
+	}
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddShard(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value() = %d, want %d", got, workers*per)
+	}
+	if c.Name() != "test_total" {
+		t.Fatalf("Name() = %q", c.Name())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_us", DefaultLatencyBuckets)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram("h", []uint64{10, 100})
+	h.Observe(5)   // <= 10
+	h.Observe(10)  // <= 10 (boundary is inclusive)
+	h.Observe(50)  // <= 100
+	h.Observe(999) // overflow
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 5+10+50+999 {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+	want := []BucketCount{{Le: 10, N: 2}, {Le: 100, N: 1}, {Inf: true, N: 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("Buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("Counter not idempotent")
+	}
+	if reg.Gauge("b") != reg.Gauge("b") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if reg.Histogram("c", DefaultLatencyBuckets) != reg.Histogram("c", nil) {
+		t.Fatal("Histogram not idempotent")
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("g").Add(1)
+				reg.Histogram("h_us", DefaultLatencyBuckets).Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total").Value(); got != 800 {
+		t.Fatalf("shared_total = %d, want 800", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`verdicts_total{mode="correct"}`).Add(3)
+	reg.Counter(`verdicts_total{mode="crash"}`).Add(1)
+	reg.Gauge("units_total").Set(42)
+	h := reg.Histogram("lat_us", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(200)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE verdicts_total counter",
+		`verdicts_total{mode="correct"} 3`,
+		`verdicts_total{mode="crash"} 1`,
+		"# TYPE units_total gauge",
+		"units_total 42",
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{le="10"} 1`,
+		`lat_us_bucket{le="100"} 1`,
+		`lat_us_bucket{le="+Inf"} 2`,
+		"lat_us_sum 205",
+		"lat_us_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// # TYPE for the labelled counter family must appear exactly once.
+	if n := strings.Count(out, "# TYPE verdicts_total counter"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times", n)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x", nil)
+	c.Inc()
+	c.Add(5)
+	c.AddShard(3, 5)
+	g.Set(7)
+	g.Add(1)
+	h.Observe(9)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counters() != nil || reg.Histograms() != nil {
+		t.Fatal("nil registry snapshots must be nil")
+	}
+
+	var tel *Telemetry
+	if tel.Registry() != nil || tel.Tracer() != nil || tel.ProgressSurface() != nil {
+		t.Fatal("nil Telemetry accessors must return nil")
+	}
+
+	var tr *Tracer
+	tr.Emit(Event{Kind: "x"})
+	if tr.Total() != 0 || tr.Events() != nil || tr.Summary() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var p *Progress
+	p.Start(func() ProgressSnap { return ProgressSnap{} })
+	p.Stop()
+}
+
+func TestWithLabel(t *testing.T) {
+	if got := withLabel("foo", `le="5"`); got != `foo{le="5"}` {
+		t.Fatalf("got %q", got)
+	}
+	if got := withLabel(`foo{a="b"}`, `le="5"`); got != `foo{a="b",le="5"}` {
+		t.Fatalf("got %q", got)
+	}
+	if got := baseName(`foo{a="b"}`); got != "foo" {
+		t.Fatalf("got %q", got)
+	}
+}

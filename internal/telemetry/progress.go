@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressSnap is one sample of campaign state for the progress surface,
+// produced by the snapshot callback the campaign installs.
+type ProgressSnap struct {
+	Done  int64  // units finished (executed or replayed)
+	Total int64  // units planned
+	Parts []Part // running tallies in presentation order (verdict modes)
+	Note  string // trailing health note ("", or e.g. "2 worker restarts")
+}
+
+// Part is one named tally of a progress snapshot.
+type Part struct {
+	Name string
+	N    uint64
+}
+
+// Progress renders a live campaign progress line on a writer (normally
+// stderr). On a TTY the line is redrawn in place with \r; on anything else
+// one full line is printed per interval, so logs stay readable. A nil
+// *Progress is a no-op, and Start without a snapshot source renders
+// nothing — experiments that never run a campaign stay silent.
+//
+// Progress is restartable: a CLI creates it once and every campaign.Run
+// brackets its execution phase with Start/Stop.
+type Progress struct {
+	w        io.Writer
+	tty      bool
+	interval time.Duration
+
+	mu      sync.Mutex
+	snap    func() ProgressSnap
+	stop    chan struct{}
+	done    chan struct{}
+	started time.Time
+	lastLen int
+}
+
+// NewProgress returns a progress surface writing to w. tty selects in-place
+// redraw; interval is the refresh cadence (0 picks 500ms on a TTY, 10s
+// otherwise).
+func NewProgress(w io.Writer, tty bool, interval time.Duration) *Progress {
+	if interval <= 0 {
+		if tty {
+			interval = 500 * time.Millisecond
+		} else {
+			interval = 10 * time.Second
+		}
+	}
+	return &Progress{w: w, tty: tty, interval: interval}
+}
+
+// IsTTY reports whether f is a character device — the auto mode of the
+// -progress flag.
+func IsTTY(f *os.File) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// Start begins rendering from the snapshot callback until Stop. A second
+// Start before Stop is ignored (campaigns never nest, but an engine may run
+// several in sequence).
+func (p *Progress) Start(snap func() ProgressSnap) {
+	if p == nil || snap == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.snap = snap
+	p.started = time.Now()
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop halts rendering, draws one final line and (on a TTY) terminates it
+// with a newline so subsequent output starts clean.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (p *Progress) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			p.render(true)
+			return
+		case <-t.C:
+			p.render(false)
+		}
+	}
+}
+
+// render draws one progress sample. final adds the terminating newline on a
+// TTY (non-TTY lines always end in one).
+func (p *Progress) render(final bool) {
+	p.mu.Lock()
+	snap := p.snap
+	started := p.started
+	p.mu.Unlock()
+	if snap == nil {
+		return
+	}
+	s := snap()
+	if s.Total == 0 && s.Done == 0 {
+		return
+	}
+	line := renderLine(s, time.Since(started))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tty {
+		pad := ""
+		if n := p.lastLen - len(line); n > 0 {
+			pad = strings.Repeat(" ", n)
+		}
+		fmt.Fprintf(p.w, "\r%s%s", line, pad)
+		p.lastLen = len(line)
+		if final {
+			fmt.Fprintln(p.w)
+			p.lastLen = 0
+		}
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+// renderLine formats one progress sample: count, percentage, rate, ETA, the
+// running verdict tallies, and the health note.
+func renderLine(s ProgressSnap, elapsed time.Duration) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d", s.Done, s.Total)
+	if s.Total > 0 {
+		fmt.Fprintf(&sb, " (%.1f%%)", 100*float64(s.Done)/float64(s.Total))
+	}
+	if secs := elapsed.Seconds(); secs > 0 && s.Done > 0 {
+		rate := float64(s.Done) / secs
+		fmt.Fprintf(&sb, "  %.0f/s", rate)
+		if left := s.Total - s.Done; left > 0 && rate > 0 {
+			eta := time.Duration(float64(left)/rate) * time.Second
+			fmt.Fprintf(&sb, "  ETA %s", eta.Round(time.Second))
+		}
+	}
+	for _, part := range s.Parts {
+		fmt.Fprintf(&sb, "  %s %d", part.Name, part.N)
+	}
+	if s.Note != "" {
+		fmt.Fprintf(&sb, "  [%s]", s.Note)
+	}
+	return sb.String()
+}

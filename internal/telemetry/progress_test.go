@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer: the render loop writes from its own
+// goroutine while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestProgressNonTTY(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, false, 10*time.Millisecond)
+	var done int64
+	var mu sync.Mutex
+	p.Start(func() ProgressSnap {
+		mu.Lock()
+		defer mu.Unlock()
+		return ProgressSnap{
+			Done: done, Total: 10,
+			Parts: []Part{{Name: "correct", N: uint64(done)}},
+			Note:  "healthy",
+		}
+	})
+	mu.Lock()
+	done = 4
+	mu.Unlock()
+	time.Sleep(35 * time.Millisecond)
+	p.Stop()
+
+	out := buf.String()
+	if !strings.Contains(out, "4/10") {
+		t.Fatalf("progress output missing count:\n%q", out)
+	}
+	if !strings.Contains(out, "correct 4") || !strings.Contains(out, "[healthy]") {
+		t.Fatalf("progress output missing parts/note:\n%q", out)
+	}
+	if strings.Contains(out, "\r") {
+		t.Fatal("non-TTY output must not use carriage returns")
+	}
+}
+
+func TestProgressTTYRedraw(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, true, 5*time.Millisecond)
+	p.Start(func() ProgressSnap { return ProgressSnap{Done: 1, Total: 2} })
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "\r") {
+		t.Fatalf("TTY output must redraw with \\r:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("final TTY line must end in newline:\n%q", out)
+	}
+}
+
+func TestProgressRestartable(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, false, 5*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		p.Start(func() ProgressSnap { return ProgressSnap{Done: 1, Total: 1} })
+		p.Stop()
+	}
+	// Stop with no Start is a no-op, and double Stop must not panic.
+	p.Stop()
+}
+
+func TestProgressSilentWithoutWork(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, false, time.Millisecond)
+	p.Start(func() ProgressSnap { return ProgressSnap{} })
+	time.Sleep(10 * time.Millisecond)
+	p.Stop()
+	if got := buf.String(); got != "" {
+		t.Fatalf("empty snapshots must render nothing, got %q", got)
+	}
+}
+
+func TestRenderLine(t *testing.T) {
+	line := renderLine(ProgressSnap{Done: 50, Total: 100, Parts: []Part{{Name: "crash", N: 3}}}, 10*time.Second)
+	for _, want := range []string{"50/100", "50.0%", "5/s", "ETA 10s", "crash 3"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("renderLine = %q missing %q", line, want)
+		}
+	}
+}

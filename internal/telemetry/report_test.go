@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("campaign_units_executed_total").Add(7)
+	reg.Histogram("campaign_unit_latency_us", DefaultLatencyBuckets).Observe(42)
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: KindVerdict, Mode: "correct"})
+	tel := &Telemetry{Reg: reg, Trace: tr}
+
+	r := NewReport("swifi")
+	r.Params["experiment"] = "fig7"
+	r.Units = UnitStats{Total: 10, Executed: 7, Replayed: 3}
+	r.Tallies = Tally{"correct": 8, "crash": 2}
+	r.Group("program")["JB.team1"] = Tally{"correct": 8, "crash": 2}
+	r.FillTelemetry(tel)
+	r.ElapsedMS = 1500
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "swifi" || got.Units != r.Units || got.ElapsedMS != 1500 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Tallies["correct"] != 8 || got.Tallies["crash"] != 2 {
+		t.Fatalf("tallies = %+v", got.Tallies)
+	}
+	if got.Counters["campaign_units_executed_total"] != 7 {
+		t.Fatalf("counters = %+v", got.Counters)
+	}
+	if len(got.Histograms) != 1 || got.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", got.Histograms)
+	}
+	if got.Trace[KindVerdict] != 1 {
+		t.Fatalf("trace = %+v", got.Trace)
+	}
+	if got.Group("program")["JB.team1"]["correct"] != 8 {
+		t.Fatalf("groups = %+v", got.Groups)
+	}
+	if got.Version.Go == "" {
+		t.Fatal("version not stamped")
+	}
+}
+
+func TestFillTelemetryNil(t *testing.T) {
+	r := NewReport("x")
+	r.FillTelemetry(nil)
+	if r.Counters != nil || r.Histograms != nil || r.Trace != nil {
+		t.Fatal("nil telemetry must not fill anything")
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{"correct": 1, "hang": 2}
+	a.Add(Tally{"correct": 3, "crash": 1})
+	if a["correct"] != 4 || a["hang"] != 2 || a["crash"] != 1 {
+		t.Fatalf("got %+v", a)
+	}
+}
+
+func TestFormatTally(t *testing.T) {
+	got := FormatTally(Tally{"correct": 5, "crash": 1, "hostfault": 2})
+	want := "correct 5, incorrect 0, hang 0, crash 1, hostfault 2"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	// Zero-valued extras are dropped; base modes always shown.
+	got = FormatTally(Tally{"hostfault": 0})
+	want = "correct 0, incorrect 0, hang 0, crash 0"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version{Module: "(devel)", Revision: "abcdef0123456789", Modified: true, Go: "go1.22.0"}
+	s := v.String()
+	for _, want := range []string{"(devel)", "rev abcdef012345", "(modified)", "go1.22.0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if BinaryVersion().Go == "" {
+		t.Fatal("BinaryVersion must report the toolchain")
+	}
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindExecuted, Unit: i})
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("Total() = %d, want 10", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events()) = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := 6 + i; e.Unit != want {
+			t.Fatalf("Events()[%d].Unit = %d, want %d (oldest first)", i, e.Unit, want)
+		}
+		if e.T.IsZero() {
+			t.Fatal("Emit must stamp T")
+		}
+	}
+	if got := tr.Summary()[KindExecuted]; got != 10 {
+		t.Fatalf("Summary()[executed] = %d, want 10", got)
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: KindPlanned, Unit: 1})
+	tr.Emit(Event{Kind: KindVerdict, Unit: 1, Mode: "correct"})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != KindPlanned || evs[1].Kind != KindVerdict {
+		t.Fatalf("Events() = %+v", evs)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: KindExecuted, Worker: w, Unit: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Total(); got != 800 {
+		t.Fatalf("Total() = %d, want 800", got)
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(2) // smaller than the event count: the sink must still get all
+	tr.SinkJSONL(f)
+	want := []Event{
+		{Kind: KindPlanned, Unit: 0, Program: "JB.team1", Fault: "MIFS", Case: 3},
+		{Kind: KindDispatched, Unit: 0, Worker: 2},
+		{Kind: KindExecuted, Unit: 0, DurUS: 1234},
+		{Kind: KindVerdict, Unit: 0, Mode: "incorrect"},
+		{Kind: KindRetry, Unit: 1, Detail: "panic: boom"},
+	}
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := ReadJSONL(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g := got[i]
+		w := want[i]
+		if g.Kind != w.Kind || g.Unit != w.Unit || g.Program != w.Program ||
+			g.Fault != w.Fault || g.Case != w.Case || g.Mode != w.Mode ||
+			g.Worker != w.Worker || g.DurUS != w.DurUS || g.Detail != w.Detail {
+			t.Fatalf("event %d = %+v, want %+v", i, g, w)
+		}
+		if g.T.IsZero() {
+			t.Fatalf("event %d lost its timestamp", i)
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := bytes.NewBufferString("{\"t\":\"2026-01-01T00:00:00Z\",\"kind\":\"verdict\"}\n\n")
+	evs, err := ReadJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != KindVerdict {
+		t.Fatalf("got %+v", evs)
+	}
+}

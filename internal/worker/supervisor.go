@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 )
 
 // ErrCircuitOpen is returned by Pool.Run when worker churn exceeded
@@ -82,6 +83,14 @@ type Options struct {
 	// Log, when non-nil, receives one line per supervision event (worker
 	// death, redelivery, quarantine, breaker trip).
 	Log func(format string, args ...any)
+
+	// Metrics, when non-nil, counts supervision events (restarts,
+	// redeliveries, quarantines, breaker state) and observes the heartbeat
+	// gap and delivery latency. Tracer, when non-nil, receives the matching
+	// structured events. Both are passive: verdicts and requeue decisions
+	// are identical with them on or off.
+	Metrics *telemetry.WorkerMetrics
+	Tracer  *telemetry.Tracer
 }
 
 func (o *Options) fill() {
@@ -246,8 +255,16 @@ func (r *poolRun) churn() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.restarts++
+	if m := r.opts.Metrics; m != nil {
+		m.Restarts.Inc()
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindRestart, Detail: fmt.Sprintf("restart %d/%d", r.restarts, r.opts.MaxRestarts)})
 	if r.restarts > r.opts.MaxRestarts && !r.tripped {
 		r.tripped = true
+		if m := r.opts.Metrics; m != nil {
+			m.BreakerOpen.Set(1)
+		}
+		r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindBreaker, Detail: fmt.Sprintf("after %d restarts", r.restarts)})
 		r.opts.logf("worker: circuit breaker open after %d restarts; degrading to in-process execution", r.restarts)
 		r.closeDone()
 	}
@@ -265,10 +282,18 @@ func (r *poolRun) isTripped() bool {
 func (r *poolRun) requeue(j job) {
 	j.deliveries++
 	if j.deliveries >= r.opts.MaxDeliveries {
+		if m := r.opts.Metrics; m != nil {
+			m.Quarantines.Inc()
+		}
+		r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindQuarantine, Unit: j.index, Detail: "exhausted worker deliveries"})
 		r.opts.logf("worker: unit %d crashed %d workers; quarantined as host fault", j.index, j.deliveries)
 		r.finish(Result{Index: j.index, Outcome: r.opts.Quarantine, Quarantined: true})
 		return
 	}
+	if m := r.opts.Metrics; m != nil {
+		m.Redeliveries.Inc()
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindRedeliver, Unit: j.index})
 	r.opts.logf("worker: unit %d redelivered (attempt %d/%d)", j.index, j.deliveries+1, r.opts.MaxDeliveries)
 	r.jobs <- j
 }
@@ -323,6 +348,19 @@ func (r *poolRun) manage(ctx context.Context, slot int) {
 // worker ended cleanly (self-recycle or run completion) and false on any
 // abnormal death, which the caller counts as churn.
 func (r *poolRun) serve(ctx context.Context, slot int, w *liveWorker) bool {
+	// beat observes the gap between consecutive heartbeats from this worker;
+	// a no-op without metrics.
+	var lastBeat time.Time
+	beat := func() {
+		if m := r.opts.Metrics; m != nil && m.HeartbeatGap != nil {
+			now := time.Now()
+			if !lastBeat.IsZero() {
+				m.HeartbeatGap.Observe(uint64(now.Sub(lastBeat).Microseconds()))
+			}
+			lastBeat = now
+		}
+	}
+
 	// Handshake: wait for ready, tolerating heartbeats (planning inside the
 	// worker can be slow, and heartbeats start before it).
 	deadline := time.NewTimer(r.opts.HeartbeatTimeout)
@@ -343,6 +381,7 @@ func (r *poolRun) serve(ctx context.Context, slot int, w *liveWorker) bool {
 			}
 			switch fr.typ {
 			case msgHeartbeat:
+				beat()
 				resetTimer(deadline, r.opts.HeartbeatTimeout)
 				continue
 			case msgError:
@@ -395,6 +434,10 @@ func (r *poolRun) serve(ctx context.Context, slot int, w *liveWorker) bool {
 			r.abort(fmt.Errorf("worker[%d]: plan has %d units, supervisor wants unit %d", slot, w.units, j.index))
 			return true
 		}
+		var sent time.Time
+		if m := r.opts.Metrics; m != nil && m.DeliveryLatency != nil {
+			sent = time.Now()
+		}
 		var ix [4]byte
 		binary.LittleEndian.PutUint32(ix[:], uint32(j.index))
 		if err := w.send(msgExec, ix[:]); err != nil {
@@ -434,6 +477,7 @@ func (r *poolRun) serve(ctx context.Context, slot int, w *liveWorker) bool {
 				resetTimer(deadline, r.opts.HeartbeatTimeout)
 				switch fr.typ {
 				case msgHeartbeat:
+					beat()
 					continue
 				case msgError:
 					r.abort(fmt.Errorf("worker[%d]: %s", slot, fr.payload))
@@ -449,6 +493,9 @@ func (r *poolRun) serve(ctx context.Context, slot int, w *liveWorker) bool {
 						r.opts.logf("worker[%d]: verdict for unit %d, expected %d", slot, v.Unit, j.index)
 						r.requeue(j)
 						return false
+					}
+					if m := r.opts.Metrics; m != nil && m.DeliveryLatency != nil {
+						m.DeliveryLatency.ObserveSince(sent)
 					}
 					r.finish(Result{Index: j.index, Outcome: v.Outcome, Payload: v.Payload})
 					if v.Last {

@@ -19,7 +19,10 @@
 # and "workers=1" goes through golden-run checkpointing; the ratio of their
 # ns/op is the fast-forward speed-up on identical work. benchtime=1x keeps
 # the run at one iteration per sub-benchmark — the campaign is deterministic,
-# so more iterations only add time.
+# so more iterations only add time. For A/B comparisons measuring small
+# deltas (e.g. the telemetry overhead pair) set BENCHTIME=5x: the first
+# iteration builds the shared golden-run store, so single-iteration numbers
+# mix warmup into whichever sub-benchmark runs first.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +31,7 @@ TAG="${1:-local}"
 BENCH="${2:-Table4Parallel/(straight|workers=1\$)|VMThroughput}"
 OUT="BENCH_${TAG}.json"
 
-go test -run=NONE -bench "$BENCH" -benchtime=1x -timeout 60m . |
+go test -run=NONE -bench "$BENCH" -benchtime="${BENCHTIME:-1x}" -timeout 60m . |
 	tee /dev/stderr |
 	go run ./tools/benchjson \
 		-label "tag=$TAG" \
