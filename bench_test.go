@@ -491,6 +491,80 @@ func BenchmarkVMThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// benchVMThroughput drives the VM directly (Load once, Reset per run) so
+// the number measures the execution engine alone, without the campaign
+// pooling and classification around RunClean.
+func benchVMThroughput(b *testing.B, interpOnly bool) {
+	p, _ := programs.ByName("C.team1")
+	c, err := p.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases, err := workload.Generate(p.Kind, 1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		b.Fatal(err)
+	}
+	m.SetInterpOnly(interpOnly)
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		m.SetMaxCycles(vm.DefaultMaxCycles)
+		m.SetInput(cases[0].Input.Ints)
+		m.SetByteInput(cases[0].Input.Bytes)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		cycles += m.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkVMThroughputCompiled is the block-compiled engine (the default
+// everywhere); BenchmarkVMThroughputInterp is the same run under
+// -interp-only. Their ratio is the speed-up of block compilation on
+// identical work.
+func BenchmarkVMThroughputCompiled(b *testing.B) { benchVMThroughput(b, false) }
+
+func BenchmarkVMThroughputInterp(b *testing.B) { benchVMThroughput(b, true) }
+
+// BenchmarkBlockCompile measures the one-time cost of decoding a program's
+// text into basic blocks and superinstructions — the price paid per Load
+// (and per full rebuild after a text-modification overflow).
+func BenchmarkBlockCompile(b *testing.B) {
+	p, _ := programs.ByName("C.team1")
+	c, err := p.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(vm.Config{})
+	if err := m.Load(c.Prog.Image); err != nil {
+		b.Fatal(err)
+	}
+	words := len(c.Prog.Image.Text)
+	var blocks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // Load resets the block cache; only time compilation
+		if err := m.Load(c.Prog.Image); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		blocks = m.CompileAllBlocks()
+	}
+	if blocks == 0 {
+		b.Fatal("CompileAllBlocks compiled nothing")
+	}
+	b.ReportMetric(float64(blocks), "blocks")
+	b.ReportMetric(float64(words)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwords/s")
+}
+
 // BenchmarkCompile measures the mini-C compiler on the largest program.
 func BenchmarkCompile(b *testing.B) {
 	p, _ := programs.ByName("C.team5")

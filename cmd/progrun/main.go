@@ -59,6 +59,7 @@ func run(args []string) error {
 	listP := fs.Bool("programs", false, "list the program suite and exit")
 	strIn := fs.String("string", "", "byte input for the character stream (JamesB programs)")
 	itrace := fs.Int("itrace", 0, "record and print the last N executed instructions")
+	interpOnly := fs.Bool("interp-only", false, "disable the block-compiled VM engine (per-instruction interpreter; results are identical)")
 	selftest := fs.Int("selftest", 0, "run N generated inputs against the oracle instead of one run")
 	seed := fs.Int64("seed", 99, "random seed for -selftest input generation")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for -selftest (1 = serial)")
@@ -144,6 +145,7 @@ func run(args []string) error {
 	if err := m.Load(c.Prog.Image); err != nil {
 		return err
 	}
+	m.SetInterpOnly(*interpOnly)
 	m.SetInput(ints)
 	m.SetByteInput([]byte(*strIn))
 	if *itrace > 0 {

@@ -42,6 +42,9 @@ import (
 type machinePool struct {
 	machines map[*cc.Compiled]*vm.Machine
 	degraded int
+	// interpOnly is stamped onto every handed-out machine; see
+	// Config.InterpOnly.
+	interpOnly bool
 	// met/w are the owning worker's metric bundle and shard index; both are
 	// zero for pools outside an instrumented campaign (calibration, clean
 	// batches, worker subprocesses), making every count below a no-op.
@@ -103,6 +106,7 @@ func (p *machinePool) acquire(c *cc.Compiled, in programs.Input, maxCycles uint6
 	} else if err := m.Reset(); err != nil {
 		return nil, err
 	}
+	m.SetInterpOnly(p.interpOnly)
 	m.SetMaxCycles(maxCycles)
 	m.SetCycleQuota(hardQuota(maxCycles))
 	m.SetInput(in.Ints)
@@ -124,6 +128,7 @@ func (p *machinePool) restored(c *cc.Compiled, cp *golden.Checkpoint, maxCycles 
 	if err := m.Restore(cp.Snap); err != nil {
 		return nil, err
 	}
+	m.SetInterpOnly(p.interpOnly)
 	m.SetMaxCycles(maxCycles)
 	m.SetCycleQuota(hardQuota(maxCycles))
 	return m, nil
@@ -316,6 +321,7 @@ type execOpts struct {
 	workers     int
 	journal     *journal.Journal // completed units are appended; journaled units replayed
 	unitTimeout time.Duration    // host wall-clock deadline per unit attempt; 0 = off
+	interpOnly  bool             // force the interpreter on pooled machines (A/B reference)
 	// prefill, when non-nil, carries outcomes already obtained elsewhere
 	// (the proc path's circuit-breaker fallback): non-zero slots are taken
 	// as done instead of executed. Prefilled slots were already counted by
@@ -410,6 +416,7 @@ func (e *unitExecutor) pool(w int) *machinePool {
 	if e.pools[w] == nil {
 		e.pools[w] = newMachinePool()
 		e.pools[w].met, e.pools[w].w = e.opts.met, w
+		e.pools[w].interpOnly = e.opts.interpOnly
 	}
 	return e.pools[w]
 }

@@ -1,0 +1,49 @@
+package campaign_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/injector"
+)
+
+// TestInterpOnlyCampaignEquivalence is the engine A/B gate: a campaign run
+// with Config.InterpOnly (every machine on the per-instruction interpreter)
+// must produce a deep-equal Result to the default block-compiled run. This
+// is the -interp-only CLI contract — the flag may only change speed, never
+// verdicts — and it covers both trigger modes, since the hardware mode
+// leans on IABR arming mid-run and the trap mode on ExecuteInjected, the
+// two paths where the block engine most aggressively bails to the
+// interpreter.
+func TestInterpOnlyCampaignEquivalence(t *testing.T) {
+	for _, mode := range []injector.Mode{injector.ModeHardware, injector.ModeTrap} {
+		base := smallCfg()
+		base.Mode = mode
+
+		compiled, err := campaign.Run(base)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+
+		interp := base
+		interp.InterpOnly = true
+		ref, err := campaign.Run(interp)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+
+		if !reflect.DeepEqual(compiled.Entries, ref.Entries) {
+			t.Errorf("mode %v: Entries differ between engines:\nblock:  %+v\ninterp: %+v", mode, compiled.Entries, ref.Entries)
+		}
+		if !reflect.DeepEqual(compiled.Plans, ref.Plans) {
+			t.Errorf("mode %v: Plans differ between engines", mode)
+		}
+		if compiled.Runs != ref.Runs {
+			t.Errorf("mode %v: Runs differ: block %d, interp %d", mode, compiled.Runs, ref.Runs)
+		}
+		if compiled.Runs == 0 {
+			t.Fatalf("mode %v: campaign executed zero runs; the equivalence check is vacuous", mode)
+		}
+	}
+}

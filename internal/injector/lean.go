@@ -16,7 +16,11 @@ import (
 //     decoded-instruction cache (vm.PlantDecoded): the corrupted word
 //     executes at the address at full speed, memory stays pristine, and an
 //     undecodable word raises ExcIllegal at the address, exactly like the
-//     fetch-hook path.
+//     fetch-hook path. Planting also invalidates any compiled blocks
+//     covering the address, so the block engine re-compiles through the
+//     corruption instead of executing a stale trace (and, unlike a fetch
+//     hook, a plant leaves the block engine enabled — the injected suffix
+//     keeps running at full speed).
 //   - A single store-data or load-address corruption installs a closure
 //     comparing the PC against one address, with no map lookups and no
 //     execution counters (Skip=0, Once=false makes shouldApply identically

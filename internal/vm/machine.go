@@ -217,6 +217,17 @@ type Machine struct {
 	// trap hooks are irrelevant — they cost nothing on the fetch path.
 	hot bool
 
+	// Block compilation (block.go/compile.go). blocks caches one compiled
+	// basic block per text-word entry index (nil = not yet compiled);
+	// blockOK caches block-dispatch eligibility the way hot does for the
+	// fast loop — it additionally tolerates watchpoints, which the block
+	// dispatcher proves absent per block; interpOnly is the -interp-only
+	// A/B switch forcing the per-instruction paths, persistent across
+	// Load/Reset/Restore like the watchdog budget.
+	blocks     []*block
+	blockOK    bool
+	interpOnly bool
+
 	// img is the image installed by Load, retained so Reset can restore
 	// the machine without a reload. textDirty records that text memory (and
 	// hence the decoded cache) was modified after Load — by the injector
@@ -224,6 +235,18 @@ type Machine struct {
 	// so Reset knows when the decoded cache must be rebuilt.
 	img       Image
 	textDirty bool
+
+	// textMods lists the decoded-cache indices whose entry — or backing text
+	// word — may differ from the pristine image: every PlantDecoded and every
+	// WriteWord into text records its index here. It lets Reset and Restore
+	// re-decode exactly the touched entries instead of rebuilding the whole
+	// cache; textModsOvf set means the list overflowed (maxTextMods) and a
+	// full rebuild is required. decodeRebuilds counts those full rebuilds —
+	// the redundant-rebuild regression test asserts it stays zero on the
+	// precise paths.
+	textMods       []uint32
+	textModsOvf    bool
+	decodeRebuilds int
 
 	// Dirty-page tracking: pageFlags holds pageBoot/pageSnap bits per page
 	// and dirtyPages lists every page with pageBoot set, so Reset, Snapshot
@@ -268,31 +291,71 @@ func New(cfg Config) *Machine {
 	}
 }
 
-// crField is one condition-register field as set by cmpw/cmpwi.
-type crField struct {
-	lt, gt, eq bool
-}
+// crField is one condition-register field as set by cmpw/cmpwi: a bitmask
+// with exactly one of crLT/crGT/crEQ set. The bit layout is also the
+// Snapshot.Checksum wire encoding of a field, so it must not change.
+type crField uint8
+
+// crField bits.
+const (
+	crLT crField = 1 << iota
+	crGT
+	crEQ
+)
 
 func compare(a, b int32) crField {
-	return crField{lt: a < b, gt: a > b, eq: a == b}
+	if a < b {
+		return crLT
+	}
+	if a > b {
+		return crGT
+	}
+	return crEQ
 }
 
 func (f crField) holds(c Cond) bool {
 	switch c {
 	case CondLT:
-		return f.lt
+		return f&crLT != 0
 	case CondLE:
-		return f.lt || f.eq
+		return f&(crLT|crEQ) != 0
 	case CondEQ:
-		return f.eq
+		return f&crEQ != 0
 	case CondGE:
-		return f.gt || f.eq
+		return f&(crGT|crEQ) != 0
 	case CondGT:
-		return f.gt
+		return f&crGT != 0
 	case CondNE:
-		return !f.eq
+		return f&crEQ == 0
 	}
 	return false
+}
+
+// condEnc packs a branch condition into the mask-test form the block engine
+// evaluates branchlessly: the condition holds iff (field & enc&7 != 0) !=
+// (enc&8 != 0). Encoding at block-compile time replaces holds' per-execution
+// switch with one AND and one compare.
+func condEnc(c Cond) uint8 {
+	switch c {
+	case CondLT:
+		return uint8(crLT)
+	case CondLE:
+		return uint8(crLT | crEQ)
+	case CondEQ:
+		return uint8(crEQ)
+	case CondGE:
+		return uint8(crGT | crEQ)
+	case CondGT:
+		return uint8(crGT)
+	case CondNE:
+		return uint8(crEQ) | 8
+	}
+	return 0
+}
+
+// crHolds evaluates a condEnc-encoded condition against a CR field.
+func crHolds(f crField, enc uint8) bool {
+	return (f&crField(enc&7) != 0) != (enc&8 != 0)
 }
 
 // Image is a loadable program: machine code plus initialised data.
@@ -340,6 +403,9 @@ func (m *Machine) Load(img Image) error {
 			m.decodedOK[i] = true
 		}
 	}
+	m.blocks = make([]*block, len(img.Text))
+	m.textMods = m.textMods[:0]
+	m.textModsOvf = false
 	m.pc = img.Entry
 	m.lr = 0
 	m.cr = [8]crField{}
@@ -407,6 +473,70 @@ func (m *Machine) refreshPage(pi uint32) {
 	}
 }
 
+// setDecoded installs the decoding of word w at decoded-cache index i,
+// preserving the invariant that undecodable entries are the zero Inst.
+func (m *Machine) setDecoded(i, w uint32) {
+	if in, err := Decode(w); err == nil {
+		m.decoded[i] = in
+		m.decodedOK[i] = true
+	} else {
+		m.decoded[i] = Inst{}
+		m.decodedOK[i] = false
+	}
+}
+
+// maxTextMods caps the precise text-modification list. Campaigns plant one
+// or two corruptions per run, so the cap only trips on pathological
+// self-rewriting loads, which degrade to a full cache rebuild.
+const maxTextMods = 32
+
+// noteTextMod records that decoded entry i (or its backing text word) may now
+// differ from the pristine image. It is the single place textDirty is set.
+func (m *Machine) noteTextMod(i uint32) {
+	m.textDirty = true
+	if m.textModsOvf {
+		return
+	}
+	for _, j := range m.textMods {
+		if j == i {
+			return
+		}
+	}
+	if len(m.textMods) >= maxTextMods {
+		m.textModsOvf = true
+		m.textMods = m.textMods[:0]
+		return
+	}
+	m.textMods = append(m.textMods, i)
+}
+
+// redecodeFromImage re-syncs the decoded cache (and the compiled blocks it
+// feeds) with the pristine image after Reset restored text memory. With a
+// precise modification list only the touched entries are re-decoded; an
+// overflowed list forces the full rebuild.
+func (m *Machine) redecodeFromImage() {
+	if m.textModsOvf {
+		for i, w := range m.img.Text {
+			m.setDecoded(uint32(i), w)
+		}
+		m.clearBlocks()
+		m.decodeRebuilds++
+	} else {
+		for _, i := range m.textMods {
+			m.setDecoded(i, m.img.Text[i])
+			m.invalidateBlocksAt(i)
+		}
+	}
+	m.textMods = m.textMods[:0]
+	m.textModsOvf = false
+	m.textDirty = false
+}
+
+// DecodeRebuilds reports how many full decoded-cache rebuilds the machine has
+// performed since New (observability for the redundant-rebuild regression
+// test; Reset and Restore normally re-decode only the modified entries).
+func (m *Machine) DecodeRebuilds() int { return m.decodeRebuilds }
+
 // Reset restores a loaded machine to its post-Load state — memory image,
 // registers, cycle counter, I/O positions, breakpoint registers, hooks and
 // trace all return to what a fresh New+Load would produce — without
@@ -435,16 +565,7 @@ func (m *Machine) Reset() error {
 	m.regs[RegSP] = memTop - 16
 	m.regs[RegFP] = memTop - 16
 	if m.textDirty {
-		for i, w := range m.img.Text {
-			if in, err := Decode(w); err == nil {
-				m.decoded[i] = in
-				m.decodedOK[i] = true
-			} else {
-				m.decoded[i] = Inst{}
-				m.decodedOK[i] = false
-			}
-		}
-		m.textDirty = false
+		m.redecodeFromImage()
 	}
 	m.pc = m.img.Entry
 	m.lr = 0
@@ -610,10 +731,24 @@ func (m *Machine) SetIABRHook(h IABRHook) { m.iabrHook = h; m.updateHot() }
 // SetFetchHook installs the instruction-bus corruption hook.
 func (m *Machine) SetFetchHook(h FetchHook) { m.fetchHook = h; m.updateHot() }
 
-// updateHot refreshes the fast-loop eligibility cache; see the field.
+// updateHot refreshes the fast-loop and block-dispatch eligibility caches;
+// see the hot and blockOK fields. blockOK tolerates watchpoints — the block
+// dispatcher proves per block that none can fire inside it and falls back to
+// step otherwise — but needs everything else the fast loop needs.
 func (m *Machine) updateHot() {
 	m.hot = !m.watchAny && m.trace == nil && m.fetchHook == nil &&
 		!(m.iabrAny && m.iabrHook != nil)
+	m.blockOK = !m.interpOnly && m.blocks != nil && m.trace == nil &&
+		m.fetchHook == nil && !(m.iabrAny && m.iabrHook != nil)
+}
+
+// SetInterpOnly forces the per-instruction interpreter paths, disabling
+// compiled-block dispatch: the -interp-only A/B switch used to validate that
+// both engines produce bit-identical runs. Unlike hooks it survives Load,
+// Reset and Restore, like the watchdog budget.
+func (m *Machine) SetInterpOnly(v bool) {
+	m.interpOnly = v
+	m.updateHot()
 }
 
 // SetLoadHook installs the data-load corruption hook.
@@ -686,14 +821,9 @@ func (m *Machine) WriteWord(addr, w uint32) error {
 			return fmt.Errorf("vm: write into read-only text at %#x", addr)
 		}
 		i := (addr - m.textBase) / WordSize
-		if in, err := Decode(w); err == nil {
-			m.decoded[i] = in
-			m.decodedOK[i] = true
-		} else {
-			m.decoded[i] = Inst{}
-			m.decodedOK[i] = false
-		}
-		m.textDirty = true
+		m.setDecoded(i, w)
+		m.noteTextMod(i)
+		m.invalidateBlocksAt(i)
 	}
 	m.putWordRaw(addr, w)
 	return nil
@@ -794,6 +924,14 @@ func (m *Machine) Run() (State, error) {
 	decoded := m.decoded
 	textBase := m.textBase
 	for m.state == StateRunning {
+		// Compiled-block dispatch outranks both interpreter loops; it
+		// returns when the run ends or when eligibility flips (a trap hook
+		// arming an observer mid-run), so the loop re-checks and falls
+		// through to the per-instruction paths.
+		if m.blockOK {
+			m.runBlocks()
+			continue
+		}
 		// The fast loop is the general step with every absent-observer
 		// check hoisted out. hot is re-read each iteration because a trap
 		// hook (which execute can invoke) may arm an observer mid-run.

@@ -51,6 +51,13 @@ type Snapshot struct {
 	pages     map[uint32][]byte
 	textDirty bool
 
+	// textMods/textModsOvf carry the machine's precise text-modification
+	// list (see the Machine fields), so Restore can re-decode exactly the
+	// entries where either side of the restore diverged from the image
+	// instead of rebuilding the whole decoded cache.
+	textMods    []uint32
+	textModsOvf bool
+
 	// Image geometry, to reject restoring onto an incompatible machine.
 	memSize  int
 	textEnd  uint32
@@ -91,17 +98,8 @@ func (s *Snapshot) Checksum() uint64 {
 	w32(s.pc)
 	w32(s.lr)
 	for _, f := range s.cr {
-		var v uint32
-		if f.lt {
-			v |= 1
-		}
-		if f.gt {
-			v |= 2
-		}
-		if f.eq {
-			v |= 4
-		}
-		w32(v)
+		// crField's bit layout (lt=1, gt=2, eq=4) is this wire encoding.
+		w32(uint32(f))
 	}
 	w32(s.brk)
 	w32(uint32(s.state))
@@ -125,6 +123,15 @@ func (s *Snapshot) Checksum() uint64 {
 		w32(1)
 	} else {
 		w32(0)
+	}
+	if s.textModsOvf {
+		w32(1)
+	} else {
+		w32(0)
+	}
+	w32(uint32(len(s.textMods)))
+	for _, i := range s.textMods {
+		w32(i)
 	}
 	w32(uint32(s.memSize))
 	w32(s.textEnd)
@@ -152,26 +159,28 @@ func (m *Machine) Snapshot() *Snapshot {
 		return nil
 	}
 	s := &Snapshot{
-		regs:       m.regs,
-		pc:         m.pc,
-		lr:         m.lr,
-		cr:         m.cr,
-		brk:        m.brk,
-		state:      m.state,
-		exc:        m.exc,
-		excAt:      m.excAt,
-		exitStatus: m.exitStatus,
-		cycles:     m.cycles,
-		input:      append([]int32(nil), m.input...),
-		inPos:      m.inPos,
-		inBytes:    append([]byte(nil), m.inBytes...),
-		inBPos:     m.inBPos,
-		output:     append([]byte(nil), m.output...),
-		textDirty:  m.textDirty,
-		memSize:    len(m.mem),
-		textEnd:    m.textEnd,
-		dataBase:   m.dataBase,
-		textLen:    len(m.img.Text),
+		regs:        m.regs,
+		pc:          m.pc,
+		lr:          m.lr,
+		cr:          m.cr,
+		brk:         m.brk,
+		state:       m.state,
+		exc:         m.exc,
+		excAt:       m.excAt,
+		exitStatus:  m.exitStatus,
+		cycles:      m.cycles,
+		input:       append([]int32(nil), m.input...),
+		inPos:       m.inPos,
+		inBytes:     append([]byte(nil), m.inBytes...),
+		inBPos:      m.inBPos,
+		output:      append([]byte(nil), m.output...),
+		textDirty:   m.textDirty,
+		textMods:    append([]uint32(nil), m.textMods...),
+		textModsOvf: m.textModsOvf,
+		memSize:     len(m.mem),
+		textEnd:     m.textEnd,
+		dataBase:    m.dataBase,
+		textLen:     len(m.img.Text),
 	}
 	s.pages = make(map[uint32][]byte, len(m.dirtyPages))
 	for _, pi := range m.dirtyPages {
@@ -259,21 +268,35 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.inBPos = s.inBPos
 	m.output = append(m.output[:0], s.output...)
 
-	// The decoded cache mirrors text memory; rebuild it when either side of
-	// the restore had text modifications.
-	if m.textDirty || s.textDirty {
+	// The decoded cache mirrors text memory; re-sync it from the restored
+	// memory wherever either side of the restore had text modifications
+	// (planted entries revert, since plants never touch memory; written
+	// words re-decode to their corrupted form). The union of the two
+	// modification lists is exhaustive — every unlisted entry matches the
+	// pristine image on both sides — so the whole-cache rebuild only runs
+	// when a list overflowed. Blocks compiled over a re-decoded entry are
+	// dropped either way.
+	if m.textModsOvf || s.textModsOvf {
 		for i := range m.decoded {
-			w := m.getWordRaw(m.textBase + uint32(i)*WordSize)
-			if in, err := Decode(w); err == nil {
-				m.decoded[i] = in
-				m.decodedOK[i] = true
-			} else {
-				m.decoded[i] = Inst{}
-				m.decodedOK[i] = false
-			}
+			m.setDecoded(uint32(i), m.getWordRaw(m.textBase+uint32(i)*WordSize))
+		}
+		m.clearBlocks()
+		m.decodeRebuilds++
+	} else {
+		for _, i := range m.textMods {
+			m.setDecoded(i, m.getWordRaw(m.textBase+i*WordSize))
+			m.invalidateBlocksAt(i)
+		}
+		for _, i := range s.textMods {
+			m.setDecoded(i, m.getWordRaw(m.textBase+i*WordSize))
+			m.invalidateBlocksAt(i)
 		}
 	}
+	// Adopt the snapshot's (conservative) view: restoring drops plants, but
+	// textDirty/textMods only promise "may differ", exactly as before.
 	m.textDirty = s.textDirty
+	m.textMods = append(m.textMods[:0], s.textMods...)
+	m.textModsOvf = s.textModsOvf
 
 	m.iabr = [NumIABR]uint32{}
 	m.iabrSet = [NumIABR]bool{}
@@ -302,13 +325,8 @@ func (m *Machine) PlantDecoded(addr, word uint32) error {
 		return fmt.Errorf("vm: plant outside text at %#x", addr)
 	}
 	i := (addr - m.textBase) / WordSize
-	if in, err := Decode(word); err == nil {
-		m.decoded[i] = in
-		m.decodedOK[i] = true
-	} else {
-		m.decoded[i] = Inst{}
-		m.decodedOK[i] = false
-	}
-	m.textDirty = true
+	m.setDecoded(i, word)
+	m.noteTextMod(i)
+	m.invalidateBlocksAt(i)
 	return nil
 }

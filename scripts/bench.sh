@@ -7,8 +7,9 @@
 #   scripts/bench.sh [tag] [bench-regex]
 #
 #   tag          suffix of the artifact: BENCH_<tag>.json (default: local)
-#   bench-regex  benchmarks to run (default: the campaign A/B pair plus the
-#                interpreter throughput benchmark)
+#   bench-regex  benchmarks to run (default: the campaign A/B pair, the VM
+#                throughput benchmarks — block-compiled vs interpreter —
+#                and the block-compile cost benchmark)
 #
 # EXTRA_LABELS may hold additional "-label k=v" pairs to embed in the
 # artifact, e.g. baseline numbers measured on a pre-change checkout:
@@ -28,7 +29,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 TAG="${1:-local}"
-BENCH="${2:-Table4Parallel/(straight|workers=1\$)|VMThroughput}"
+BENCH="${2:-Table4Parallel/(straight|workers=1\$)|VMThroughput|BlockCompile}"
 OUT="BENCH_${TAG}.json"
 
 go test -run=NONE -bench "$BENCH" -benchtime="${BENCHTIME:-1x}" -timeout 60m . |
