@@ -13,12 +13,15 @@ package repro
 // paper's sizes); the qualitative findings hold at any scale.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
 	"runtime"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -207,6 +210,85 @@ func BenchmarkTable4ProcIsolation(b *testing.B) {
 	}
 	b.Run("inproc", func(b *testing.B) { run(b, false) })
 	b.Run("proc", func(b *testing.B) { run(b, true) })
+}
+
+// benchLoopbackAddr reserves a loopback port for a bench coordinator.
+func benchLoopbackAddr(b *testing.B) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// BenchmarkTable4Fabric runs the Table 4 campaign through the distributed
+// fabric with 1, 2 and 4 loopback executors. Every executor is paced to a
+// fixed per-unit service time (fabricUnitPace), because all executors here
+// share one machine's CPU: unpaced, N loopback executors can never beat one
+// on CPU-bound work, which says nothing about the fabric. Pacing models N
+// independent hosts of equal capacity, so the measured speedup is exactly
+// what the fabric layer contributes — sharding, work stealing and merge
+// concurrency — and its shortfall from N is the fabric's scheduling plus
+// coordination overhead. scripts/bench.sh derives the scaling-efficiency
+// labels in BENCH_<tag>.json from the executors=1/2 ratio.
+func BenchmarkTable4Fabric(b *testing.B) {
+	const fabricUnitPace = 60 * time.Millisecond
+	cfg := campaignCfg([]fault.Class{fault.ClassAssignment, fault.ClassChecking},
+		"C.team1", "C.team2", "C.team8", "C.team9", "C.team10", "JB.team6", "JB.team11", "SOR")
+	// Warm the process-wide stores (workloads, calibration, goldens) once so
+	// no sub-benchmark pays the one-time cost for the others.
+	if _, err := campaign.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	join := func(ctx context.Context, addr, name string) {
+		// The coordinator binds only after planning; retry until it is up.
+		for ctx.Err() == nil {
+			err := campaign.JoinFabric(ctx, addr, campaign.JoinOptions{
+				Name:     name,
+				Workers:  1,
+				UnitPace: fabricUnitPace,
+			})
+			if err == nil {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for _, hosts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("executors=%d", hosts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				addr := benchLoopbackAddr(b)
+				ctx, cancel := context.WithCancel(context.Background())
+				var wg sync.WaitGroup
+				for h := 0; h < hosts; h++ {
+					wg.Add(1)
+					go func(name string) {
+						defer wg.Done()
+						join(ctx, addr, name)
+					}(fmt.Sprintf("bench-exec-%d", h))
+				}
+				fcfg := cfg
+				fcfg.Fabric = &campaign.FabricOptions{
+					Listen:            addr,
+					MinHosts:          hosts,
+					HeartbeatInterval: 100 * time.Millisecond,
+					HeartbeatTimeout:  10 * time.Second,
+				}
+				res, err := campaign.Run(fcfg)
+				cancel()
+				wg.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Runs), "runs")
+				b.ReportMetric(fabricUnitPace.Seconds()*1e3, "pace-ms/unit")
+			}
+		})
+	}
 }
 
 // BenchmarkTable4Telemetry prices the observability layer on the Table 4

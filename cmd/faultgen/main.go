@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"repro/internal/cliutil"
+	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/journal"
 	"repro/internal/locator"
@@ -60,6 +61,8 @@ func run(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	version := fs.Bool("version", false, "print the binary version and exit")
 	tf := cliutil.AddTelemetryFlags(fs)
+	hb := cliutil.AddHeartbeatFlags(fs)
+	fab := cliutil.AddFabricFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +80,12 @@ func run(args []string) error {
 	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
+	if err := hb.Validate(); err != nil {
+		return err
+	}
+	if err := fab.Validate(); err != nil {
+		return err
+	}
 	stopProf, err := cliutil.StartProfiles("faultgen", *cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -88,6 +97,19 @@ func run(args []string) error {
 	}
 	defer telCleanup()
 	rest := fs.Args()
+	if fab.Join != "" {
+		// Executor mode: the program list comes from the coordinator's
+		// spec, so no arguments are taken here.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stopSignals()
+		return fabric.Join(ctx, fab.Join, fabric.ExecutorOptions{
+			Workers: *workers,
+			Batch:   fabric.InProcBatch(planFactory, *workers),
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
+			},
+		})
+	}
 	if len(rest) == 0 {
 		return fmt.Errorf("usage: faultgen [flags] <program>... (or 'all')")
 	}
@@ -108,11 +130,16 @@ func run(args []string) error {
 		plans = reg.Counter("faultgen_plans_total")
 	}
 	var outs []string
-	if procIsolation {
+	if fab.Listen != "" {
+		outs, err = describeFabric(ctx, planSpec{
+			Programs: rest, Class: *class, N: *n, Seed: *seed,
+			Metrics: *withMetrics, JSON: *asJSON,
+		}, fab, hb, tel, plans)
+	} else if procIsolation {
 		outs, err = describeProc(ctx, planSpec{
 			Programs: rest, Class: *class, N: *n, Seed: *seed,
 			Metrics: *withMetrics, JSON: *asJSON,
-		}, *workers, tel, plans)
+		}, *workers, hb, tel, plans)
 	} else {
 		tr := tel.Tracer()
 		outs, err = parallel.MapCtx(ctx, *workers, len(rest), func(w, i int) (string, error) {
@@ -189,7 +216,7 @@ func (r *planRunner) Run(unit int) (journal.Outcome, []byte, error) {
 // subprocesses and returns the rendered outputs in argument order. A
 // program whose plan repeatedly crashes its worker is reported as an error,
 // not silently dropped.
-func describeProc(ctx context.Context, s planSpec, workers int, tel *telemetry.Telemetry, plans *telemetry.Counter) ([]string, error) {
+func describeProc(ctx context.Context, s planSpec, workers int, hb *cliutil.HeartbeatFlags, tel *telemetry.Telemetry, plans *telemetry.Counter) ([]string, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
 		return nil, err
@@ -210,6 +237,8 @@ func describeProc(ctx context.Context, s planSpec, workers int, tel *telemetry.T
 			Fingerprint: worker.PayloadFingerprint(specKindPlan, payload),
 			Payload:     payload,
 		},
+		HeartbeatInterval: hb.Interval,
+		HeartbeatTimeout:  hb.Timeout,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
 		},
@@ -239,6 +268,59 @@ func describeProc(ctx context.Context, s planSpec, workers int, tel *telemetry.T
 	}
 	if len(lost) > 0 {
 		return nil, fmt.Errorf("planning crashed the worker for: %s", strings.Join(lost, ", "))
+	}
+	return outs, nil
+}
+
+// describeFabric shards the program list over fabric executors (faultgen
+// -fabric-join) and returns the rendered outputs in argument order — the
+// same contract as describeProc, one level of distribution up. Coordinator
+// and executors cross-check the payload fingerprint, so a mismatched
+// executor (different build or flag set) is rejected at the handshake.
+func describeFabric(ctx context.Context, s planSpec, fab *cliutil.FabricFlags, hb *cliutil.HeartbeatFlags, tel *telemetry.Telemetry, plans *telemetry.Counter) ([]string, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
+		Addr:     fab.Listen,
+		MinHosts: fab.Hosts,
+		Spec: worker.Spec{
+			Kind:        specKindPlan,
+			Fingerprint: worker.PayloadFingerprint(specKindPlan, payload),
+			Payload:     payload,
+		},
+		Units:             len(s.Programs),
+		HeartbeatInterval: hb.Interval,
+		HeartbeatTimeout:  hb.Timeout,
+		Tracer:            tel.Tracer(),
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	indices := make([]int, len(s.Programs))
+	for i := range indices {
+		indices[i] = i
+	}
+	outs := make([]string, len(s.Programs))
+	var lost []string
+	err = coord.Run(ctx, indices, func(r worker.Result) error {
+		if r.Quarantined {
+			lost = append(lost, s.Programs[r.Index])
+			return nil
+		}
+		plans.Inc()
+		outs[r.Index] = string(r.Payload)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(lost) > 0 {
+		return nil, fmt.Errorf("planning went down with every executor host for: %s", strings.Join(lost, ", "))
 	}
 	return outs, nil
 }

@@ -8,6 +8,8 @@
 //	progrun -string "seed len text" JB.team6     # JamesB byte input
 //	progrun -programs                            # list suite programs
 //	progrun -selftest 500 -workers 8 C.team1     # batch-run against the oracle
+//	progrun -selftest 2000 -fabric-listen :9371 C.team1  # shard the batch over executors
+//	progrun -fabric-join host:9371               # join a coordinator as an executor
 //
 // -itrace prints the last N executed instructions; -trace <file> (shared
 // with the other CLIs) streams structured telemetry events as JSON lines.
@@ -35,6 +37,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cc"
 	"repro/internal/cliutil"
+	"repro/internal/fabric"
 	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/programs"
@@ -69,6 +72,8 @@ func run(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	version := fs.Bool("version", false, "print the binary version and exit")
 	tf := cliutil.AddTelemetryFlags(fs)
+	hb := cliutil.AddHeartbeatFlags(fs)
+	fab := cliutil.AddFabricFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +91,15 @@ func run(args []string) error {
 	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
+	if err := hb.Validate(); err != nil {
+		return err
+	}
+	if err := fab.Validate(); err != nil {
+		return err
+	}
+	if fab.Listen != "" && *selftest <= 0 {
+		return fmt.Errorf("-fabric-listen coordinates a -selftest batch; give -selftest N too")
+	}
 	stopProf, err := cliutil.StartProfiles("progrun", *cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -100,6 +114,19 @@ func run(args []string) error {
 			fmt.Printf("%-10s %-8s %4d lines  fault: %-12s %s\n", p.Name, p.Kind, p.LineCount(), fault, p.Features)
 		}
 		return nil
+	}
+	if fab.Join != "" {
+		// Executor mode: the program, case count and seed come from the
+		// coordinator's spec; only local execution knobs apply here.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stopSignals()
+		return fabric.Join(ctx, fab.Join, fabric.ExecutorOptions{
+			Workers: *workers,
+			Batch:   fabric.InProcBatch(selftestFactory, *workers),
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
+			},
+		})
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
@@ -130,7 +157,7 @@ func run(args []string) error {
 	}
 	defer telCleanup()
 	if *selftest > 0 {
-		return runSelftest(p, c, *selftest, *seed, *workers, procIsolation, *faulty, tel, tf)
+		return runSelftest(p, c, *selftest, *seed, *workers, procIsolation, *faulty, hb, fab, tel, tf)
 	}
 
 	var ints []int32
@@ -200,7 +227,7 @@ type caseResult struct {
 // (possibly faulty) build still behaves before pointing a campaign at it.
 // With proc set the cases run in supervised worker subprocesses instead of
 // goroutines; the verdicts are identical.
-func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int, proc, faulty bool, tel *telemetry.Telemetry, tf *cliutil.TelemetryFlags) error {
+func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers int, proc, faulty bool, hb *cliutil.HeartbeatFlags, fab *cliutil.FabricFlags, tel *telemetry.Telemetry, tf *cliutil.TelemetryFlags) error {
 	workers = parallel.DefaultWorkers(workers)
 	cases, err := workload.Generate(p.Kind, n, seed)
 	if err != nil {
@@ -211,8 +238,13 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 	defer stopSignals()
 	start := time.Now()
 	var results []caseResult
-	if proc {
-		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers, tel)
+	if fab.Listen != "" {
+		results, err = selftestFabric(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, fab, hb, tel)
+		if err != nil {
+			return err
+		}
+	} else if proc {
+		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers, hb, tel)
 		if err != nil {
 			return err
 		}
@@ -342,7 +374,7 @@ func (r *selftestRunner) Run(unit int) (journal.Outcome, []byte, error) {
 // subprocesses and returns per-case results in case order. A case that
 // repeatedly crashes its worker comes back as a HostFault deviation rather
 // than aborting the batch.
-func selftestProc(ctx context.Context, s selftestSpec, workers int, tel *telemetry.Telemetry) ([]caseResult, error) {
+func selftestProc(ctx context.Context, s selftestSpec, workers int, hb *cliutil.HeartbeatFlags, tel *telemetry.Telemetry) ([]caseResult, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
 		return nil, err
@@ -363,7 +395,9 @@ func selftestProc(ctx context.Context, s selftestSpec, workers int, tel *telemet
 			Fingerprint: worker.PayloadFingerprint(specKindSelftest, payload),
 			Payload:     payload,
 		},
-		Quarantine: journal.Outcome{Mode: uint8(campaign.HostFault)},
+		HeartbeatInterval: hb.Interval,
+		HeartbeatTimeout:  hb.Timeout,
+		Quarantine:        journal.Outcome{Mode: uint8(campaign.HostFault)},
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
 		},
@@ -373,12 +407,67 @@ func selftestProc(ctx context.Context, s selftestSpec, workers int, tel *telemet
 	if err != nil {
 		return nil, err
 	}
-	indices := make([]int, s.N)
+	results := make([]caseResult, s.N)
+	err = pool.Run(ctx, caseIndices(s.N), selftestResult(results))
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// selftestFabric shards the case set over fabric executors (progrun
+// -fabric-join) — the same contract as selftestProc, one level of
+// distribution up. Executors regenerate the identical case set from the
+// spec (generation is deterministic per kind, count and seed), so only
+// verdicts cross the wire.
+func selftestFabric(ctx context.Context, s selftestSpec, fab *cliutil.FabricFlags, hb *cliutil.HeartbeatFlags, tel *telemetry.Telemetry) ([]caseResult, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
+		Addr:     fab.Listen,
+		MinHosts: fab.Hosts,
+		Spec: worker.Spec{
+			Kind:        specKindSelftest,
+			Fingerprint: worker.PayloadFingerprint(specKindSelftest, payload),
+			Payload:     payload,
+		},
+		Units:             s.N,
+		HeartbeatInterval: hb.Interval,
+		HeartbeatTimeout:  hb.Timeout,
+		Quarantine:        journal.Outcome{Mode: uint8(campaign.HostFault)},
+		Tracer:            tel.Tracer(),
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	results := make([]caseResult, s.N)
+	err = coord.Run(ctx, caseIndices(s.N), selftestResult(results))
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// caseIndices is the identity unit list 0..n-1 both batch backends take.
+func caseIndices(n int) []int {
+	indices := make([]int, n)
 	for i := range indices {
 		indices[i] = i
 	}
-	results := make([]caseResult, s.N)
-	err = pool.Run(ctx, indices, func(r worker.Result) error {
+	return indices
+}
+
+// selftestResult builds the verdict callback shared by the proc and fabric
+// backends: decode the payload into its case slot, mapping quarantined
+// cases to HostFault deviations.
+func selftestResult(results []caseResult) func(worker.Result) error {
+	return func(r worker.Result) error {
 		if r.Quarantined {
 			results[r.Index] = caseResult{Mode: campaign.HostFault, State: "quarantined"}
 			return nil
@@ -389,9 +478,5 @@ func selftestProc(ctx context.Context, s selftestSpec, workers int, tel *telemet
 		}
 		results[r.Index] = cr
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return results, nil
 }

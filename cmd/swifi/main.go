@@ -24,6 +24,15 @@
 // -isolation=inproc; if the host cannot keep workers alive, the campaign
 // degrades back to in-process execution on its own.
 //
+// Campaigns scale past one host with the fabric: a coordinator started with
+// -fabric-listen :9370 plans the campaign and shards it over executors
+// started with -fabric-join host:9370 (executors take no experiment
+// arguments — the campaign spec crosses the wire), work-stealing from
+// stragglers and redelivering a lost host's units. The merged output — and
+// the journal, when -journal is given — is byte-identical to a single-host
+// run. -heartbeat-interval and -heartbeat-timeout tune liveness for both
+// worker subprocesses and fabric links.
+//
 // Campaigns are observable without changing their results: -progress draws
 // a live tally line on stderr (on by default on a terminal), -trace
 // streams structured per-injection events as JSON lines, -debug-addr
@@ -79,6 +88,8 @@ func run(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	version := fs.Bool("version", false, "print the binary version and exit")
 	tf := cliutil.AddTelemetryFlags(fs)
+	hb := cliutil.AddHeartbeatFlags(fs)
+	fab := cliutil.AddFabricFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +113,12 @@ func run(args []string) error {
 	if err := cliutil.ValidateResume(*resume, *journalPath); err != nil {
 		return err
 	}
+	if err := hb.Validate(); err != nil {
+		return err
+	}
+	if err := fab.Validate(); err != nil {
+		return err
+	}
 	stopProf, err := cliutil.StartProfiles("swifi", *cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -117,7 +134,7 @@ func run(args []string) error {
 	}
 	defer telCleanup()
 	rest := fs.Args()
-	if len(rest) == 0 {
+	if len(rest) == 0 && fab.Join == "" {
 		return fmt.Errorf("no experiment given; try -list, 'all', or 'verify <program>'")
 	}
 
@@ -132,6 +149,23 @@ func run(args []string) error {
 		stopSignals()
 	}()
 
+	if fab.Join != "" {
+		// Executor mode: everything about the campaign — programs, scale,
+		// seed, mode — comes from the coordinator's spec; only local
+		// execution knobs apply here.
+		jo := campaign.JoinOptions{
+			Workers: *workers,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "swifi: "+format+"\n", args...)
+			},
+		}
+		if procIsolation {
+			jo.Isolation = campaign.IsolationProc
+			jo.Proc = &campaign.ProcOptions{HeartbeatInterval: hb.Interval, HeartbeatTimeout: hb.Timeout}
+		}
+		return campaign.JoinFabric(ctx, fab.Join, jo)
+	}
+
 	e := core.New(*scale)
 	e.Seed = *seed
 	e.Workers = *workers
@@ -142,6 +176,15 @@ func run(args []string) error {
 	e.Telemetry = tel
 	if procIsolation {
 		e.Isolation = campaign.IsolationProc
+		e.Proc = &campaign.ProcOptions{HeartbeatInterval: hb.Interval, HeartbeatTimeout: hb.Timeout}
+	}
+	if fab.Listen != "" {
+		e.Fabric = &campaign.FabricOptions{
+			Listen:            fab.Listen,
+			MinHosts:          fab.Hosts,
+			HeartbeatInterval: hb.Interval,
+			HeartbeatTimeout:  hb.Timeout,
+		}
 	}
 	switch *mode {
 	case "hw":

@@ -108,6 +108,14 @@ type Config struct {
 	// (re-exec the current binary with -worker-mode, 500ms heartbeats, 10s
 	// silence timeout, one redelivery before quarantine).
 	Proc *ProcOptions
+	// Fabric, when non-nil, makes this process the coordinator of a
+	// distributed campaign: units are sharded over executor hosts that
+	// join via JoinFabric instead of executing locally, with work stealing
+	// and host-loss redelivery (see internal/fabric). The Result — and,
+	// with a Journal, the journal bytes after canonicalization — is
+	// bit-identical to a single-host run. Isolation is then a per-executor
+	// choice (JoinOptions.Isolation), not the coordinator's.
+	Fabric *FabricOptions
 	// Telemetry, when non-nil, observes the campaign: unit counters and
 	// latency histograms on its registry, lifecycle events on its tracer,
 	// and a live progress line on its surface while units execute. Purely
@@ -233,10 +241,11 @@ func (e *InterruptedError) Unwrap() error { return e.Cause }
 // and their outcomes: the seed and, per unit in planning order, the program,
 // fault identity (ID, error type, trigger addresses, trigger policy), case
 // index, watchdog budget, injector mode and entry slot. Deliberately
-// excluded: Workers, NoFastForward, Ctx, UnitTimeout, Isolation and Proc —
-// none of them changes any unit's outcome, so a journal written under one
-// executor configuration resumes under any other (a proc campaign resumes
-// in-process and vice versa).
+// excluded: Workers, NoFastForward, Ctx, UnitTimeout, Isolation, Proc and
+// Fabric — none of them changes any unit's outcome, so a journal written
+// under one executor configuration resumes under any other (a proc campaign
+// resumes in-process, a distributed campaign resumes single-host, and vice
+// versa).
 func planFingerprint(cfg *Config, units []runUnit) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -462,9 +471,12 @@ func Run(cfg Config) (*Result, error) {
 		tracer:      tracer,
 	}
 	var outcomes []unitOutcome
-	if cfg.Isolation == IsolationProc {
+	switch {
+	case cfg.Fabric != nil:
+		outcomes, err = executeUnitsFabric(&cfg, eo, units, pc.fp)
+	case cfg.Isolation == IsolationProc:
 		outcomes, err = executeUnitsProc(&cfg, eo, units, pc.fp)
-	} else {
+	default:
 		outcomes, err = executeUnitsOpts(eo, units)
 	}
 	if err != nil {

@@ -1,0 +1,323 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/journal"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+	"repro/internal/worker"
+)
+
+// This file is the distributed half of the campaign executor: with
+// Config.Fabric set, the coordinator side of internal/fabric replaces the
+// local dispatch loop, and JoinFabric turns any other process — usually on
+// another host — into an executor running the identical local stack. As
+// with process isolation, the plan never crosses the wire: both sides
+// rebuild it from the serialized Config and cross-check the plan
+// fingerprint, so the protocol carries only unit indices out and verdicts
+// back, and the Result stays bit-identical to a single-host run for any
+// fleet size or host-loss history.
+
+// FabricOptions configures the coordinator side of a distributed campaign
+// (Config.Fabric).
+type FabricOptions struct {
+	// Listen is the TCP address the coordinator binds (e.g. ":9370").
+	Listen string
+	// MinHosts is how many executors must join before the campaign shards;
+	// 0 means 1.
+	MinHosts int
+	// HeartbeatInterval/HeartbeatTimeout tune fabric liveness; zero keeps
+	// the worker-supervisor defaults (500ms / 10s), which suit LAN and
+	// loopback. WAN links want looser deadlines.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// MaxDeliveries is how many executor hosts a unit may go down with
+	// before it is quarantined as a HostFault; 0 means 3.
+	MaxDeliveries int
+}
+
+// JoinOptions configures one executor host (JoinFabric).
+type JoinOptions struct {
+	// Name identifies this host in coordinator logs and per-host metrics;
+	// empty picks the hostname.
+	Name string
+	// Workers is the local parallelism; 0 picks GOMAXPROCS.
+	Workers int
+	// Isolation selects how this host runs its units: in-process
+	// goroutines (default) or supervised worker subprocesses.
+	Isolation Isolation
+	// Proc tunes the local worker pool under IsolationProc.
+	Proc *ProcOptions
+	// UnitPace, when positive, floors each unit's wall time on this host —
+	// a fixed per-host service rate. Production paths leave it zero (run
+	// flat out); the loopback scaling benchmark sets it so N executors
+	// sharing one machine's CPU still model N independent hosts.
+	UnitPace time.Duration
+	// Log receives per-session fabric events; nil silences them.
+	Log func(format string, args ...any)
+}
+
+// JoinFabric connects to a campaign coordinator and serves assigned unit
+// ranges until the campaign completes (nil), the context is cancelled, or
+// the session fails. The campaign spec — and with it every planning input —
+// comes from the coordinator, so the joining process needs no campaign
+// flags of its own.
+func JoinFabric(ctx context.Context, addr string, opts JoinOptions) error {
+	workers := parallel.DefaultWorkers(opts.Workers)
+	return fabric.Join(ctx, addr, fabric.ExecutorOptions{
+		Name:    opts.Name,
+		Workers: workers,
+		Log:     opts.Log,
+		Batch: func(spec worker.Spec) (fabric.BatchRunner, error) {
+			b, err := newFabricBatchRunner(spec, workers, opts.Isolation, opts.Proc)
+			if err != nil {
+				return nil, err
+			}
+			b.pace = opts.UnitPace
+			return b, nil
+		},
+	})
+}
+
+// fabricBatchRunner executes assigned batches on the local PR 1–6 stack. It
+// re-plans once per session (not per batch) and keeps one unitExecutor with
+// per-worker machine pools across batches, so goldens, calibration and
+// pooled machines amortise over everything this host is ever assigned.
+type fabricBatchRunner struct {
+	cfg       Config
+	units     []runUnit
+	spec      worker.Spec
+	workers   int
+	isolation Isolation
+	proc      *ProcOptions
+	pace      time.Duration
+	ex        *unitExecutor
+}
+
+func newFabricBatchRunner(spec worker.Spec, workers int, iso Isolation, proc *ProcOptions) (*fabricBatchRunner, error) {
+	if spec.Kind != SpecKindCampaign {
+		return nil, fmt.Errorf("campaign: fabric spec kind %q, this executor serves %q", spec.Kind, SpecKindCampaign)
+	}
+	cfg, err := configFromProcSpec(spec.Payload)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := planCampaign(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: executor re-planning failed: %w", err)
+	}
+	if pc.fp != spec.Fingerprint {
+		return nil, fmt.Errorf("campaign: rebuilt plan fingerprint %016x does not match the coordinator's %016x; differing builds or configuration", pc.fp, spec.Fingerprint)
+	}
+	return &fabricBatchRunner{
+		cfg:       cfg,
+		units:     pc.units,
+		spec:      spec,
+		workers:   workers,
+		isolation: iso,
+		proc:      proc,
+		ex: &unitExecutor{
+			opts:  execOpts{unitTimeout: cfg.UnitTimeout, interpOnly: cfg.InterpOnly},
+			units: pc.units,
+			out:   make([]unitOutcome, len(pc.units)),
+			pools: make([]*machinePool, workers),
+		},
+	}, nil
+}
+
+func (b *fabricBatchRunner) Units() int { return len(b.units) }
+
+func (b *fabricBatchRunner) RunBatch(ctx context.Context, batch []int, skip func(int) bool, emit func(int, journal.Outcome, []byte) error) error {
+	if b.isolation == IsolationProc {
+		return b.runBatchProc(ctx, batch, skip, emit)
+	}
+	return parallel.ForEachCtx(ctx, b.workers, len(batch), func(w, k int) error {
+		u := batch[k]
+		if skip(u) {
+			return nil
+		}
+		start := time.Now()
+		o, err := b.ex.runIsolated(w, &b.units[u])
+		if err != nil {
+			return fmt.Errorf("%s %s case %d: %w", b.units[u].program, b.units[u].f.ID, b.units[u].caseIx, err)
+		}
+		if b.pace > 0 {
+			if d := b.pace - time.Since(start); d > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(d):
+				}
+			}
+		}
+		return emit(u, o.journal(), nil)
+	})
+}
+
+// runBatchProc serves a batch through a supervised local worker pool: the
+// full sandbox semantics of IsolationProc, one subprocess fleet per batch.
+// Units stolen after the batch was cut are filtered only at the start —
+// the pool owns in-flight dispatch — so a mid-batch steal can execute
+// twice; the coordinator's merge drops the duplicate.
+func (b *fabricBatchRunner) runBatchProc(ctx context.Context, batch []int, skip func(int) bool, emit func(int, journal.Outcome, []byte) error) error {
+	todo := batch[:0:0]
+	for _, u := range batch {
+		if !skip(u) {
+			todo = append(todo, u)
+		}
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	po := b.proc
+	if po == nil {
+		po = &ProcOptions{}
+	}
+	spawn := po.Spawn
+	if spawn == nil {
+		spawn = defaultSpawn
+	}
+	pool, err := worker.NewPool(worker.Options{
+		Workers:           b.workers,
+		Command:           spawn,
+		Spec:              b.spec,
+		HeartbeatInterval: po.HeartbeatInterval,
+		HeartbeatTimeout:  po.HeartbeatTimeout,
+		UnitTimeout:       b.cfg.UnitTimeout,
+		MaxDeliveries:     po.MaxDeliveries,
+		MaxRestarts:       po.MaxRestarts,
+		BackoffBase:       po.BackoffBase,
+		BackoffMax:        po.BackoffMax,
+		MemQuota:          po.MemQuota,
+		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return pool.Run(ctx, todo, func(r worker.Result) error {
+		return emit(r.Index, r.Outcome, r.Payload)
+	})
+}
+
+// executeUnitsFabric is the coordinator-side counterpart of
+// executeUnitsProc: journaled units are replayed exactly as everywhere
+// else, the rest are sharded over the executor fleet, and every verdict is
+// journaled as it arrives. On completion the journal is canonicalized —
+// rewritten in unit order — so its bytes are independent of which host
+// finished which unit when.
+func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]unitOutcome, error) {
+	ctx := o.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]unitOutcome, len(units))
+	todo := make([]int, 0, len(units))
+	for i := range units {
+		if o.journal != nil {
+			if jo, ok := o.journal.Done(i); ok {
+				out[i] = outcomeFromJournal(jo)
+				out[i].replayed = true
+				o.met.noteReplayed(out[i])
+				if o.tracer != nil {
+					e := traceUnit(telemetry.KindReplayed, i, &units[i], 0)
+					e.Mode = out[i].mode.String()
+					o.tracer.Emit(e)
+				}
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	if len(todo) == 0 {
+		return out, nil
+	}
+
+	spec, err := procSpecFromConfig(cfg, fp)
+	if err != nil {
+		return nil, err
+	}
+	fo := cfg.Fabric
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
+		Addr:              fo.Listen,
+		MinHosts:          fo.MinHosts,
+		Spec:              spec,
+		Units:             len(units),
+		HeartbeatInterval: fo.HeartbeatInterval,
+		HeartbeatTimeout:  fo.HeartbeatTimeout,
+		MaxDeliveries:     fo.MaxDeliveries,
+		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
+		Metrics:           newFabricMetrics(cfg.Telemetry.Registry()),
+		Tracer:            o.tracer,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// onResult runs on the coordinator's event-loop goroutine, so the slot
+	// writes and journal appends are serialized, exactly as in the proc
+	// path.
+	err = coord.Run(ctx, todo, func(r worker.Result) error {
+		if r.Quarantined {
+			u := &units[r.Index]
+			quarantineLog(u, "went down with its executor host on every delivery; quarantined by the coordinator", nil)
+		}
+		out[r.Index] = outcomeFromJournal(r.Outcome)
+		o.met.noteVerdict(0, out[r.Index])
+		if o.tracer != nil {
+			u := &units[r.Index]
+			v := traceUnit(telemetry.KindVerdict, r.Index, u, 0)
+			v.Mode = out[r.Index].mode.String()
+			o.tracer.Emit(v)
+		}
+		if o.journal != nil {
+			if err := o.journal.Append(r.Index, r.Outcome); err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		if o.journal != nil {
+			if cerr := o.journal.Canonicalize(); cerr != nil {
+				return nil, cerr
+			}
+		}
+		return out, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return out, err
+	default:
+		return nil, err
+	}
+}
+
+// newFabricMetrics registers the coordinator's instruments on reg; nil
+// registry, nil bundle (metrics off).
+func newFabricMetrics(reg *telemetry.Registry) *fabric.Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &fabric.Metrics{
+		Hosts:       reg.Gauge("fabric_hosts"),
+		Assigned:    reg.Counter("fabric_units_assigned_total"),
+		Steals:      reg.Counter("fabric_steals_total"),
+		Redelivered: reg.Counter("fabric_units_redelivered_total"),
+		HostDeaths:  reg.Counter("fabric_host_deaths_total"),
+		Quarantines: reg.Counter("fabric_quarantines_total"),
+		HostUnits: func(host string) *telemetry.Counter {
+			return reg.Counter(fmt.Sprintf(`fabric_host_units_total{host=%q}`, host))
+		},
+	}
+}

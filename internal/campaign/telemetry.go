@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/fault"
@@ -39,6 +40,13 @@ type campMetrics struct {
 	// same name), read by the progress note so the live line surfaces worker
 	// health without a second plumbing path.
 	restarts *telemetry.Counter
+
+	// fabricHosts/fabricDeaths are the coordinator's fleet instruments
+	// (same registry, same names as newFabricMetrics registers), read by
+	// the progress note so a distributed campaign's live line shows the
+	// fleet size and losses. Both stay zero on single-host runs.
+	fabricHosts  *telemetry.Gauge
+	fabricDeaths *telemetry.Counter
 }
 
 // newCampMetrics registers the campaign instruments on reg; a nil registry
@@ -62,6 +70,8 @@ func newCampMetrics(reg *telemetry.Registry) *campMetrics {
 		quarantines:   reg.Counter("campaign_quarantines_total"),
 		unitLatency:   reg.Histogram("campaign_unit_latency_us", telemetry.DefaultLatencyBuckets),
 		restarts:      reg.Counter("worker_restarts_total"),
+		fabricHosts:   reg.Gauge("fabric_hosts"),
+		fabricDeaths:  reg.Counter("fabric_host_deaths_total"),
 	}
 	for _, mode := range tallyModes() {
 		m.verdicts[mode] = reg.Counter(fmt.Sprintf(`campaign_verdicts_total{mode=%q}`, mode))
@@ -124,9 +134,18 @@ func (m *campMetrics) snapshot() telemetry.ProgressSnap {
 			s.Parts = append(s.Parts, telemetry.Part{Name: mode.String(), N: n})
 		}
 	}
-	if n := m.restarts.Value(); n > 0 {
-		s.Note = fmt.Sprintf("%d worker restarts", n)
+	var notes []string
+	if n := m.fabricHosts.Value(); n > 0 {
+		note := fmt.Sprintf("%d hosts", n)
+		if d := m.fabricDeaths.Value(); d > 0 {
+			note += fmt.Sprintf(" (%d lost)", d)
+		}
+		notes = append(notes, note)
 	}
+	if n := m.restarts.Value(); n > 0 {
+		notes = append(notes, fmt.Sprintf("%d worker restarts", n))
+	}
+	s.Note = strings.Join(notes, ", ")
 	return s
 }
 

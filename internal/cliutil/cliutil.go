@@ -52,6 +52,72 @@ func ValidateResume(resume bool, journalPath string) error {
 	return nil
 }
 
+// HeartbeatFlags carries the liveness cadence shared by the worker
+// supervisor and the campaign fabric. The defaults are the values that
+// were hardcoded before the flags existed: 500ms beats, 10s of tolerated
+// silence — right for pipes and loopback, too tight for WAN links.
+type HeartbeatFlags struct {
+	Interval time.Duration
+	Timeout  time.Duration
+}
+
+// AddHeartbeatFlags registers -heartbeat-interval and -heartbeat-timeout.
+func AddHeartbeatFlags(fs *flag.FlagSet) *HeartbeatFlags {
+	h := &HeartbeatFlags{}
+	fs.DurationVar(&h.Interval, "heartbeat-interval", 500*time.Millisecond,
+		"worker/fabric heartbeat cadence (WAN fabrics want looser values)")
+	fs.DurationVar(&h.Timeout, "heartbeat-timeout", 10*time.Second,
+		"silence tolerated before a worker subprocess or fabric peer is declared dead")
+	return h
+}
+
+// Validate rejects a non-positive interval and a timeout that does not
+// exceed the interval — with timeout ≤ interval a single delayed beat
+// declares a healthy peer dead.
+func (h *HeartbeatFlags) Validate() error {
+	if h.Interval <= 0 {
+		return fmt.Errorf("-heartbeat-interval must be positive, got %v", h.Interval)
+	}
+	if h.Timeout <= h.Interval {
+		return fmt.Errorf("-heartbeat-timeout (%v) must exceed -heartbeat-interval (%v)", h.Timeout, h.Interval)
+	}
+	return nil
+}
+
+// FabricFlags carries the distributed-campaign flags shared by the CLIs:
+// -fabric-listen makes the process a coordinator, -fabric-join an executor,
+// -fabric-hosts sets how many executors the coordinator waits for.
+type FabricFlags struct {
+	Listen string
+	Join   string
+	Hosts  int
+}
+
+// AddFabricFlags registers the fabric flags.
+func AddFabricFlags(fs *flag.FlagSet) *FabricFlags {
+	f := &FabricFlags{}
+	fs.StringVar(&f.Listen, "fabric-listen", "",
+		"coordinate a distributed campaign: listen on this TCP address and shard units over joined executors")
+	fs.StringVar(&f.Join, "fabric-join", "",
+		"join a distributed campaign as an executor: connect to this coordinator address")
+	fs.IntVar(&f.Hosts, "fabric-hosts", 1,
+		"executors the coordinator waits for before sharding (with -fabric-listen)")
+	return f
+}
+
+// Validate rejects contradictory fabric flags: one process is either the
+// coordinator or an executor, and the host floor only means something on
+// the coordinator.
+func (f *FabricFlags) Validate() error {
+	if f.Listen != "" && f.Join != "" {
+		return fmt.Errorf("-fabric-listen and -fabric-join are mutually exclusive (coordinator or executor, not both)")
+	}
+	if f.Hosts < 1 {
+		return fmt.Errorf("-fabric-hosts must be at least 1, got %d", f.Hosts)
+	}
+	return nil
+}
+
 // ParseIsolation parses the -isolation flag shared by the CLIs, reporting
 // whether process isolation (supervised worker subprocesses) was requested.
 func ParseIsolation(s string) (proc bool, err error) {

@@ -70,6 +70,12 @@ type Engine struct {
 	// Proc tunes the worker pool when Isolation is campaign.IsolationProc;
 	// nil picks the defaults (re-exec this binary with -worker-mode).
 	Proc *campaign.ProcOptions
+	// Fabric, when non-nil, makes the main §6 campaign distributed: this
+	// process coordinates, executors join over TCP (swifi -fabric-listen /
+	// -fabric-join). Side campaigns (hwcompare, triggers) stay local — a
+	// coordinator binds one listen socket per campaign, and their plans
+	// differ from the one the executors rebuild.
+	Fabric *campaign.FabricOptions
 	// Telemetry, when non-nil, observes every campaign the engine runs:
 	// counters and histograms on the unit hot path, structured trace events,
 	// and the live progress surface (swifi -trace/-debug-addr/-progress).
@@ -239,6 +245,7 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		UnitTimeout:   e.UnitTimeout,
 		Isolation:     e.Isolation,
 		Proc:          e.Proc,
+		Fabric:        e.Fabric,
 		Telemetry:     e.Telemetry,
 	}
 }
@@ -297,6 +304,7 @@ func (e *Engine) ResilienceSummary() string {
 // §6.4.
 func (e *Engine) HardwareComparison() (string, error) {
 	cfg := e.CampaignConfig()
+	cfg.Fabric = nil // side campaign: stays local (see Engine.Fabric)
 	cfg.Programs = []string{"C.team2", "JB.team11"}
 	cfg.Classes = []fault.Class{fault.ClassAssignment, fault.ClassChecking, fault.ClassHardware}
 	res, err := campaign.Run(cfg)

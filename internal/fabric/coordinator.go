@@ -1,0 +1,631 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/telemetry"
+	"repro/internal/worker"
+)
+
+// Metrics is the coordinator's instrument bundle. All fields are optional;
+// a nil *Metrics (or nil fields) disables observation without changing any
+// scheduling decision.
+type Metrics struct {
+	// Hosts is the number of currently connected executors.
+	Hosts *telemetry.Gauge
+	// Assigned counts unit assignments, including redeliveries and steals
+	// (one unit assigned twice counts twice).
+	Assigned *telemetry.Counter
+	// Steals counts half-range steal operations (not units).
+	Steals *telemetry.Counter
+	// Redelivered counts units returned to the pending set by a host death.
+	Redelivered *telemetry.Counter
+	// HostDeaths counts executor connections lost before the campaign
+	// finished.
+	HostDeaths *telemetry.Counter
+	// Quarantines counts units that exhausted MaxDeliveries host deaths.
+	Quarantines *telemetry.Counter
+	// HostUnits, when non-nil, returns the per-host completed-unit counter
+	// for an executor name (the per-host gauge plane of the live progress
+	// story).
+	HostUnits func(host string) *telemetry.Counter
+}
+
+// CoordinatorOptions configures one campaign's coordinator.
+type CoordinatorOptions struct {
+	// Addr is the TCP listen address (e.g. ":9370", "127.0.0.1:0").
+	Addr string
+
+	// MinHosts is how many executors must be connected and ready before
+	// the initial shard is cut (default 1). Executors joining later are
+	// fed by redelivery and stealing.
+	MinHosts int
+
+	// Spec is sent to every executor in the hello frame; executors rebuild
+	// the plan from it and must reproduce Spec.Fingerprint.
+	Spec worker.Spec
+
+	// Units is the total unit count of the plan. An executor whose rebuilt
+	// plan disagrees is rejected at the handshake.
+	Units int
+
+	// HeartbeatInterval is the cadence both sides beat at (default 500ms).
+	// HeartbeatTimeout is how long either side tolerates total silence
+	// before declaring its peer dead (default 10s). WAN links want looser
+	// values than the defaults, which are inherited from the pipe-local
+	// worker supervisor.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+
+	// MaxDeliveries is how many executor hosts a unit may go down with
+	// before it is quarantined with the Quarantine outcome (default 3).
+	MaxDeliveries int
+
+	// Quarantine is the outcome recorded for a unit that exhausted
+	// MaxDeliveries.
+	Quarantine journal.Outcome
+
+	// Metrics/Tracer observe scheduling; both are passive.
+	Metrics *Metrics
+	Tracer  *telemetry.Tracer
+
+	// Log, when non-nil, receives one line per fabric event (join, loss,
+	// steal, quarantine).
+	Log func(format string, args ...any)
+}
+
+func (o *CoordinatorOptions) fill() {
+	if o.MinHosts < 1 {
+		o.MinHosts = 1
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * time.Second
+	}
+	if o.MaxDeliveries < 1 {
+		o.MaxDeliveries = 3
+	}
+}
+
+func (o *CoordinatorOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Coordinator owns the listening socket and the scheduling policy of one
+// campaign. Create with NewCoordinator, drive with Run.
+type Coordinator struct {
+	opts CoordinatorOptions
+	ln   net.Listener
+}
+
+// NewCoordinator validates the options and binds the listen socket, so the
+// address (and any bind error) surfaces before planning-time work is spent.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Units <= 0 {
+		return nil, errors.New("fabric: CoordinatorOptions.Units must be positive")
+	}
+	opts.fill()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	return &Coordinator{opts: opts, ln: ln}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Close releases the listen socket. Run closes it itself on return; Close
+// exists for callers that never get to Run.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// event is one message into the coordinator's single-threaded loop.
+type event struct {
+	x       *executorConn
+	typ     uint8  // frame type for frame events
+	payload []byte // frame payload
+	err     error  // non-nil: the connection died
+	join    bool   // handshake completed; register x
+}
+
+// executorConn is one connected executor as the event loop sees it. All
+// fields except the write path are owned by the loop goroutine.
+type executorConn struct {
+	id       int
+	name     string
+	workers  int
+	conn     net.Conn
+	wtimeout time.Duration
+	live     bool
+	assigned int // units currently owned (assigned, no verdict yet)
+	done     *telemetry.Counter
+}
+
+// send writes one frame under a write deadline. Only the event loop writes
+// to executors, so no locking is needed on this side.
+func (x *executorConn) send(typ uint8, payload []byte) error {
+	_ = x.conn.SetWriteDeadline(time.Now().Add(x.wtimeout))
+	return worker.WriteFrame(x.conn, typ, payload)
+}
+
+// coordRun is the state of one Run call, touched only by the loop
+// goroutine.
+type coordRun struct {
+	opts    *CoordinatorOptions
+	events  chan event
+	stop    chan struct{} // closed on loop exit; unblocks reader sends
+	execs   map[int]*executorConn
+	nextID  int
+	started bool
+	pending []int // sorted unit indices awaiting an owner
+	owner   map[int]*executorConn
+	done    map[int]bool
+	deaths  map[int]int
+	doneN   int
+	total   int
+	onRes   func(worker.Result) error
+	fatal   error // first onResult error; ends the run
+}
+
+// Run shards the given unit indices over the connected executors and calls
+// onResult exactly once per index (always from this goroutine; never
+// concurrently). It returns nil when every index has a verdict or a
+// quarantine, ctx.Err() on cancellation (some indices then have no result),
+// the first error returned by onResult, or a fatal executor error. The
+// listener is closed on return.
+func (c *Coordinator) Run(ctx context.Context, indices []int, onResult func(worker.Result) error) error {
+	defer c.ln.Close()
+	if len(indices) == 0 {
+		return nil
+	}
+	pending := append([]int(nil), indices...)
+	sort.Ints(pending)
+	r := &coordRun{
+		opts:    &c.opts,
+		events:  make(chan event, 64),
+		stop:    make(chan struct{}),
+		execs:   make(map[int]*executorConn),
+		pending: pending,
+		owner:   make(map[int]*executorConn),
+		done:    make(map[int]bool),
+		deaths:  make(map[int]int),
+		total:   len(indices),
+		onRes:   onResult,
+	}
+	defer close(r.stop)
+
+	// Accept loop: handshakes happen off the event loop (planning inside
+	// the executor can take seconds), completed executors are handed in.
+	go func() {
+		for {
+			conn, err := c.ln.Accept()
+			if err != nil {
+				return // listener closed: Run is exiting
+			}
+			go c.handshake(conn, r)
+		}
+	}()
+
+	c.opts.logf("fabric: listening on %s for %d executor(s), %d units to run",
+		c.ln.Addr(), c.opts.MinHosts, len(indices))
+
+	beat := time.NewTicker(c.opts.HeartbeatInterval)
+	defer beat.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			r.shutdownAll()
+			return ctx.Err()
+		case <-beat.C:
+			for _, x := range r.liveExecs() {
+				if err := x.send(msgHeartbeat, nil); err != nil {
+					r.dropExec(x, fmt.Errorf("heartbeat write: %w", err))
+				}
+			}
+		case ev := <-r.events:
+			var err error
+			switch {
+			case ev.join:
+				r.addExec(ev.x)
+			case ev.err != nil:
+				r.dropExec(ev.x, ev.err)
+			default:
+				err = r.frame(ev.x, ev.typ, ev.payload)
+			}
+			if err != nil {
+				r.shutdownAll()
+				return err
+			}
+		}
+		if r.doneN == r.total {
+			r.shutdownAll()
+			return nil
+		}
+	}
+}
+
+// handshake runs the coordinator side of one executor's handshake: hello
+// out, ready in (tolerating heartbeats), validation. A mismatched executor
+// is rejected — error frame, close — without disturbing the campaign: at
+// fleet scale a stray join must not kill a half-finished run.
+func (c *Coordinator) handshake(conn net.Conn, r *coordRun) {
+	x := &executorConn{conn: conn, wtimeout: c.opts.HeartbeatTimeout}
+	reject := func(err error) {
+		c.opts.logf("fabric: rejecting %s: %v", conn.RemoteAddr(), err)
+		_ = x.send(msgError, []byte(err.Error()))
+		conn.Close()
+	}
+	if err := x.send(msgHello, encodeHello(hello{
+		Version:           ProtocolVersion,
+		HeartbeatInterval: c.opts.HeartbeatInterval,
+		HeartbeatTimeout:  c.opts.HeartbeatTimeout,
+		Spec:              c.opts.Spec,
+	})); err != nil {
+		conn.Close()
+		return
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
+		typ, payload, err := worker.ReadFrame(conn)
+		if err != nil {
+			reject(fmt.Errorf("no ready frame: %w", err))
+			return
+		}
+		switch typ {
+		case msgHeartbeat:
+			continue // re-planning inside the executor; keep waiting
+		case msgError:
+			reject(fmt.Errorf("executor error during handshake: %s", payload))
+			return
+		case msgReady:
+			rd, err := decodeReady(payload)
+			if err != nil {
+				reject(err)
+				return
+			}
+			if rd.Version != ProtocolVersion {
+				reject(fmt.Errorf("executor speaks protocol version %d, coordinator speaks %d", rd.Version, ProtocolVersion))
+				return
+			}
+			if rd.Fingerprint != c.opts.Spec.Fingerprint {
+				reject(fmt.Errorf("executor rebuilt plan fingerprint %016x, coordinator planned %016x — differing builds or configuration", rd.Fingerprint, c.opts.Spec.Fingerprint))
+				return
+			}
+			if int(rd.Units) != c.opts.Units {
+				reject(fmt.Errorf("executor plan has %d units, coordinator planned %d", rd.Units, c.opts.Units))
+				return
+			}
+			x.name = rd.Name
+			if x.name == "" {
+				x.name = conn.RemoteAddr().String()
+			}
+			x.workers = int(rd.Workers)
+			if x.workers < 1 {
+				x.workers = 1
+			}
+			select {
+			case r.events <- event{x: x, join: true}:
+			case <-r.stop:
+				conn.Close()
+				return
+			}
+			c.readLoop(x, r)
+			return
+		default:
+			reject(fmt.Errorf("frame type %d during handshake", typ))
+			return
+		}
+	}
+}
+
+// readLoop pumps one registered executor's frames into the event loop,
+// enforcing the silence deadline on every read.
+func (c *Coordinator) readLoop(x *executorConn, r *coordRun) {
+	for {
+		_ = x.conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
+		typ, payload, err := worker.ReadFrame(x.conn)
+		ev := event{x: x, typ: typ, payload: payload}
+		if err != nil {
+			ev = event{x: x, err: err}
+		}
+		select {
+		case r.events <- ev:
+		case <-r.stop:
+			x.conn.Close()
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// liveExecs snapshots the live executors in id order, so scheduling
+// decisions are deterministic for a given event sequence.
+func (r *coordRun) liveExecs() []*executorConn {
+	ids := make([]int, 0, len(r.execs))
+	for id := range r.execs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	xs := make([]*executorConn, len(ids))
+	for i, id := range ids {
+		xs[i] = r.execs[id]
+	}
+	return xs
+}
+
+// addExec registers a ready executor and reschedules.
+func (r *coordRun) addExec(x *executorConn) {
+	x.id = r.nextID
+	r.nextID++
+	x.live = true
+	r.execs[x.id] = x
+	if m := r.opts.Metrics; m != nil {
+		if m.Hosts != nil {
+			m.Hosts.Set(int64(len(r.execs)))
+		}
+		if m.HostUnits != nil {
+			x.done = m.HostUnits(x.name)
+		}
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostJoined, Detail: fmt.Sprintf("%s (%d workers)", x.name, x.workers)})
+	r.opts.logf("fabric: executor %s joined (%d workers; %d/%d hosts)", x.name, x.workers, len(r.execs), r.opts.MinHosts)
+	r.schedule()
+}
+
+// dropExec handles an executor death: its unfinished units go back to
+// pending (counting one delivery each; exhausted units are quarantined) and
+// the fleet is rescheduled — host loss is redelivery at range granularity.
+func (r *coordRun) dropExec(x *executorConn, err error) {
+	if !x.live {
+		return
+	}
+	x.live = false
+	delete(r.execs, x.id)
+	x.conn.Close()
+	var lost []int
+	for u, o := range r.owner {
+		if o == x {
+			lost = append(lost, u)
+		}
+	}
+	sort.Ints(lost)
+	m := r.opts.Metrics
+	if m != nil {
+		if m.Hosts != nil {
+			m.Hosts.Set(int64(len(r.execs)))
+		}
+		if m.HostDeaths != nil {
+			m.HostDeaths.Inc()
+		}
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostLost, Detail: fmt.Sprintf("%s: %v (%d units redelivered)", x.name, err, len(lost))})
+	r.opts.logf("fabric: lost executor %s (%v); redelivering %d units", x.name, err, len(lost))
+	for _, u := range lost {
+		delete(r.owner, u)
+		r.deaths[u]++
+		if r.deaths[u] >= r.opts.MaxDeliveries {
+			r.quarantine(u)
+			continue
+		}
+		if m != nil && m.Redelivered != nil {
+			m.Redelivered.Inc()
+		}
+		r.pending = append(r.pending, u)
+	}
+	sort.Ints(r.pending)
+	r.schedule()
+}
+
+// quarantine records the Quarantine outcome for a unit that went down with
+// MaxDeliveries executor hosts.
+func (r *coordRun) quarantine(u int) {
+	if r.done[u] {
+		return
+	}
+	r.done[u] = true
+	r.doneN++
+	if m := r.opts.Metrics; m != nil && m.Quarantines != nil {
+		m.Quarantines.Inc()
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindQuarantine, Unit: u, Detail: "exhausted executor-host deliveries"})
+	r.opts.logf("fabric: unit %d went down with %d executor hosts; quarantined as host fault", u, r.deaths[u])
+	r.deliver(worker.Result{Index: u, Outcome: r.opts.Quarantine, Quarantined: true})
+}
+
+// deliver invokes onResult; an error is remembered as fatal by frame().
+func (r *coordRun) deliver(res worker.Result) {
+	if r.onRes == nil {
+		return
+	}
+	if err := r.onRes(res); err != nil {
+		// Surface through the loop: stash as a synthetic fatal event.
+		r.fatal = err
+	}
+}
+
+// frame handles one frame from a registered executor. A returned error is
+// fatal to the whole run (onResult failure or an executor-reported fatal
+// unit error — the same unit would fail on any host).
+func (r *coordRun) frame(x *executorConn, typ uint8, payload []byte) error {
+	switch typ {
+	case msgHeartbeat:
+		return r.fatalErr()
+	case msgError:
+		return fmt.Errorf("fabric: executor %s: %s", x.name, payload)
+	case msgVerdict:
+		v, err := decodeVerdict(payload)
+		if err != nil {
+			r.dropExec(x, err)
+			return r.fatalErr()
+		}
+		u := int(v.Unit)
+		if u < 0 || u >= r.opts.Units {
+			r.dropExec(x, fmt.Errorf("verdict for unit %d outside the %d-unit plan", u, r.opts.Units))
+			return r.fatalErr()
+		}
+		if r.done[u] {
+			return r.fatalErr() // duplicate (steal race or redelivery); first verdict won
+		}
+		r.done[u] = true
+		r.doneN++
+		if o := r.owner[u]; o != nil {
+			o.assigned--
+			delete(r.owner, u)
+		}
+		if x.done != nil {
+			x.done.Inc()
+		}
+		r.deliver(worker.Result{Index: u, Outcome: v.Outcome, Payload: v.Payload})
+		if err := r.fatalErr(); err != nil {
+			return err
+		}
+		r.schedule()
+		return nil
+	default:
+		r.dropExec(x, fmt.Errorf("unexpected frame type %d", typ))
+		return r.fatalErr()
+	}
+}
+
+// fatal holds the first onResult error; fatalErr drains it.
+func (r *coordRun) fatalErr() error { return r.fatal }
+
+// schedule is the whole balancing policy, run after every join, verdict
+// and death:
+//
+//  1. Nothing happens until MinHosts executors are ready; then the pending
+//     set (the full todo on a fresh start) is cut into contiguous ranges
+//     weighted by each host's worker count — the initial shard.
+//  2. Units returned by a host death are redistributed the same way.
+//  3. With nothing pending, an idle executor steals the top half (by plan
+//     index) of the most-loaded executor's unfinished units: the victim is
+//     revoked the range, the thief is assigned it. Executors run their
+//     ranges in ascending order, so the stolen tail is the least likely to
+//     be in flight; a unit that was anyway produces a duplicate verdict,
+//     which the merge drops.
+func (r *coordRun) schedule() {
+	if !r.started {
+		if len(r.execs) < r.opts.MinHosts {
+			return
+		}
+		r.started = true
+		r.opts.logf("fabric: %d executor(s) ready; sharding %d units", len(r.execs), len(r.pending))
+	}
+	xs := r.liveExecs()
+	if len(xs) == 0 {
+		return
+	}
+	if len(r.pending) > 0 {
+		r.distribute(xs, r.pending)
+		r.pending = nil
+		return
+	}
+	for _, thief := range xs {
+		if thief.assigned > 0 {
+			continue
+		}
+		var victim *executorConn
+		for _, x := range xs {
+			if x == thief {
+				continue
+			}
+			if victim == nil || x.assigned > victim.assigned {
+				victim = x
+			}
+		}
+		if victim == nil || victim.assigned < 2 {
+			continue
+		}
+		var units []int
+		for u, o := range r.owner {
+			if o == victim {
+				units = append(units, u)
+			}
+		}
+		sort.Ints(units)
+		stolen := units[len(units)-len(units)/2:]
+		for _, u := range stolen {
+			r.owner[u] = thief
+		}
+		victim.assigned -= len(stolen)
+		thief.assigned += len(stolen)
+		if m := r.opts.Metrics; m != nil && m.Steals != nil {
+			m.Steals.Inc()
+		}
+		r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindSteal, Detail: fmt.Sprintf("%d units %s -> %s", len(stolen), victim.name, thief.name)})
+		r.opts.logf("fabric: %s stole %d units from %s", thief.name, len(stolen), victim.name)
+		if err := victim.send(msgRevoke, encodeRuns(stolen)); err != nil {
+			r.dropExec(victim, fmt.Errorf("revoke write: %w", err))
+			// dropExec reschedules; the stolen units stay with the thief.
+		}
+		r.assign(thief, stolen)
+	}
+}
+
+// distribute cuts a sorted unit set into contiguous slices weighted by each
+// executor's worker count and assigns them in id order.
+func (r *coordRun) distribute(xs []*executorConn, units []int) {
+	totalW := 0
+	for _, x := range xs {
+		totalW += x.workers
+	}
+	start, given := 0, 0
+	for i, x := range xs {
+		var n int
+		if i == len(xs)-1 {
+			n = len(units) - start
+		} else {
+			given += x.workers
+			n = len(units)*given/totalW - start
+		}
+		if n <= 0 {
+			continue
+		}
+		slice := units[start : start+n]
+		start += n
+		for _, u := range slice {
+			r.owner[u] = x
+		}
+		x.assigned += len(slice)
+		r.assign(x, slice)
+	}
+}
+
+// assign ships one sorted unit set to an executor. The owner bookkeeping is
+// the caller's; assign only encodes, counts and writes.
+func (r *coordRun) assign(x *executorConn, units []int) {
+	if len(units) == 0 || !x.live {
+		return
+	}
+	if m := r.opts.Metrics; m != nil && m.Assigned != nil {
+		m.Assigned.Add(uint64(len(units)))
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindRangeAssigned, Detail: fmt.Sprintf("%d units -> %s", len(units), x.name)})
+	if err := x.send(msgAssign, encodeRuns(units)); err != nil {
+		r.dropExec(x, fmt.Errorf("assign write: %w", err))
+	}
+}
+
+// shutdownAll releases every executor (best effort) and closes the fleet.
+func (r *coordRun) shutdownAll() {
+	for _, x := range r.liveExecs() {
+		_ = x.send(msgShutdown, nil)
+		x.conn.Close()
+		x.live = false
+	}
+	if m := r.opts.Metrics; m != nil && m.Hosts != nil {
+		m.Hosts.Set(0)
+	}
+}

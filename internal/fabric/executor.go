@@ -1,0 +1,427 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/worker"
+)
+
+// BatchRunner executes assigned units on the local stack. One BatchRunner
+// serves the whole executor session; RunBatch is called once per drained
+// queue, never concurrently with itself.
+type BatchRunner interface {
+	// Units returns the total unit count of the rebuilt plan, echoed to
+	// the coordinator in the ready frame.
+	Units() int
+	// RunBatch executes the given sorted units. skip is consulted as each
+	// unit is about to start: it reports units revoked (stolen) since the
+	// batch was cut, which the runner should not spend time on — skipping
+	// is an optimisation, not a correctness requirement, because duplicate
+	// verdicts are dropped at the merge. emit ships one verdict; it is
+	// safe to call from concurrent workers. A returned error is fatal to
+	// the executor session.
+	RunBatch(ctx context.Context, units []int, skip func(int) bool, emit func(unit int, o journal.Outcome, payload []byte) error) error
+}
+
+// BatchFactory builds the session's BatchRunner from the spec in the
+// coordinator's hello frame — the executor-side analogue of worker.Factory.
+// It runs before the ready frame, so it is where the executor re-plans and
+// where a fingerprint mismatch should surface as an error.
+type BatchFactory func(spec worker.Spec) (BatchRunner, error)
+
+// ExecutorOptions configures one Join session.
+type ExecutorOptions struct {
+	// Name identifies this host in coordinator logs, traces and per-host
+	// metrics (default: os.Hostname, falling back to the local address).
+	Name string
+	// Workers is the parallelism advertised to the coordinator; the
+	// initial shard is weighted by it (default 1).
+	Workers int
+	// Batch builds the local execution stack from the campaign spec.
+	Batch BatchFactory
+	// DialTimeout bounds how long Join keeps trying to connect (default
+	// 10s). The coordinator binds its port only after planning the
+	// campaign, so refused connections are retried until the window
+	// closes — an executor may be started before its coordinator.
+	DialTimeout time.Duration
+	// Log, when non-nil, receives one line per session event.
+	Log func(format string, args ...any)
+}
+
+func (o *ExecutorOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Join connects to a coordinator, rebuilds the plan from the hello spec,
+// and executes assigned unit ranges until the coordinator sends shutdown
+// (clean end: returns nil), the context is cancelled, or the connection or
+// the batch runner fails.
+func Join(ctx context.Context, addr string, opts ExecutorOptions) error {
+	if opts.Batch == nil {
+		return errors.New("fabric: ExecutorOptions.Batch is required")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Name == "" {
+		if hn, err := os.Hostname(); err == nil {
+			opts.Name = hn
+		}
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	opts.logf("fabric: joining coordinator at %s", addr)
+	var conn net.Conn
+	dialUntil := time.Now().Add(opts.DialTimeout)
+	for attempt := 0; ; attempt++ {
+		var err error
+		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(dialUntil) {
+			return fmt.Errorf("fabric: %w", err)
+		}
+		if attempt == 0 {
+			opts.logf("fabric: coordinator not up yet (%v); retrying for %v", err, opts.DialTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	defer conn.Close()
+	if opts.Name == "" {
+		opts.Name = conn.LocalAddr().String()
+	}
+
+	// Cancellation severs the connection, which unblocks every read and
+	// write immediately.
+	x := &executor{conn: conn, opts: &opts, revoked: make(map[int]bool), wake: make(chan struct{}, 1)}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	err := x.session(ctx)
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// executor is one Join session.
+type executor struct {
+	conn net.Conn
+	opts *ExecutorOptions
+
+	wmu sync.Mutex // serialises frame writes (verdicts vs heartbeats)
+
+	qmu      sync.Mutex
+	queue    []int        // assigned, not yet handed to RunBatch; sorted
+	revoked  map[int]bool // stolen; skip if not yet started
+	wake     chan struct{}
+	shutdown bool
+
+	hb hello // negotiated timings
+}
+
+func (x *executor) send(typ uint8, payload []byte) error {
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	_ = x.conn.SetWriteDeadline(time.Now().Add(x.hb.HeartbeatTimeout))
+	return worker.WriteFrame(x.conn, typ, payload)
+}
+
+func (x *executor) session(ctx context.Context) error {
+	// Handshake: hello in, re-plan, ready out. The hello read gets a
+	// generous fixed deadline because the negotiated timeout is inside it.
+	_ = x.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	typ, payload, err := worker.ReadFrame(x.conn)
+	if err != nil {
+		return fmt.Errorf("fabric: reading hello: %w", err)
+	}
+	if typ == msgError {
+		return fmt.Errorf("fabric: coordinator: %s", payload)
+	}
+	if typ != msgHello {
+		return fmt.Errorf("fabric: expected hello, got frame type %d", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if h.Version != ProtocolVersion {
+		return fmt.Errorf("fabric: coordinator speaks protocol version %d, executor speaks %d", h.Version, ProtocolVersion)
+	}
+	if h.HeartbeatInterval <= 0 {
+		h.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if h.HeartbeatTimeout <= 0 {
+		h.HeartbeatTimeout = 10 * time.Second
+	}
+	x.hb = h
+
+	// Heartbeats start before the (possibly slow) re-plan so the
+	// coordinator's handshake deadline does not fire while we build.
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go func() {
+		t := time.NewTicker(h.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if x.send(msgHeartbeat, nil) != nil {
+					return // reader sees the dead conn too
+				}
+			}
+		}
+	}()
+
+	runner, err := x.opts.Batch(h.Spec)
+	if err != nil {
+		_ = x.send(msgError, []byte(err.Error()))
+		return fmt.Errorf("fabric: building batch runner: %w", err)
+	}
+	units := runner.Units()
+	if err := x.send(msgReady, encodeReady(ready{
+		Version:     ProtocolVersion,
+		Fingerprint: h.Spec.Fingerprint,
+		Units:       uint32(units),
+		Workers:     uint32(x.opts.Workers),
+		Name:        x.opts.Name,
+	})); err != nil {
+		return fmt.Errorf("fabric: sending ready: %w", err)
+	}
+	x.opts.logf("fabric: ready as %q: %d-unit plan, %d workers", x.opts.Name, units, x.opts.Workers)
+
+	// The batch loop runs concurrently with the read loop: assigns and
+	// revokes keep landing while a batch executes.
+	runCtx, runCancel := context.WithCancel(ctx)
+	defer runCancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- x.batchLoop(runCtx, runner) }()
+
+	readErr := x.readLoop(units)
+
+	x.qmu.Lock()
+	done := x.shutdown
+	x.qmu.Unlock()
+	if done {
+		// Clean shutdown: let the in-flight batch finish nothing more —
+		// the coordinator has every verdict it needs. A real batch error
+		// still surfaces (the shutdown may be the coordinator reacting to
+		// this executor's own error frame).
+		runCancel()
+		if err := <-runErr; err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		x.opts.logf("fabric: campaign complete; coordinator released this executor")
+		return nil
+	}
+	// Connection failed. A batch-runner error is the root cause when there
+	// is one (its msgError write is usually what the reader saw die).
+	runCancel()
+	if err := <-runErr; err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return readErr
+}
+
+// readLoop drains coordinator frames until shutdown or a dead connection.
+func (x *executor) readLoop(maxUnits int) error {
+	for {
+		_ = x.conn.SetReadDeadline(time.Now().Add(x.hb.HeartbeatTimeout))
+		typ, payload, err := worker.ReadFrame(x.conn)
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("fabric: coordinator closed the connection")
+			}
+			return fmt.Errorf("fabric: reading from coordinator: %w", err)
+		}
+		switch typ {
+		case msgHeartbeat:
+		case msgAssign:
+			units, err := decodeRuns(payload, maxUnits)
+			if err != nil {
+				return err
+			}
+			x.qmu.Lock()
+			for _, u := range units {
+				delete(x.revoked, u) // re-assignment supersedes an old steal
+			}
+			x.queue = append(x.queue, units...)
+			sort.Ints(x.queue)
+			x.qmu.Unlock()
+			select {
+			case x.wake <- struct{}{}:
+			default:
+			}
+			x.opts.logf("fabric: assigned %d units", len(units))
+		case msgRevoke:
+			units, err := decodeRuns(payload, maxUnits)
+			if err != nil {
+				return err
+			}
+			x.qmu.Lock()
+			gone := make(map[int]bool, len(units))
+			for _, u := range units {
+				gone[u] = true
+				x.revoked[u] = true
+			}
+			kept := x.queue[:0]
+			for _, u := range x.queue {
+				if !gone[u] {
+					kept = append(kept, u)
+				}
+			}
+			x.queue = kept
+			x.qmu.Unlock()
+			x.opts.logf("fabric: %d units revoked (stolen by another host)", len(units))
+		case msgShutdown:
+			x.qmu.Lock()
+			x.shutdown = true
+			x.qmu.Unlock()
+			return nil
+		case msgError:
+			return fmt.Errorf("fabric: coordinator aborted: %s", payload)
+		default:
+			return fmt.Errorf("fabric: unexpected frame type %d from coordinator", typ)
+		}
+	}
+}
+
+// batchLoop hands the queue to the BatchRunner whenever it is non-empty.
+// The whole queue is cut as one batch; units assigned mid-batch wait for
+// the next cut, and units stolen mid-batch are dropped by the skip check.
+func (x *executor) batchLoop(ctx context.Context, runner BatchRunner) error {
+	skip := func(u int) bool {
+		x.qmu.Lock()
+		defer x.qmu.Unlock()
+		return x.revoked[u]
+	}
+	emit := func(unit int, o journal.Outcome, payload []byte) error {
+		err := x.send(msgVerdict, encodeVerdict(verdict{Unit: uint32(unit), Outcome: o, Payload: payload}))
+		if err != nil {
+			x.qmu.Lock()
+			released := x.shutdown
+			x.qmu.Unlock()
+			if released {
+				// The campaign completed while this (stale, already
+				// duplicated) unit was in flight; the verdict is not needed.
+				return nil
+			}
+		}
+		return err
+	}
+	for {
+		x.qmu.Lock()
+		batch := x.queue
+		x.queue = nil
+		x.qmu.Unlock()
+		if len(batch) == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-x.wake:
+			}
+			continue
+		}
+		if err := runner.RunBatch(ctx, batch, skip, emit); err != nil {
+			if ctx.Err() == nil {
+				_ = x.send(msgError, []byte(err.Error()))
+			}
+			return err
+		}
+	}
+}
+
+// InProcBatch adapts a worker.Factory into a BatchRunner that executes
+// units on a pool of goroutines, one runner instance per goroutine — the
+// executor-side analogue of the in-process campaign pool, reused by the
+// simple fan-out specs (faultgen plans, progrun selftests).
+func InProcBatch(factory worker.Factory, workers int) BatchFactory {
+	return func(spec worker.Spec) (BatchRunner, error) {
+		if workers < 1 {
+			workers = 1
+		}
+		runners := make([]worker.Runner, workers)
+		for i := range runners {
+			r, err := factory(spec)
+			if err != nil {
+				return nil, err
+			}
+			runners[i] = r
+		}
+		return &inProcBatch{runners: runners}, nil
+	}
+}
+
+type inProcBatch struct {
+	runners []worker.Runner
+}
+
+func (b *inProcBatch) Units() int { return b.runners[0].Units() }
+
+func (b *inProcBatch) RunBatch(ctx context.Context, units []int, skip func(int) bool, emit func(int, journal.Outcome, []byte) error) error {
+	var next int
+	var mu sync.Mutex
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(units) {
+			return 0, false
+		}
+		u := units[next]
+		next++
+		return u, true
+	}
+	errc := make(chan error, len(b.runners))
+	for _, r := range b.runners {
+		go func(r worker.Runner) {
+			for {
+				if ctx.Err() != nil {
+					errc <- ctx.Err()
+					return
+				}
+				u, ok := take()
+				if !ok {
+					errc <- nil
+					return
+				}
+				if skip != nil && skip(u) {
+					continue
+				}
+				o, payload, err := r.Run(u)
+				if err != nil {
+					errc <- fmt.Errorf("unit %d: %w", u, err)
+					return
+				}
+				if err := emit(u, o, payload); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(r)
+	}
+	var first error
+	for range b.runners {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,246 @@
+// Package fabric is the distributed campaign layer: it lifts the worker
+// protocol's framing (internal/worker) off stdin/stdout onto TCP so one
+// coordinator process can shard a campaign's plan-index space across
+// executor processes on other hosts, work-steal from stragglers, and merge
+// the verdict stream deterministically.
+//
+// The division of labour mirrors the single-host stack one level up. The
+// coordinator plans the campaign serially (exactly as a local run would),
+// listens for executors, and owns the scheduling policy: initial contiguous
+// range shards weighted by each host's worker count, half-range steals when
+// a host goes idle, redelivery of a dead host's unfinished units, and
+// at-most-N host deaths before a unit is quarantined. Executors rebuild the
+// identical plan from the spec in the hello frame — the plan itself is
+// never shipped, only the Config that determines it, cross-checked by the
+// plan fingerprint — and run their assigned ranges on the whole local
+// stack: machine pools, golden checkpointing, the block engine, and
+// optionally the process-isolation sandbox.
+//
+// Because verdicts are deterministic (the repository-wide bit-identical
+// contract), duplicate execution is harmless: a unit that was stolen while
+// in flight, or redelivered after a host died mid-range, produces the same
+// verdict twice and the second copy is dropped at the merge. That is what
+// keeps the scheduling policy simple — nothing needs distributed consensus,
+// only the coordinator's single-threaded event loop.
+//
+// The wire protocol, version 1 (all integers little-endian), framed exactly
+// as the worker protocol (length u32 | type u8 | payload, length counting
+// type+payload, MaxFrame-bounded):
+//
+//	hello     version u16 | heartbeat-ms u32 | deadline-ms u32 |
+//	          fingerprint u64 | kind-len u16 | kind | spec-len u32 | spec
+//	ready     version u16 | fingerprint u64 | units u32 | workers u32 |
+//	          name-len u16 | name
+//	assign    runs u32 | (start u32 | count u32)*
+//	revoke    runs u32 | (start u32 | count u32)*
+//	verdict   unit u32 | mode u8 | flags u8 | payload-len u32 | payload
+//	heartbeat (empty, both directions)
+//	shutdown  (empty; campaign complete, executor exits cleanly)
+//	error     message (UTF-8; either side aborts the campaign)
+//
+// The coordinator opens with hello; the executor answers ready after
+// re-planning, echoing the negotiated version and the plan fingerprint it
+// reconstructed. Assign and revoke carry run-length-encoded sorted unit
+// sets: a fresh campaign's shard is one run, a resumed campaign's holes
+// make more. Verdict mode/flags use the journal.Outcome wire encoding, the
+// same bytes the journal appends and the worker protocol ships, so a
+// verdict crosses host, supervisor and journal without translation.
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/worker"
+)
+
+// ProtocolVersion is the fabric frame-format version sent in hello and
+// echoed in ready. Mixed-build coordinator/executor pairs fail the
+// handshake instead of mis-parsing frames.
+const ProtocolVersion = 1
+
+// Message types. The numbering space is independent of the worker
+// protocol's — the two never share a stream.
+const (
+	msgHello uint8 = 1 + iota
+	msgReady
+	msgAssign
+	msgRevoke
+	msgVerdict
+	msgHeartbeat
+	msgShutdown
+	msgError
+)
+
+// hello is the coordinator's opening frame.
+type hello struct {
+	Version           uint16
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	Spec              worker.Spec
+}
+
+// ready is the executor's handshake answer.
+type ready struct {
+	Version     uint16
+	Fingerprint uint64
+	Units       uint32
+	Workers     uint32
+	Name        string
+}
+
+// verdict is one completed unit crossing back to the coordinator.
+type verdict struct {
+	Unit    uint32
+	Outcome journal.Outcome
+	Payload []byte
+}
+
+func encodeHello(h hello) []byte {
+	kind := []byte(h.Spec.Kind)
+	buf := make([]byte, 0, 24+len(kind)+len(h.Spec.Payload))
+	buf = binary.LittleEndian.AppendUint16(buf, h.Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.HeartbeatInterval/time.Millisecond))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.HeartbeatTimeout/time.Millisecond))
+	buf = binary.LittleEndian.AppendUint64(buf, h.Spec.Fingerprint)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(kind)))
+	buf = append(buf, kind...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.Spec.Payload)))
+	buf = append(buf, h.Spec.Payload...)
+	return buf
+}
+
+func decodeHello(b []byte) (hello, error) {
+	var h hello
+	if len(b) < 24 {
+		return h, fmt.Errorf("fabric: hello frame too short (%d bytes)", len(b))
+	}
+	h.Version = binary.LittleEndian.Uint16(b[0:2])
+	h.HeartbeatInterval = time.Duration(binary.LittleEndian.Uint32(b[2:6])) * time.Millisecond
+	h.HeartbeatTimeout = time.Duration(binary.LittleEndian.Uint32(b[6:10])) * time.Millisecond
+	h.Spec.Fingerprint = binary.LittleEndian.Uint64(b[10:18])
+	kn := int(binary.LittleEndian.Uint16(b[18:20]))
+	b = b[20:]
+	if len(b) < kn+4 {
+		return h, fmt.Errorf("fabric: hello frame truncated in kind")
+	}
+	h.Spec.Kind = string(b[:kn])
+	b = b[kn:]
+	pn := int(binary.LittleEndian.Uint32(b[:4]))
+	b = b[4:]
+	if len(b) != pn {
+		return h, fmt.Errorf("fabric: hello spec length %d, frame holds %d", pn, len(b))
+	}
+	h.Spec.Payload = b
+	return h, nil
+}
+
+func encodeReady(r ready) []byte {
+	name := []byte(r.Name)
+	buf := make([]byte, 0, 20+len(name))
+	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Fingerprint)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Units)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Workers)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	return buf
+}
+
+func decodeReady(b []byte) (ready, error) {
+	var r ready
+	if len(b) < 20 {
+		return r, fmt.Errorf("fabric: ready frame too short (%d bytes)", len(b))
+	}
+	r.Version = binary.LittleEndian.Uint16(b[0:2])
+	r.Fingerprint = binary.LittleEndian.Uint64(b[2:10])
+	r.Units = binary.LittleEndian.Uint32(b[10:14])
+	r.Workers = binary.LittleEndian.Uint32(b[14:18])
+	nn := int(binary.LittleEndian.Uint16(b[18:20]))
+	if len(b)-20 != nn {
+		return r, fmt.Errorf("fabric: ready name length %d, frame holds %d", nn, len(b)-20)
+	}
+	r.Name = string(b[20:])
+	return r, nil
+}
+
+func encodeVerdict(v verdict) []byte {
+	buf := make([]byte, 0, 10+len(v.Payload))
+	buf = binary.LittleEndian.AppendUint32(buf, v.Unit)
+	buf = append(buf, v.Outcome.Mode, v.Outcome.Flags())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Payload)))
+	buf = append(buf, v.Payload...)
+	return buf
+}
+
+func decodeVerdict(b []byte) (verdict, error) {
+	var v verdict
+	if len(b) < 10 {
+		return v, fmt.Errorf("fabric: verdict frame too short (%d bytes)", len(b))
+	}
+	v.Unit = binary.LittleEndian.Uint32(b[0:4])
+	v.Outcome = journal.DecodeOutcome(b[4], b[5])
+	pn := int(binary.LittleEndian.Uint32(b[6:10]))
+	if len(b)-10 != pn {
+		return v, fmt.Errorf("fabric: verdict payload length %d, frame holds %d", pn, len(b)-10)
+	}
+	if pn > 0 {
+		v.Payload = b[10:]
+	}
+	return v, nil
+}
+
+// encodeRuns compresses a sorted unit-index set into run-length form: the
+// assign/revoke payload. Callers must pass sorted, duplicate-free indices.
+func encodeRuns(units []int) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, 0)
+	runs := uint32(0)
+	for i := 0; i < len(units); {
+		start := units[i]
+		j := i + 1
+		for j < len(units) && units[j] == units[j-1]+1 {
+			j++
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(start))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(j-i))
+		runs++
+		i = j
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], runs)
+	return buf
+}
+
+// decodeRuns expands a run-length payload back into sorted unit indices.
+// maxUnits bounds the total expansion, so a hostile frame cannot make the
+// receiver allocate beyond the plan's own size.
+func decodeRuns(b []byte, maxUnits int) ([]int, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("fabric: run-set frame too short (%d bytes)", len(b))
+	}
+	runs := int(binary.LittleEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if len(b) != runs*8 {
+		return nil, fmt.Errorf("fabric: run-set claims %d runs, frame holds %d bytes", runs, len(b))
+	}
+	var units []int
+	for i := 0; i < runs; i++ {
+		start := int(binary.LittleEndian.Uint32(b[i*8 : i*8+4]))
+		count := int(binary.LittleEndian.Uint32(b[i*8+4 : i*8+8]))
+		if count == 0 {
+			return nil, fmt.Errorf("fabric: empty run in run-set")
+		}
+		if len(units)+count > maxUnits {
+			return nil, fmt.Errorf("fabric: run-set expands past the plan's %d units", maxUnits)
+		}
+		for u := start; u < start+count; u++ {
+			units = append(units, u)
+		}
+	}
+	if !sort.IntsAreSorted(units) {
+		return nil, fmt.Errorf("fabric: run-set is not sorted")
+	}
+	return units, nil
+}

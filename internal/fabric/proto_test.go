@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/worker"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := hello{
+		Version:           ProtocolVersion,
+		HeartbeatInterval: 250 * time.Millisecond,
+		HeartbeatTimeout:  5 * time.Second,
+		Spec: worker.Spec{
+			Kind:        "campaign/v1",
+			Fingerprint: 0xdeadbeefcafef00d,
+			Payload:     []byte(`{"seed":42}`),
+		},
+	}
+	out, err := decodeHello(encodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != in.Version || out.HeartbeatInterval != in.HeartbeatInterval ||
+		out.HeartbeatTimeout != in.HeartbeatTimeout || out.Spec.Kind != in.Spec.Kind ||
+		out.Spec.Fingerprint != in.Spec.Fingerprint || !bytes.Equal(out.Spec.Payload, in.Spec.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestHelloTruncated(t *testing.T) {
+	full := encodeHello(hello{Version: 1, Spec: worker.Spec{Kind: "k", Payload: []byte("pp")}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeHello(full[:cut]); err == nil {
+			t.Fatalf("decodeHello accepted a %d-byte prefix of a %d-byte frame", cut, len(full))
+		}
+	}
+}
+
+func TestReadyRoundTrip(t *testing.T) {
+	in := ready{Version: ProtocolVersion, Fingerprint: 0x0123456789abcdef, Units: 991, Workers: 8, Name: "host-b"}
+	out, err := decodeReady(encodeReady(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if _, err := decodeReady(encodeReady(in)[:19]); err == nil {
+		t.Fatal("decodeReady accepted a short frame")
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	cases := []verdict{
+		{Unit: 0, Outcome: journal.Outcome{Mode: 1}},
+		{Unit: 7, Outcome: journal.Outcome{Mode: 5, Activated: true, Retried: true}},
+		{Unit: 123456, Outcome: journal.Outcome{Mode: 3, Degraded: true}, Payload: []byte("case output")},
+	}
+	for _, in := range cases {
+		out, err := decodeVerdict(encodeVerdict(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Unit != in.Unit || out.Outcome != in.Outcome || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+		}
+	}
+	if _, err := decodeVerdict(encodeVerdict(cases[2])[:12]); err == nil {
+		t.Fatal("decodeVerdict accepted a truncated payload")
+	}
+}
+
+func TestRunsRoundTrip(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{0},
+		{0, 1, 2, 3},
+		{5, 6, 7, 100, 101, 9000},
+		{2, 4, 6, 8},
+	}
+	for _, in := range cases {
+		out, err := decodeRuns(encodeRuns(in), 10000)
+		if err != nil {
+			t.Fatalf("units %v: %v", in, err)
+		}
+		if len(in) == 0 {
+			if len(out) != 0 {
+				t.Fatalf("empty set decoded to %v", out)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Fatalf("round trip mismatch: %v != %v", out, in)
+		}
+	}
+}
+
+func TestRunsExpansionBound(t *testing.T) {
+	// One run of 1000 units must not decode under a 10-unit plan.
+	b := encodeRuns(seqUnits(0, 1000))
+	if _, err := decodeRuns(b, 10); err == nil {
+		t.Fatal("decodeRuns expanded past maxUnits")
+	}
+}
+
+func seqUnits(start, n int) []int {
+	units := make([]int, n)
+	for i := range units {
+		units[i] = start + i
+	}
+	return units
+}
+
+// FuzzDecoders feeds arbitrary payloads to every fabric frame decoder.
+// None may panic, and an accepted run-set must never expand past the
+// maxUnits bound no matter what the frame claims.
+func FuzzDecoders(f *testing.F) {
+	f.Add(encodeHello(hello{Version: 1, Spec: worker.Spec{Kind: "k", Payload: []byte("p")}}))
+	f.Add(encodeReady(ready{Version: 1, Name: "n"}))
+	f.Add(encodeVerdict(verdict{Unit: 3, Payload: []byte("out")}))
+	f.Add(encodeRuns([]int{0, 1, 2, 9, 10}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeHello(data)
+		decodeReady(data)
+		decodeVerdict(data)
+		const maxUnits = 128
+		if units, err := decodeRuns(data, maxUnits); err == nil && len(units) > maxUnits {
+			t.Fatalf("decodeRuns returned %d units past the %d bound", len(units), maxUnits)
+		}
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -297,6 +298,49 @@ func (j *Journal) Append(unit int, o Outcome) error {
 		j.OnAppend(len(j.done))
 	}
 	return nil
+}
+
+// Canonicalize rewrites the record section in ascending unit order and
+// syncs. Append order is arrival order, which for a distributed campaign
+// depends on host timing; a canonicalized journal has byte-identical
+// content for any arrival interleaving of the same outcomes — the form the
+// fabric merge leaves behind, and the form single-host runs produce
+// naturally when nothing is resumed or redelivered out of order. Call it
+// only after the campaign completes: a crash mid-rewrite loses the tail of
+// the record section (never the header), costing re-execution, not
+// correctness.
+func (j *Journal) Canonicalize() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.bound {
+		return fmt.Errorf("journal %s: Canonicalize before Bind", j.path)
+	}
+	units := make([]int, 0, len(j.done))
+	for u := range j.done {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	buf := make([]byte, 0, len(units)*recordSize)
+	for _, u := range units {
+		o := j.done[u]
+		var rec [recordSize]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(u))
+		rec[4] = o.Mode
+		rec[5] = o.Flags()
+		binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[:8]))
+		buf = append(buf, rec[:]...)
+	}
+	if _, err := j.f.WriteAt(buf, headerSize); err != nil {
+		return fmt.Errorf("journal %s: canonicalize: %w", j.path, err)
+	}
+	end := int64(headerSize + len(buf))
+	if err := j.f.Truncate(end); err != nil {
+		return fmt.Errorf("journal %s: canonicalize truncate: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(end, io.SeekStart); err != nil {
+		return err
+	}
+	return j.f.Sync()
 }
 
 // Sync flushes the journal to stable storage.

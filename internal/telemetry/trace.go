@@ -24,6 +24,12 @@ const (
 	KindRestart    = "worker_restart" // a worker subprocess died abnormally
 	KindRedeliver  = "redeliver"      // a unit was redelivered after a worker death
 	KindBreaker    = "breaker_open"   // the worker restart circuit breaker tripped
+
+	// Fabric kinds, emitted by the distributed-campaign coordinator.
+	KindHostJoined    = "host_joined"  // an executor host completed the fabric handshake
+	KindHostLost      = "host_lost"    // an executor host died; its units were redelivered
+	KindSteal         = "steal"        // an idle host stole half a straggler's range
+	KindRangeAssigned = "range_assign" // a unit range was shipped to an executor host
 )
 
 // Event is one structured trace event. Zero-valued fields are omitted from

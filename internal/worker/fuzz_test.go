@@ -1,0 +1,70 @@
+package worker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader. Whatever
+// a dying or hostile peer sends — truncated frames, corrupt length
+// prefixes, garbage types — ReadFrame must fail cleanly or return a payload
+// that re-encodes to exactly the bytes it consumed; it must never panic and
+// never hand back more bytes than arrived.
+func FuzzReadFrame(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, msgHello, []byte("spec payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:3])             // torn header
+	f.Add(valid.Bytes()[:6])             // torn body
+	f.Add([]byte{})                      // clean EOF
+	f.Add(make([]byte, 4))               // zero-length claim
+	lying := make([]byte, 8)             // prefix claims more than MaxFrame
+	binary.LittleEndian.PutUint32(lying, MaxFrame+1)
+	f.Add(lying)
+	big := make([]byte, 4, 4+readChunk+64) // body spanning multiple chunks
+	binary.LittleEndian.PutUint32(big, uint32(readChunk+64))
+	big = append(big, make([]byte, readChunk+64)...)
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if 5+len(payload) > len(data) {
+			t.Fatalf("ReadFrame returned %d payload bytes from a %d-byte stream", len(payload), len(data))
+		}
+		var re bytes.Buffer
+		if werr := WriteFrame(&re, typ, payload); werr != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", werr)
+		}
+		if !bytes.Equal(re.Bytes(), data[:re.Len()]) {
+			t.Fatalf("re-encoded frame differs from the consumed prefix")
+		}
+	})
+}
+
+// TestReadFrameAllocationBound pins the chunked-allocation property the
+// fuzz target cannot observe directly: a length prefix claiming MaxFrame on
+// a connection that then dies costs at most a chunk or so of memory, not
+// the 16MB the prefix promised.
+func TestReadFrameAllocationBound(t *testing.T) {
+	torn := make([]byte, 4, 4+readChunk/2)
+	binary.LittleEndian.PutUint32(torn, MaxFrame)
+	torn = append(torn, make([]byte, readChunk/2)...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, _, err := ReadFrame(bytes.NewReader(torn)); err == nil {
+		t.Fatal("torn frame read succeeded")
+	}
+	runtime.ReadMemStats(&after)
+	if got := after.TotalAlloc - before.TotalAlloc; got > 4*readChunk {
+		t.Fatalf("torn MaxFrame claim allocated %d bytes, want at most %d", got, 4*readChunk)
+	}
+}

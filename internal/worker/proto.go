@@ -122,8 +122,9 @@ type verdict struct {
 	Payload []byte
 }
 
-// writeFrame emits one frame. Callers serialise writes themselves.
-func writeFrame(w io.Writer, typ uint8, payload []byte) error {
+// WriteFrame emits one frame. Callers serialise writes themselves. It is
+// exported because internal/fabric speaks the same frame format over TCP.
+func WriteFrame(w io.Writer, typ uint8, payload []byte) error {
 	if len(payload)+1 > MaxFrame {
 		return fmt.Errorf("worker: frame type %d overflows MaxFrame (%d bytes)", typ, len(payload))
 	}
@@ -135,24 +136,48 @@ func writeFrame(w io.Writer, typ uint8, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, rejecting empty and oversized length prefixes.
-func readFrame(r io.Reader) (typ uint8, payload []byte, err error) {
+// readChunk bounds how much ReadFrame allocates ahead of the bytes that
+// have actually arrived.
+const readChunk = 64 << 10
+
+// ReadFrame reads one frame, rejecting empty and oversized length prefixes.
+// The payload buffer grows in chunks as bytes arrive instead of trusting
+// the length prefix up front, so a corrupt prefix on a dying peer costs at
+// most one chunk, never MaxFrame.
+func ReadFrame(r io.Reader) (typ uint8, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n == 0 || n > MaxFrame {
 		return 0, nil, fmt.Errorf("worker: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF // a frame header with no body is torn, not a clean end
-		}
-		return 0, nil, err
+	size := n
+	if size > readChunk {
+		size = readChunk
 	}
-	return buf[0], buf[1:], nil
+	buf := make([]byte, size)
+	read := 0
+	for {
+		m, rerr := io.ReadFull(r, buf[read:])
+		read += m
+		if rerr != nil {
+			if rerr == io.EOF {
+				// A frame header with no body is torn, not a clean end.
+				rerr = io.ErrUnexpectedEOF
+			}
+			return 0, nil, rerr
+		}
+		if read == n {
+			return buf[0], buf[1:], nil
+		}
+		grow := n - read
+		if grow > readChunk {
+			grow = readChunk
+		}
+		buf = append(buf, make([]byte, grow)...)
+	}
 }
 
 func encodeHello(h hello) []byte {

@@ -79,10 +79,10 @@ func TestVerdictRoundTrip(t *testing.T) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, msgExec, []byte{1, 2, 3, 4}); err != nil {
+	if err := WriteFrame(&buf, msgExec, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
-	typ, payload, err := readFrame(&buf)
+	typ, payload, err := ReadFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,24 +94,24 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRejectsBadLengths(t *testing.T) {
 	// Zero-length frame: not even a type byte.
 	zero := make([]byte, 4)
-	if _, _, err := readFrame(bytes.NewReader(zero)); err == nil || !strings.Contains(err.Error(), "bad frame length") {
+	if _, _, err := ReadFrame(bytes.NewReader(zero)); err == nil || !strings.Contains(err.Error(), "bad frame length") {
 		t.Fatalf("zero-length frame: %v", err)
 	}
 	// Oversized claim: reject before allocating.
 	huge := make([]byte, 4)
 	binary.LittleEndian.PutUint32(huge, MaxFrame+1)
-	if _, _, err := readFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "bad frame length") {
+	if _, _, err := ReadFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "bad frame length") {
 		t.Fatalf("oversized frame: %v", err)
 	}
 	// Header claiming more body than exists: torn, not clean EOF.
 	torn := make([]byte, 4, 6)
 	binary.LittleEndian.PutUint32(torn, 10)
 	torn = append(torn, msgExec, 0)
-	if _, _, err := readFrame(bytes.NewReader(torn)); err != io.ErrUnexpectedEOF {
+	if _, _, err := ReadFrame(bytes.NewReader(torn)); err != io.ErrUnexpectedEOF {
 		t.Fatalf("torn frame: %v", err)
 	}
 	// Oversized write is refused at the source too.
-	if err := writeFrame(io.Discard, msgVerdict, make([]byte, MaxFrame)); err == nil {
+	if err := WriteFrame(io.Discard, msgVerdict, make([]byte, MaxFrame)); err == nil {
 		t.Fatal("writeFrame accepted an oversized payload")
 	}
 }

@@ -556,7 +556,7 @@ func spawn(opts *Options) (*liveWorker, error) {
 	if opts.MemQuota > 0 {
 		memQuota = uint64(opts.MemQuota)
 	}
-	if err := writeFrame(stdin, msgHello, encodeHello(hello{
+	if err := WriteFrame(stdin, msgHello, encodeHello(hello{
 		Version:           ProtocolVersion,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		MemQuota:          memQuota,
@@ -574,7 +574,7 @@ func spawn(opts *Options) (*liveWorker, error) {
 func (w *liveWorker) pump(r io.Reader) {
 	br := bufio.NewReader(r)
 	for {
-		typ, payload, err := readFrame(br)
+		typ, payload, err := ReadFrame(br)
 		if err != nil {
 			w.mu.Lock()
 			w.rerr = err
@@ -603,7 +603,7 @@ func (w *liveWorker) readErr() error {
 }
 
 func (w *liveWorker) send(typ uint8, payload []byte) error {
-	return writeFrame(w.stdin, typ, payload)
+	return WriteFrame(w.stdin, typ, payload)
 }
 
 // kill tears the worker down unconditionally and reaps it. Safe to call

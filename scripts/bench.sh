@@ -15,6 +15,14 @@
 # artifact, e.g. baseline numbers measured on a pre-change checkout:
 #   EXTRA_LABELS="-label baseline_campaign_s=48.3" scripts/bench.sh pr2
 #
+# The fabric scaling run (PR 7) is invoked as:
+#   scripts/bench.sh pr7 'Table4Fabric'
+# When the output holds Table4Fabric/executors=N results, the artifact gains
+# derived labels: fabric_speedup_2x (1-executor ns/op over 2-executor) and
+# fabric_efficiency_2x (that speedup per executor). Executors are paced to a
+# fixed per-unit service rate (see BenchmarkTable4Fabric), so the numbers
+# measure the fabric's scheduling and merge, not this machine's core count.
+#
 # The campaign pair runs the Table 4 benchmark twice in one binary:
 # "straight" replays every injection in full (the pre-checkpoint executor)
 # and "workers=1" goes through golden-run checkpointing; the ratio of their
@@ -32,12 +40,28 @@ TAG="${1:-local}"
 BENCH="${2:-Table4Parallel/(straight|workers=1\$)|VMThroughput|BlockCompile}"
 OUT="BENCH_${TAG}.json"
 
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
 go test -run=NONE -bench "$BENCH" -benchtime="${BENCHTIME:-1x}" -timeout 60m . |
-	tee /dev/stderr |
-	go run ./tools/benchjson \
-		-label "tag=$TAG" \
-		-label "commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-		${EXTRA_LABELS:-} \
-		>"$OUT"
+	tee /dev/stderr >"$RAW"
+
+# Derive fabric scaling labels when the fabric benchmark ran ($3 is ns/op).
+SCALING="$(awk '
+	$1 ~ /^BenchmarkTable4Fabric\/executors=1(-[0-9]+)?$/ { one = $3 }
+	$1 ~ /^BenchmarkTable4Fabric\/executors=2(-[0-9]+)?$/ { two = $3 }
+	END {
+		if (one > 0 && two > 0)
+			printf "-label fabric_speedup_2x=%.2f -label fabric_efficiency_2x=%.2f",
+				one / two, one / two / 2
+	}
+' "$RAW")"
+
+go run ./tools/benchjson \
+	-label "tag=$TAG" \
+	-label "commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	${SCALING:-} \
+	${EXTRA_LABELS:-} \
+	<"$RAW" >"$OUT"
 
 echo "wrote $OUT" >&2
