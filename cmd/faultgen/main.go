@@ -96,6 +96,10 @@ func run(args []string) error {
 		return err
 	}
 	defer telCleanup()
+	chaosWrap, err := fab.ChaosWrap(tel.Registry())
+	if err != nil {
+		return err
+	}
 	rest := fs.Args()
 	if fab.Join != "" {
 		// Executor mode: the program list comes from the coordinator's
@@ -103,8 +107,12 @@ func run(args []string) error {
 		ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stopSignals()
 		return fabric.Join(ctx, fab.Join, fabric.ExecutorOptions{
-			Workers: *workers,
-			Batch:   fabric.InProcBatch(planFactory, *workers),
+			Workers:         *workers,
+			Batch:           fabric.InProcBatch(planFactory, *workers),
+			DialTimeout:     fab.DialTimeout,
+			ReconnectWindow: fab.ReconnectWindow,
+			WrapConn:        chaosWrap,
+			Metrics:         fabric.NewExecutorMetrics(tel.Registry()),
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
 			},
@@ -282,6 +290,10 @@ func describeFabric(ctx context.Context, s planSpec, fab *cliutil.FabricFlags, h
 	if err != nil {
 		return nil, err
 	}
+	chaosWrap, err := fab.ChaosWrap(tel.Registry())
+	if err != nil {
+		return nil, err
+	}
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
 		Addr:     fab.Listen,
 		MinHosts: fab.Hosts,
@@ -293,6 +305,9 @@ func describeFabric(ctx context.Context, s planSpec, fab *cliutil.FabricFlags, h
 		Units:             len(s.Programs),
 		HeartbeatInterval: hb.Interval,
 		HeartbeatTimeout:  hb.Timeout,
+		SessionTimeout:    fab.SessionTimeout,
+		WrapConn:          chaosWrap,
+		Metrics:           fabric.NewMetrics(tel.Registry()),
 		Tracer:            tel.Tracer(),
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)

@@ -118,11 +118,18 @@ func run(args []string) error {
 	if fab.Join != "" {
 		// Executor mode: the program, case count and seed come from the
 		// coordinator's spec; only local execution knobs apply here.
+		chaosWrap, err := fab.ChaosWrap(nil)
+		if err != nil {
+			return err
+		}
 		ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stopSignals()
 		return fabric.Join(ctx, fab.Join, fabric.ExecutorOptions{
-			Workers: *workers,
-			Batch:   fabric.InProcBatch(selftestFactory, *workers),
+			Workers:         *workers,
+			Batch:           fabric.InProcBatch(selftestFactory, *workers),
+			DialTimeout:     fab.DialTimeout,
+			ReconnectWindow: fab.ReconnectWindow,
+			WrapConn:        chaosWrap,
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
 			},
@@ -425,6 +432,10 @@ func selftestFabric(ctx context.Context, s selftestSpec, fab *cliutil.FabricFlag
 	if err != nil {
 		return nil, err
 	}
+	chaosWrap, err := fab.ChaosWrap(tel.Registry())
+	if err != nil {
+		return nil, err
+	}
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
 		Addr:     fab.Listen,
 		MinHosts: fab.Hosts,
@@ -436,6 +447,9 @@ func selftestFabric(ctx context.Context, s selftestSpec, fab *cliutil.FabricFlag
 		Units:             s.N,
 		HeartbeatInterval: hb.Interval,
 		HeartbeatTimeout:  hb.Timeout,
+		SessionTimeout:    fab.SessionTimeout,
+		WrapConn:          chaosWrap,
+		Metrics:           fabric.NewMetrics(tel.Registry()),
 		Quarantine:        journal.Outcome{Mode: uint8(campaign.HostFault)},
 		Tracer:            tel.Tracer(),
 		Log: func(format string, args ...any) {

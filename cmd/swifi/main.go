@@ -149,12 +149,21 @@ func run(args []string) error {
 		stopSignals()
 	}()
 
+	chaosCfg, err := fab.ChaosConfig()
+	if err != nil {
+		return err
+	}
+
 	if fab.Join != "" {
 		// Executor mode: everything about the campaign — programs, scale,
 		// seed, mode — comes from the coordinator's spec; only local
 		// execution knobs apply here.
 		jo := campaign.JoinOptions{
-			Workers: *workers,
+			Workers:         *workers,
+			DialTimeout:     fab.DialTimeout,
+			ReconnectWindow: fab.ReconnectWindow,
+			Chaos:           chaosCfg,
+			Registry:        tel.Registry(),
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "swifi: "+format+"\n", args...)
 			},
@@ -184,6 +193,8 @@ func run(args []string) error {
 			MinHosts:          fab.Hosts,
 			HeartbeatInterval: hb.Interval,
 			HeartbeatTimeout:  hb.Timeout,
+			SessionTimeout:    fab.SessionTimeout,
+			Chaos:             chaosCfg,
 		}
 	}
 	switch *mode {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fabric"
 	"repro/internal/journal"
 	"repro/internal/parallel"
@@ -40,6 +42,15 @@ type FabricOptions struct {
 	// MaxDeliveries is how many executor hosts a unit may go down with
 	// before it is quarantined as a HostFault; 0 means 3.
 	MaxDeliveries int
+	// SessionTimeout is how long an executor session survives a lost
+	// connection before its units are redelivered; zero derives 2× the
+	// heartbeat timeout.
+	SessionTimeout time.Duration
+	// Chaos, when non-nil and enabled, wraps every accepted executor
+	// connection with deterministic network-fault injection — the campaign
+	// fabric's own resilience test harness. Results must stay bit-identical
+	// to a clean run; the chaos_* counters report the absorbed abuse.
+	Chaos *chaos.Config
 }
 
 // JoinOptions configures one executor host (JoinFabric).
@@ -59,6 +70,17 @@ type JoinOptions struct {
 	// flat out); the loopback scaling benchmark sets it so N executors
 	// sharing one machine's CPU still model N independent hosts.
 	UnitPace time.Duration
+	// DialTimeout caps the initial connection establishment, retries
+	// included; ReconnectWindow caps re-establishment after a lost
+	// connection. Zero keeps the fabric defaults (10s / 60s).
+	DialTimeout     time.Duration
+	ReconnectWindow time.Duration
+	// Chaos, when non-nil and enabled, wraps the dialed coordinator
+	// connection with deterministic network-fault injection.
+	Chaos *chaos.Config
+	// Registry, when non-nil, receives the executor-side fabric and chaos
+	// instruments.
+	Registry *telemetry.Registry
 	// Log receives per-session fabric events; nil silences them.
 	Log func(format string, args ...any)
 }
@@ -71,9 +93,13 @@ type JoinOptions struct {
 func JoinFabric(ctx context.Context, addr string, opts JoinOptions) error {
 	workers := parallel.DefaultWorkers(opts.Workers)
 	return fabric.Join(ctx, addr, fabric.ExecutorOptions{
-		Name:    opts.Name,
-		Workers: workers,
-		Log:     opts.Log,
+		Name:            opts.Name,
+		Workers:         workers,
+		DialTimeout:     opts.DialTimeout,
+		ReconnectWindow: opts.ReconnectWindow,
+		WrapConn:        chaosWrap(opts.Chaos, opts.Registry),
+		Metrics:         fabric.NewExecutorMetrics(opts.Registry),
+		Log:             opts.Log,
 		Batch: func(spec worker.Spec) (fabric.BatchRunner, error) {
 			b, err := newFabricBatchRunner(spec, workers, opts.Isolation, opts.Proc)
 			if err != nil {
@@ -246,6 +272,15 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 		return nil, err
 	}
 	fo := cfg.Fabric
+	// The sidecar WAL journals the coordinator's scheduling state next to
+	// the verdict journal. A crashed coordinator restarted with -resume
+	// finds it and rebuilds the session table and outstanding ranges; a
+	// completed campaign removes it — only the canonical journal outlives
+	// the run.
+	side, err := openFabricSide(o.journal, fp)
+	if err != nil {
+		return nil, err
+	}
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
 		Addr:              fo.Listen,
 		MinHosts:          fo.MinHosts,
@@ -253,8 +288,11 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 		Units:             len(units),
 		HeartbeatInterval: fo.HeartbeatInterval,
 		HeartbeatTimeout:  fo.HeartbeatTimeout,
+		SessionTimeout:    fo.SessionTimeout,
 		MaxDeliveries:     fo.MaxDeliveries,
 		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
+		Side:              side,
+		WrapConn:          chaosWrap(fo.Chaos, cfg.Telemetry.Registry()),
 		Metrics:           newFabricMetrics(cfg.Telemetry.Registry()),
 		Tracer:            o.tracer,
 		Log: func(format string, args ...any) {
@@ -262,6 +300,9 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 		},
 	})
 	if err != nil {
+		if side != nil {
+			side.Close()
+		}
 		return nil, err
 	}
 
@@ -295,29 +336,71 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 				return nil, cerr
 			}
 		}
+		// Completed campaign: the scheduling state is spent; drop the
+		// sidecar so a later -resume replays only the verdict journal.
+		if side != nil {
+			if rerr := side.Remove(); rerr != nil {
+				fmt.Fprintf(os.Stderr, "campaign: removing fabric sidecar: %v\n", rerr)
+			}
+		}
 		return out, nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Interrupted: keep the sidecar on disk — it is exactly what a
+		// restarted coordinator needs to recover its sessions.
+		if side != nil {
+			side.Close()
+		}
 		return out, err
 	default:
+		if side != nil {
+			side.Close()
+		}
 		return nil, err
 	}
+}
+
+// openFabricSide opens (resume) or creates the coordinator's sidecar WAL
+// next to the verdict journal, bound to the plan fingerprint. Without a
+// journal there is nothing to recover into, so no sidecar is kept.
+func openFabricSide(j *journal.Journal, fp uint64) (*journal.SideLog, error) {
+	if j == nil {
+		return nil, nil
+	}
+	path := j.Path() + ".fabric"
+	var side *journal.SideLog
+	var err error
+	if j.Resumed() {
+		if _, serr := os.Stat(path); serr == nil {
+			side, err = journal.OpenSide(path)
+		} else {
+			// The previous run completed its fabric bookkeeping (or ran
+			// pre-sidecar); start scheduling state fresh.
+			side, err = journal.CreateSide(path)
+		}
+	} else {
+		side, err = journal.CreateSide(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: fabric sidecar: %w", err)
+	}
+	if err := side.Bind(fp); err != nil {
+		side.Close()
+		return nil, fmt.Errorf("campaign: fabric sidecar: %w", err)
+	}
+	return side, nil
+}
+
+// chaosWrap builds the fabric connection wrapper for a chaos config; nil or
+// disabled configs yield nil (no wrapping).
+func chaosWrap(cfg *chaos.Config, reg *telemetry.Registry) func(net.Conn) net.Conn {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return chaos.New(*cfg, chaos.NewMetrics(reg)).Wrap
 }
 
 // newFabricMetrics registers the coordinator's instruments on reg; nil
 // registry, nil bundle (metrics off).
 func newFabricMetrics(reg *telemetry.Registry) *fabric.Metrics {
-	if reg == nil {
-		return nil
-	}
-	return &fabric.Metrics{
-		Hosts:       reg.Gauge("fabric_hosts"),
-		Assigned:    reg.Counter("fabric_units_assigned_total"),
-		Steals:      reg.Counter("fabric_steals_total"),
-		Redelivered: reg.Counter("fabric_units_redelivered_total"),
-		HostDeaths:  reg.Counter("fabric_host_deaths_total"),
-		Quarantines: reg.Counter("fabric_quarantines_total"),
-		HostUnits: func(host string) *telemetry.Counter {
-			return reg.Counter(fmt.Sprintf(`fabric_host_units_total{host=%q}`, host))
-		},
-	}
+	return fabric.NewMetrics(reg)
 }

@@ -1,0 +1,439 @@
+// Package chaos is the fabric's adversary: a deterministic, seeded
+// network-fault layer that wraps any net.Conn or net.Listener and injects
+// the failures a distributed campaign will actually face — added latency
+// and jitter, bandwidth caps, flipped bytes, truncated writes, silently
+// dropped writes, half-open "black-hole" partitions, and mid-stream
+// connection resets.
+//
+// The package exists to turn the repository's own method on itself: the
+// fault-injection campaigns this system runs are only trustworthy if the
+// harness survives the fault classes it studies (the same argument ZOFI
+// makes for its own crash-handling harness). Every fabric robustness
+// mechanism — per-frame CRCs, session resume, coordinator recovery — is
+// validated by running full campaigns through this layer and requiring
+// byte-identical journals and reports.
+//
+// Determinism: every fault decision comes from a splitmix64 stream derived
+// from (Config.Seed, connection ordinal), where the ordinal counts wrapped
+// connections in wrap order. A single connection's fault schedule is
+// therefore a pure function of the seed and its ordinal; rerunning a test
+// with the same seed replays the same corruption at the same byte offsets.
+// Campaign *results* never depend on the schedule — that is the whole
+// point — but reproducing a failure found under chaos needs only the seed.
+//
+// Faults are injected on the write path (the wrapped side mangles what it
+// sends), so one chaotic endpoint is enough to exercise both directions of
+// a protocol: the peer sees corrupt frames, the wrapper sees its own
+// writes vanish. Partitions additionally stall the read path, modelling a
+// link that went silent rather than a process that died.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config selects which faults a wrapped connection injects and how often.
+// The zero Config injects nothing (Enabled reports false). Probabilities
+// are per Write call, evaluated in a fixed order (partition, reset,
+// truncate, drop, corrupt) so a given random stream always yields the same
+// schedule.
+type Config struct {
+	// Seed selects the deterministic fault schedule. Two runs with the
+	// same Seed and the same connection ordinals inject identical faults.
+	Seed int64
+
+	// Latency is added to every Write; Jitter adds a uniform random
+	// 0..Jitter on top. Models slow and wobbly links.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Bandwidth caps the wrapped side's send rate in bytes per second
+	// (0 = unlimited). Implemented as proportional sleep, not queueing.
+	Bandwidth int
+
+	// Corrupt is the per-write probability of flipping one byte of the
+	// payload before it reaches the wire — the poisoned-frame case the
+	// fabric's per-frame CRC exists to catch.
+	Corrupt float64
+
+	// Drop is the per-write probability of silently swallowing the write:
+	// the caller sees success, the peer sees a hole in the stream.
+	Drop float64
+
+	// Truncate is the per-write probability of writing only a prefix and
+	// then severing the connection — a torn frame followed by loss.
+	Truncate float64
+
+	// Reset is the per-write probability of severing the connection
+	// without writing anything, like a mid-stream RST.
+	Reset float64
+
+	// Partition is the per-write probability of entering a black-hole
+	// partition: writes are swallowed and reads stall for PartitionFor,
+	// after which the connection reports failure. Models a half-open link
+	// that only heartbeat timeouts can detect.
+	Partition    float64
+	PartitionFor time.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.Latency > 0 || c.Jitter > 0 || c.Bandwidth > 0 ||
+		c.Corrupt > 0 || c.Drop > 0 || c.Truncate > 0 || c.Reset > 0 || c.Partition > 0
+}
+
+// Metrics counts injected faults. All fields are optional; nil instruments
+// (or a nil *Metrics) count nothing. The counts surface on /metrics and in
+// the end-of-run report, so a chaos run states exactly how much abuse the
+// campaign absorbed.
+type Metrics struct {
+	Corrupted  *telemetry.Counter // writes with a flipped byte
+	Dropped    *telemetry.Counter // writes silently swallowed
+	Truncated  *telemetry.Counter // writes cut short, connection severed
+	Resets     *telemetry.Counter // connections severed mid-stream
+	Partitions *telemetry.Counter // black-hole partitions entered
+	Delayed    *telemetry.Counter // writes that paid latency/jitter/bandwidth sleep
+}
+
+// NewMetrics registers the chaos instruments on reg under the chaos_*
+// namespace; a nil registry yields nil (counting off).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Corrupted:  reg.Counter("chaos_corrupted_writes_total"),
+		Dropped:    reg.Counter("chaos_dropped_writes_total"),
+		Truncated:  reg.Counter("chaos_truncated_writes_total"),
+		Resets:     reg.Counter("chaos_resets_total"),
+		Partitions: reg.Counter("chaos_partitions_total"),
+		Delayed:    reg.Counter("chaos_delayed_writes_total"),
+	}
+}
+
+// splitmix64 is the per-connection deterministic stream: tiny, seedable,
+// and independent of math/rand's global state or Go version.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0,1).
+func (r *splitmix64) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform int in [0,n).
+func (r *splitmix64) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Chaos wraps connections with a shared config, metrics sink, and the
+// connection-ordinal counter that keeps schedules deterministic.
+type Chaos struct {
+	cfg     Config
+	metrics *Metrics
+	ordinal atomic.Uint64
+}
+
+// New builds a Chaos wrapper. A nil config (or one with no faults enabled)
+// yields a pass-through wrapper: Wrap returns its argument unchanged.
+func New(cfg Config, m *Metrics) *Chaos {
+	return &Chaos{cfg: cfg, metrics: m}
+}
+
+// Wrap returns conn with the configured fault injection on its write path
+// (and partition stalls on its read path). With no faults enabled it
+// returns conn itself.
+func (c *Chaos) Wrap(conn net.Conn) net.Conn {
+	if c == nil || !c.cfg.Enabled() {
+		return conn
+	}
+	ord := c.ordinal.Add(1) - 1
+	seed := uint64(c.cfg.Seed)*0x9e3779b97f4a7c15 + ord*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
+	fc := &faultConn{Conn: conn, cfg: &c.cfg, m: c.metrics}
+	fc.rng.s = seed
+	return fc
+}
+
+// Listener wraps ln so every accepted connection is chaos-wrapped. With no
+// faults enabled it returns ln itself.
+func (c *Chaos) Listener(ln net.Listener) net.Listener {
+	if c == nil || !c.cfg.Enabled() {
+		return ln
+	}
+	return &faultListener{Listener: ln, chaos: c}
+}
+
+type faultListener struct {
+	net.Listener
+	chaos *Chaos
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.chaos.Wrap(conn), nil
+}
+
+// faultConn injects the configured faults on Write and partition stalls on
+// Read. The mutex serialises fault decisions so the rng stream stays
+// deterministic under concurrent writers (the frame layers above already
+// serialise writes, but the wrapper must not depend on that).
+type faultConn struct {
+	net.Conn
+	cfg *Config
+	m   *Metrics
+
+	mu      sync.Mutex
+	rng     splitmix64
+	dead    bool
+	parted  bool
+	partEnd time.Time
+}
+
+// errInjected marks failures this layer created, so logs distinguish
+// injected chaos from real network trouble.
+type errInjected struct{ what string }
+
+func (e *errInjected) Error() string { return "chaos: injected " + e.what }
+
+// Timeout reports true so deadline-style handling applies where callers
+// check for it; the fabric treats any conn error the same way (reconnect).
+func (e *errInjected) Timeout() bool { return false }
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return 0, &errInjected{what: "reset (connection severed)"}
+	}
+	if f.parted {
+		// Black hole: swallow silently until the partition window closes,
+		// then report the connection dead.
+		if time.Now().Before(f.partEnd) {
+			f.mu.Unlock()
+			return len(b), nil
+		}
+		f.dead = true
+		f.mu.Unlock()
+		f.Conn.Close()
+		return 0, &errInjected{what: "partition expiry"}
+	}
+
+	// Fault decisions in fixed order, one rng draw each, so the schedule
+	// is a pure function of the stream regardless of which faults are
+	// enabled.
+	pPart := f.rng.float()
+	pReset := f.rng.float()
+	pTrunc := f.rng.float()
+	pDrop := f.rng.float()
+	pCorrupt := f.rng.float()
+	corruptAt := f.rng.intn(len(b))
+	corruptBit := byte(1 << f.rng.intn(8))
+
+	switch {
+	case pPart < f.cfg.Partition:
+		dur := f.cfg.PartitionFor
+		if dur <= 0 {
+			dur = 500 * time.Millisecond
+		}
+		f.parted = true
+		f.partEnd = time.Now().Add(dur)
+		f.mu.Unlock()
+		if f.m != nil {
+			inc(f.m.Partitions)
+		}
+		return len(b), nil
+	case pReset < f.cfg.Reset:
+		f.dead = true
+		f.mu.Unlock()
+		if f.m != nil {
+			inc(f.m.Resets)
+		}
+		f.Conn.Close()
+		return 0, &errInjected{what: "reset"}
+	case pTrunc < f.cfg.Truncate:
+		cut := len(b) / 2
+		f.dead = true
+		f.mu.Unlock()
+		if f.m != nil {
+			inc(f.m.Truncated)
+		}
+		if cut > 0 {
+			f.Conn.Write(b[:cut]) // the torn prefix reaches the peer
+		}
+		f.Conn.Close()
+		return cut, &errInjected{what: "truncated write"}
+	case pDrop < f.cfg.Drop:
+		f.mu.Unlock()
+		if f.m != nil {
+			inc(f.m.Dropped)
+		}
+		return len(b), nil
+	}
+
+	var sent []byte
+	if pCorrupt < f.cfg.Corrupt && len(b) > 0 {
+		sent = append(sent, b...)
+		sent[corruptAt] ^= corruptBit
+		if f.m != nil {
+			inc(f.m.Corrupted)
+		}
+	}
+	f.mu.Unlock()
+
+	if d := f.delay(len(b)); d > 0 {
+		if f.m != nil {
+			inc(f.m.Delayed)
+		}
+		time.Sleep(d)
+	}
+	if sent != nil {
+		n, err := f.Conn.Write(sent)
+		if n > len(b) {
+			n = len(b)
+		}
+		return n, err
+	}
+	return f.Conn.Write(b)
+}
+
+// delay computes the latency + jitter + bandwidth sleep for an n-byte
+// write. The jitter draw happens under the lock via rngJitter to keep the
+// stream deterministic.
+func (f *faultConn) delay(n int) time.Duration {
+	d := f.cfg.Latency
+	if f.cfg.Jitter > 0 {
+		f.mu.Lock()
+		d += time.Duration(f.rng.next() % uint64(f.cfg.Jitter))
+		f.mu.Unlock()
+	}
+	if f.cfg.Bandwidth > 0 {
+		d += time.Duration(float64(n) / float64(f.cfg.Bandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+func (f *faultConn) Read(b []byte) (int, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return 0, &errInjected{what: "reset (connection severed)"}
+	}
+	if f.parted {
+		end := f.partEnd
+		f.mu.Unlock()
+		// Stall like a silent link, then die. A read deadline set by the
+		// caller still fires first if it is sooner — the Conn is closed
+		// under us in that case and the Read returns its error.
+		if wait := time.Until(end); wait > 0 {
+			time.Sleep(wait)
+		}
+		f.mu.Lock()
+		f.dead = true
+		f.mu.Unlock()
+		f.Conn.Close()
+		return 0, &errInjected{what: "partition expiry"}
+	}
+	f.mu.Unlock()
+	return f.Conn.Read(b)
+}
+
+// ParseSpec parses the CLI chaos spec: comma-separated key=value pairs.
+//
+//	seed=7,corrupt=0.01,drop=0.005,truncate=0.002,reset=0.002,
+//	partition=0.001,partition-for=300ms,latency=2ms,jitter=1ms,bandwidth=1048576
+//
+// Unknown keys are rejected with the list of valid ones, so a typo cannot
+// silently run a clean campaign that claims to be a chaos run.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "jitter":
+			cfg.Jitter, err = time.ParseDuration(val)
+		case "bandwidth":
+			cfg.Bandwidth, err = strconv.Atoi(val)
+		case "corrupt":
+			cfg.Corrupt, err = parseProb(val)
+		case "drop":
+			cfg.Drop, err = parseProb(val)
+		case "truncate":
+			cfg.Truncate, err = parseProb(val)
+		case "reset":
+			cfg.Reset, err = parseProb(val)
+		case "partition":
+			cfg.Partition, err = parseProb(val)
+		case "partition-for":
+			cfg.PartitionFor, err = time.ParseDuration(val)
+		default:
+			return cfg, fmt.Errorf("chaos: unknown key %q (valid: %s)", key, strings.Join(specKeys(), ", "))
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("chaos: %s: %w", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func specKeys() []string {
+	keys := []string{"seed", "latency", "jitter", "bandwidth", "corrupt", "drop", "truncate", "reset", "partition", "partition-for"}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,261 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// pipeConn returns a connected TCP pair on loopback. net.Pipe is not used
+// because the wrapper severs connections with Close, which net.Pipe turns
+// into immediate errors on both ends rather than the TCP half-close the
+// fabric actually sees.
+func pipeConn(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestPassThroughWhenDisabled: a zero config must not even wrap.
+func TestPassThroughWhenDisabled(t *testing.T) {
+	c := New(Config{}, nil)
+	client, _ := pipeConn(t)
+	if got := c.Wrap(client); got != client {
+		t.Fatal("zero config wrapped the connection")
+	}
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	if got := c.Listener(ln); got != ln {
+		t.Fatal("zero config wrapped the listener")
+	}
+}
+
+// TestCorruptionIsDeterministic: the same seed must flip the same bytes of
+// the same write sequence; a different seed must not.
+func TestCorruptionIsDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		client, server := pipeConn(t)
+		c := New(Config{Seed: seed, Corrupt: 0.5}, nil)
+		wrapped := c.Wrap(client)
+		var got bytes.Buffer
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			io.Copy(&got, server)
+		}()
+		for i := 0; i < 32; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 64)
+			if _, err := wrapped.Write(msg); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		wrapped.Close()
+		wg.Wait()
+		return got.Bytes()
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption schedules")
+	}
+	if c := run(8); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption schedules")
+	}
+	clean := bytes.Repeat([]byte{0}, 0)
+	_ = clean
+	// And corruption actually happened: compare against the uncorrupted
+	// stream.
+	var want bytes.Buffer
+	for i := 0; i < 32; i++ {
+		want.Write(bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	if bytes.Equal(a, want.Bytes()) {
+		t.Fatal("0.5 corruption probability corrupted nothing over 32 writes")
+	}
+	if len(a) != want.Len() {
+		t.Fatalf("corruption changed the stream length: %d != %d", len(a), want.Len())
+	}
+}
+
+// TestDropSwallowsWrites: dropped writes report success but never arrive.
+func TestDropSwallowsWrites(t *testing.T) {
+	client, server := pipeConn(t)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	c := New(Config{Seed: 3, Drop: 1.0}, m)
+	wrapped := c.Wrap(client)
+	if n, err := wrapped.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("dropped write returned (%d, %v), want (6, nil)", n, err)
+	}
+	wrapped.Close()
+	if b, _ := io.ReadAll(server); len(b) != 0 {
+		t.Fatalf("peer received %d bytes through a 100%% drop config", len(b))
+	}
+	if got := reg.Counters()["chaos_dropped_writes_total"]; got != 1 {
+		t.Fatalf("chaos_dropped_writes_total = %d, want 1", got)
+	}
+}
+
+// TestResetSeversConnection: a reset write fails and kills the conn for
+// both sides.
+func TestResetSeversConnection(t *testing.T) {
+	client, server := pipeConn(t)
+	c := New(Config{Seed: 1, Reset: 1.0}, nil)
+	wrapped := c.Wrap(client)
+	if _, err := wrapped.Write([]byte("doomed")); err == nil {
+		t.Fatal("reset write succeeded")
+	} else if !strings.Contains(err.Error(), "chaos:") {
+		t.Fatalf("reset error %v does not identify itself as injected", err)
+	}
+	if _, err := wrapped.Write([]byte("after")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+}
+
+// TestTruncateDeliversPrefix: the peer sees the torn prefix, the caller
+// sees an error, and the connection is dead.
+func TestTruncateDeliversPrefix(t *testing.T) {
+	client, server := pipeConn(t)
+	c := New(Config{Seed: 1, Truncate: 1.0}, nil)
+	wrapped := c.Wrap(client)
+	msg := []byte("0123456789")
+	n, err := wrapped.Write(msg)
+	if err == nil {
+		t.Fatal("truncated write succeeded")
+	}
+	if n != len(msg)/2 {
+		t.Fatalf("truncated write reported %d bytes, want %d", n, len(msg)/2)
+	}
+	got, _ := io.ReadAll(server)
+	if !bytes.Equal(got, msg[:len(msg)/2]) {
+		t.Fatalf("peer received %q, want the torn prefix %q", got, msg[:len(msg)/2])
+	}
+}
+
+// TestPartitionBlackHole: writes during a partition succeed silently,
+// reads stall, and the connection dies when the window closes.
+func TestPartitionBlackHole(t *testing.T) {
+	client, server := pipeConn(t)
+	c := New(Config{Seed: 1, Partition: 1.0, PartitionFor: 50 * time.Millisecond}, nil)
+	wrapped := c.Wrap(client)
+	if _, err := wrapped.Write([]byte("into the void")); err != nil {
+		t.Fatalf("partition-entering write failed: %v", err)
+	}
+	if _, err := wrapped.Write([]byte("still void")); err != nil {
+		t.Fatalf("write during partition failed: %v", err)
+	}
+	start := time.Now()
+	if _, err := wrapped.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read during partition returned data")
+	}
+	if waited := time.Since(start); waited < 30*time.Millisecond {
+		t.Fatalf("partition read returned after %v, want a stall near the 50ms window", waited)
+	}
+	if b, _ := io.ReadAll(server); len(b) != 0 {
+		t.Fatalf("peer received %d bytes through a black hole", len(b))
+	}
+}
+
+// TestLatencyDelaysWrites: latency must actually slow the write path.
+func TestLatencyDelaysWrites(t *testing.T) {
+	client, server := pipeConn(t)
+	go io.Copy(io.Discard, server)
+	c := New(Config{Seed: 1, Latency: 20 * time.Millisecond}, nil)
+	wrapped := c.Wrap(client)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := wrapped.Write([]byte("slow")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("3 writes at 20ms latency took %v, want >= 50ms", took)
+	}
+}
+
+// TestParseSpec covers the CLI surface: round-trip, defaults, and the
+// rejection of unknown keys and bad probabilities.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,corrupt=0.01,drop=0.005,latency=2ms,jitter=1ms,bandwidth=1048576,truncate=0.002,reset=0.002,partition=0.001,partition-for=300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, Corrupt: 0.01, Drop: 0.005, Latency: 2 * time.Millisecond,
+		Jitter: time.Millisecond, Bandwidth: 1 << 20, Truncate: 0.002,
+		Reset: 0.002, Partition: 0.001, PartitionFor: 300 * time.Millisecond,
+	}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config reports disabled")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: (%+v, %v), want disabled, nil", cfg, err)
+	}
+	if _, err := ParseSpec("corrupt=1.5"); err == nil {
+		t.Fatal("probability above 1 accepted")
+	}
+	if _, err := ParseSpec("corupt=0.1"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("unknown key error %v does not list valid keys", err)
+	}
+	if _, err := ParseSpec("seed"); err == nil {
+		t.Fatal("bare key accepted")
+	}
+}
+
+// TestWrapOrdinalsIndependent: two connections from one Chaos get distinct
+// schedules (different ordinals), and a fresh Chaos with the same seed
+// replays them.
+func TestWrapOrdinalsIndependent(t *testing.T) {
+	stream := func(c *Chaos) []byte {
+		client, server := pipeConn(t)
+		wrapped := c.Wrap(client)
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() { defer close(done); io.Copy(&got, server) }()
+		for i := 0; i < 16; i++ {
+			wrapped.Write(bytes.Repeat([]byte{0xAA}, 32))
+		}
+		wrapped.Close()
+		<-done
+		return got.Bytes()
+	}
+	a := New(Config{Seed: 42, Corrupt: 0.5}, nil)
+	first, second := stream(a), stream(a)
+	if bytes.Equal(first, second) {
+		t.Fatal("two connections share one corruption schedule")
+	}
+	b := New(Config{Seed: 42, Corrupt: 0.5}, nil)
+	if re := stream(b); !bytes.Equal(first, re) {
+		t.Fatal("fresh Chaos with the same seed did not replay connection 0's schedule")
+	}
+}

@@ -10,7 +10,11 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"net"
 	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/telemetry"
 )
 
 // ValidateWorkers rejects worker counts below 1. The flag defaults to
@@ -71,15 +75,17 @@ func AddHeartbeatFlags(fs *flag.FlagSet) *HeartbeatFlags {
 	return h
 }
 
-// Validate rejects a non-positive interval and a timeout that does not
-// exceed the interval — with timeout ≤ interval a single delayed beat
-// declares a healthy peer dead.
+// Validate rejects a non-positive interval and a timeout under twice the
+// interval. The 2× floor is the minimum that tolerates losing one beat: with
+// timeout < 2×interval, a single dropped or delayed heartbeat — routine under
+// load, GC pauses, or chaos testing — declares a healthy peer dead and
+// triggers redelivery for nothing.
 func (h *HeartbeatFlags) Validate() error {
 	if h.Interval <= 0 {
 		return fmt.Errorf("-heartbeat-interval must be positive, got %v", h.Interval)
 	}
-	if h.Timeout <= h.Interval {
-		return fmt.Errorf("-heartbeat-timeout (%v) must exceed -heartbeat-interval (%v)", h.Timeout, h.Interval)
+	if h.Timeout < 2*h.Interval {
+		return fmt.Errorf("-heartbeat-timeout (%v) must be at least twice -heartbeat-interval (%v): anything tighter turns one missed beat into a false host death", h.Timeout, h.Interval)
 	}
 	return nil
 }
@@ -91,6 +97,18 @@ type FabricFlags struct {
 	Listen string
 	Join   string
 	Hosts  int
+	// DialTimeout caps an executor's initial connection establishment,
+	// retries included; ReconnectWindow caps how long a lost connection may
+	// spend re-establishing before the session is abandoned.
+	DialTimeout     time.Duration
+	ReconnectWindow time.Duration
+	// SessionTimeout is the coordinator's detach grace: how long an
+	// executor session survives a lost connection before its units are
+	// redelivered. Zero derives 2× the heartbeat timeout.
+	SessionTimeout time.Duration
+	// Chaos is the -chaos fault spec ("seed=7,corrupt=0.01,drop=0.02,...");
+	// empty disables injection. Parsed by ChaosConfig.
+	Chaos string
 }
 
 // AddFabricFlags registers the fabric flags.
@@ -102,12 +120,21 @@ func AddFabricFlags(fs *flag.FlagSet) *FabricFlags {
 		"join a distributed campaign as an executor: connect to this coordinator address")
 	fs.IntVar(&f.Hosts, "fabric-hosts", 1,
 		"executors the coordinator waits for before sharding (with -fabric-listen)")
+	fs.DurationVar(&f.DialTimeout, "fabric-dial-timeout", 10*time.Second,
+		"total time an executor spends establishing its first coordinator connection, retries included")
+	fs.DurationVar(&f.ReconnectWindow, "fabric-reconnect-window", 60*time.Second,
+		"total time an executor spends re-establishing a lost coordinator connection before abandoning the session")
+	fs.DurationVar(&f.SessionTimeout, "fabric-session-timeout", 0,
+		"coordinator grace for a detached executor session before its units are redelivered (0 = 2x heartbeat-timeout)")
+	fs.StringVar(&f.Chaos, "chaos", "",
+		"inject deterministic network faults on fabric links, e.g. seed=7,corrupt=0.01,drop=0.02,reset=0.005 (testing only)")
 	return f
 }
 
 // Validate rejects contradictory fabric flags: one process is either the
-// coordinator or an executor, and the host floor only means something on
-// the coordinator.
+// coordinator or an executor, the host floor only means something on the
+// coordinator, the resilience windows must be positive, and a -chaos spec
+// must parse.
 func (f *FabricFlags) Validate() error {
 	if f.Listen != "" && f.Join != "" {
 		return fmt.Errorf("-fabric-listen and -fabric-join are mutually exclusive (coordinator or executor, not both)")
@@ -115,7 +142,43 @@ func (f *FabricFlags) Validate() error {
 	if f.Hosts < 1 {
 		return fmt.Errorf("-fabric-hosts must be at least 1, got %d", f.Hosts)
 	}
+	if f.DialTimeout <= 0 {
+		return fmt.Errorf("-fabric-dial-timeout must be positive, got %v", f.DialTimeout)
+	}
+	if f.ReconnectWindow <= 0 {
+		return fmt.Errorf("-fabric-reconnect-window must be positive, got %v", f.ReconnectWindow)
+	}
+	if f.SessionTimeout < 0 {
+		return fmt.Errorf("-fabric-session-timeout must not be negative, got %v (0 derives it from -heartbeat-timeout)", f.SessionTimeout)
+	}
+	if _, err := f.ChaosConfig(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// ChaosConfig parses the -chaos spec into a chaos configuration; an empty
+// spec returns nil (no injection).
+func (f *FabricFlags) ChaosConfig() (*chaos.Config, error) {
+	if f.Chaos == "" {
+		return nil, nil
+	}
+	cfg, err := chaos.ParseSpec(f.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos: %w", err)
+	}
+	return &cfg, nil
+}
+
+// ChaosWrap builds the connection wrapper for the -chaos spec, registering
+// the injector's counters on reg (nil reg: injection without metrics). An
+// empty spec returns a nil wrapper — the fabric's "no wrapping" value.
+func (f *FabricFlags) ChaosWrap(reg *telemetry.Registry) (func(net.Conn) net.Conn, error) {
+	cfg, err := f.ChaosConfig()
+	if err != nil || cfg == nil {
+		return nil, err
+	}
+	return chaos.New(*cfg, chaos.NewMetrics(reg)).Wrap, nil
 }
 
 // ParseIsolation parses the -isolation flag shared by the CLIs, reporting

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"time"
@@ -17,20 +18,28 @@ import (
 // a nil *Metrics (or nil fields) disables observation without changing any
 // scheduling decision.
 type Metrics struct {
-	// Hosts is the number of currently connected executors.
+	// Hosts is the number of currently attached executor sessions.
 	Hosts *telemetry.Gauge
 	// Assigned counts unit assignments, including redeliveries and steals
 	// (one unit assigned twice counts twice).
 	Assigned *telemetry.Counter
 	// Steals counts half-range steal operations (not units).
 	Steals *telemetry.Counter
-	// Redelivered counts units returned to the pending set by a host death.
+	// Redelivered counts units returned to the pending set by a session
+	// expiry.
 	Redelivered *telemetry.Counter
-	// HostDeaths counts executor connections lost before the campaign
-	// finished.
+	// HostDeaths counts executor sessions that expired — detached past the
+	// grace window — before the campaign finished. A connection loss alone
+	// is not a death; the executor gets SessionTimeout to re-attach.
 	HostDeaths *telemetry.Counter
 	// Quarantines counts units that exhausted MaxDeliveries host deaths.
 	Quarantines *telemetry.Counter
+	// Resumed counts sessions that re-attached after a connection loss
+	// (coordinator restarts included).
+	Resumed *telemetry.Counter
+	// BadFrames counts connections severed by a frame checksum mismatch —
+	// the poisoned-frame rejection path.
+	BadFrames *telemetry.Counter
 	// HostUnits, when non-nil, returns the per-host completed-unit counter
 	// for an executor name (the per-host gauge plane of the live progress
 	// story).
@@ -57,11 +66,18 @@ type CoordinatorOptions struct {
 
 	// HeartbeatInterval is the cadence both sides beat at (default 500ms).
 	// HeartbeatTimeout is how long either side tolerates total silence
-	// before declaring its peer dead (default 10s). WAN links want looser
-	// values than the defaults, which are inherited from the pipe-local
-	// worker supervisor.
+	// before declaring its peer's connection dead (default 10s). WAN links
+	// want looser values than the defaults, which are inherited from the
+	// pipe-local worker supervisor.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+
+	// SessionTimeout is how long a session may stay detached — connection
+	// lost, executor not yet re-attached — before it is declared dead and
+	// its units are redelivered (default 2× HeartbeatTimeout). This is the
+	// grace window that turns a partition or a coordinator-side connection
+	// reset into a reconnect instead of a host death.
+	SessionTimeout time.Duration
 
 	// MaxDeliveries is how many executor hosts a unit may go down with
 	// before it is quarantined with the Quarantine outcome (default 3).
@@ -70,6 +86,17 @@ type CoordinatorOptions struct {
 	// Quarantine is the outcome recorded for a unit that exhausted
 	// MaxDeliveries.
 	Quarantine journal.Outcome
+
+	// Side, when non-nil, is the sidecar WAL the coordinator journals its
+	// scheduling state through: session registrations, assignments, steals
+	// and expiries. A Side opened over an earlier coordinator's file
+	// (Side.Resumed) is replayed at the start of Run to rebuild the session
+	// table and outstanding ranges — the coordinator crash-recovery path.
+	Side *journal.SideLog
+
+	// WrapConn, when non-nil, wraps every accepted connection — the hook
+	// the chaos proxy plugs into.
+	WrapConn func(net.Conn) net.Conn
 
 	// Metrics/Tracer observe scheduling; both are passive.
 	Metrics *Metrics
@@ -89,6 +116,9 @@ func (o *CoordinatorOptions) fill() {
 	}
 	if o.HeartbeatTimeout <= 0 {
 		o.HeartbeatTimeout = 10 * time.Second
+	}
+	if o.SessionTimeout <= 0 {
+		o.SessionTimeout = 2 * o.HeartbeatTimeout
 	}
 	if o.MaxDeliveries < 1 {
 		o.MaxDeliveries = 3
@@ -136,45 +166,60 @@ type event struct {
 	payload []byte // frame payload
 	err     error  // non-nil: the connection died
 	join    bool   // handshake completed; register x
+	rd      ready  // the ready frame, for join events
 }
 
-// executorConn is one connected executor as the event loop sees it. All
-// fields except the write path are owned by the loop goroutine.
+// executorConn is one TCP connection. Scheduling state lives on the session
+// it is attached to; the conn is just the transport and may be replaced by
+// a reconnect.
 type executorConn struct {
-	id       int
-	name     string
-	workers  int
 	conn     net.Conn
 	wtimeout time.Duration
-	live     bool
-	assigned int // units currently owned (assigned, no verdict yet)
-	done     *telemetry.Counter
+	sess     *session // owned by the event loop; nil until registered
 }
 
-// send writes one frame under a write deadline. Only the event loop writes
-// to executors, so no locking is needed on this side.
+// send writes one CRC frame under a write deadline. Only the event loop
+// and the pre-registration handshake write to a conn, never both at once.
 func (x *executorConn) send(typ uint8, payload []byte) error {
 	_ = x.conn.SetWriteDeadline(time.Now().Add(x.wtimeout))
-	return worker.WriteFrame(x.conn, typ, payload)
+	return worker.WriteFrameCRC(x.conn, typ, payload)
+}
+
+// session is one executor's scheduling identity, stable across reconnects.
+// All fields are owned by the event loop.
+type session struct {
+	token      uint64
+	id         int // registration order; ties deterministic iteration
+	name       string
+	workers    int
+	conn       *executorConn   // nil while detached
+	seq        uint32          // cumulative ack watermark: every seq <= this was processed
+	seen       map[uint32]bool // processed seqs above the watermark (gaps from dropped writes)
+	assigned   int             // units currently owned (assigned, no verdict yet)
+	detachedAt time.Time       // when the connection was lost; zero if attached
+	progressAt time.Time       // last verdict processed (stall detection)
+	nudgedAt   time.Time       // last stall re-assign, so nudges don't repeat every beat
+	done       *telemetry.Counter
 }
 
 // coordRun is the state of one Run call, touched only by the loop
 // goroutine.
 type coordRun struct {
-	opts    *CoordinatorOptions
-	events  chan event
-	stop    chan struct{} // closed on loop exit; unblocks reader sends
-	execs   map[int]*executorConn
-	nextID  int
-	started bool
-	pending []int // sorted unit indices awaiting an owner
-	owner   map[int]*executorConn
-	done    map[int]bool
-	deaths  map[int]int
-	doneN   int
-	total   int
-	onRes   func(worker.Result) error
-	fatal   error // first onResult error; ends the run
+	opts      *CoordinatorOptions
+	events    chan event
+	stop      chan struct{} // closed on loop exit; unblocks reader sends
+	sessions  map[uint64]*session
+	nextID    int
+	nextToken uint64
+	started   bool
+	pending   []int // sorted unit indices awaiting an owner
+	owner     map[int]*session
+	done      map[int]bool
+	deaths    map[int]int
+	doneN     int
+	total     int
+	onRes     func(worker.Result) error
+	fatal     error // first onResult error; ends the run
 }
 
 // Run shards the given unit indices over the connected executors and calls
@@ -183,6 +228,10 @@ type coordRun struct {
 // quarantine, ctx.Err() on cancellation (some indices then have no result),
 // the first error returned by onResult, or a fatal executor error. The
 // listener is closed on return.
+//
+// Units of the plan outside indices are treated as already journaled: a
+// late duplicate verdict for one (an executor retransmitting across a
+// coordinator restart) is dropped instead of being delivered twice.
 func (c *Coordinator) Run(ctx context.Context, indices []int, onResult func(worker.Result) error) error {
 	defer c.ln.Close()
 	if len(indices) == 0 {
@@ -191,18 +240,36 @@ func (c *Coordinator) Run(ctx context.Context, indices []int, onResult func(work
 	pending := append([]int(nil), indices...)
 	sort.Ints(pending)
 	r := &coordRun{
-		opts:    &c.opts,
-		events:  make(chan event, 64),
-		stop:    make(chan struct{}),
-		execs:   make(map[int]*executorConn),
-		pending: pending,
-		owner:   make(map[int]*executorConn),
-		done:    make(map[int]bool),
-		deaths:  make(map[int]int),
-		total:   len(indices),
-		onRes:   onResult,
+		opts:      &c.opts,
+		events:    make(chan event, 64),
+		stop:      make(chan struct{}),
+		sessions:  make(map[uint64]*session),
+		nextToken: 1,
+		pending:   pending,
+		owner:     make(map[int]*session),
+		done:      make(map[int]bool),
+		deaths:    make(map[int]int),
+		total:     len(indices),
+		onRes:     onResult,
 	}
 	defer close(r.stop)
+
+	// Units already journaled are "done" from the first instant, so a
+	// duplicate verdict retransmitted across a coordinator restart is
+	// dropped exactly like a steal-race duplicate.
+	inPlan := make(map[int]bool, len(indices))
+	for _, u := range indices {
+		inPlan[u] = true
+	}
+	for u := 0; u < c.opts.Units; u++ {
+		if !inPlan[u] {
+			r.done[u] = true
+		}
+	}
+
+	if err := r.recover(); err != nil {
+		return err
+	}
 
 	// Accept loop: handshakes happen off the event loop (planning inside
 	// the executor can take seconds), completed executors are handed in.
@@ -211,6 +278,9 @@ func (c *Coordinator) Run(ctx context.Context, indices []int, onResult func(work
 			conn, err := c.ln.Accept()
 			if err != nil {
 				return // listener closed: Run is exiting
+			}
+			if c.opts.WrapConn != nil {
+				conn = c.opts.WrapConn(conn)
 			}
 			go c.handshake(conn, r)
 		}
@@ -227,18 +297,21 @@ func (c *Coordinator) Run(ctx context.Context, indices []int, onResult func(work
 			r.shutdownAll()
 			return ctx.Err()
 		case <-beat.C:
-			for _, x := range r.liveExecs() {
-				if err := x.send(msgHeartbeat, nil); err != nil {
-					r.dropExec(x, fmt.Errorf("heartbeat write: %w", err))
+			for _, s := range r.attached() {
+				if err := s.conn.send(msgHeartbeat, nil); err != nil {
+					r.detach(s.conn, fmt.Errorf("heartbeat write: %w", err))
+					continue
 				}
+				r.nudge(s)
 			}
+			r.expireDetached()
 		case ev := <-r.events:
 			var err error
 			switch {
 			case ev.join:
-				r.addExec(ev.x)
+				r.register(ev.x, ev.rd)
 			case ev.err != nil:
-				r.dropExec(ev.x, ev.err)
+				r.detach(ev.x, ev.err)
 			default:
 				err = r.frame(ev.x, ev.typ, ev.payload)
 			}
@@ -248,9 +321,205 @@ func (c *Coordinator) Run(ctx context.Context, indices []int, onResult func(work
 			}
 		}
 		if r.doneN == r.total {
-			r.shutdownAll()
+			r.linger()
 			return nil
 		}
+	}
+}
+
+// linger is the campaign's goodbye phase: the listener and event loop stay
+// alive for up to HeartbeatTimeout after the last verdict so that every
+// executor actually receives the shutdown frame. On a clean network one
+// round suffices; under chaos the frame may be dropped (re-sent every
+// beat), corrupted (the executor severs and redials — the handshake is
+// answered with shutdown instead of welcome), or the executor may be
+// mid-reconnect when the campaign ends. A session is released — removed
+// from the table — when its executor closes the connection, which it only
+// does once the shutdown was received; the loop exits when every session is
+// released or the window closes.
+func (r *coordRun) linger() {
+	goodbye := func() {
+		for _, s := range r.attached() {
+			_ = s.conn.send(msgShutdown, nil)
+		}
+	}
+	goodbye()
+	deadline := time.NewTimer(r.opts.HeartbeatTimeout)
+	defer deadline.Stop()
+	beat := time.NewTicker(r.opts.HeartbeatInterval)
+	defer beat.Stop()
+	for len(r.sessions) > 0 {
+		select {
+		case <-deadline.C:
+			r.shutdownAll()
+			return
+		case <-beat.C:
+			goodbye()
+		case ev := <-r.events:
+			switch {
+			case ev.join:
+				// A reconnecting (or stray) executor only needs the goodbye.
+				// Its session, if any, is released when it closes the conn.
+				if s, ok := r.sessions[ev.rd.Token]; ok {
+					if s.conn != nil {
+						s.conn.sess = nil
+						s.conn.conn.Close()
+					}
+					s.conn = ev.x
+					ev.x.sess = s
+				}
+				_ = ev.x.send(msgShutdown, nil)
+			case ev.err != nil:
+				s := ev.x.sess
+				ev.x.conn.Close()
+				if s != nil && s.conn == ev.x {
+					if errors.Is(ev.err, io.EOF) {
+						// A clean close between frames: the executor got the
+						// shutdown and hung up. Receipt confirmed.
+						delete(r.sessions, s.token)
+					} else {
+						// Severed mid-frame (chaos corruption, reset): the
+						// executor may not have seen the goodbye. Hold the
+						// session; its redial gets shutdown at the handshake.
+						s.conn = nil
+					}
+				}
+			default:
+				// Late frames: verdicts are spent duplicates; processing
+				// them re-acks so the executor's buffer drains.
+				_ = r.frame(ev.x, ev.typ, ev.payload)
+			}
+		}
+	}
+	r.shutdownAll() // nothing left attached; clears the hosts gauge
+}
+
+// recover replays the sidecar WAL of a crashed coordinator: surviving
+// sessions come back detached (their executors redial and re-attach within
+// the grace window), their outstanding ranges stay owned, per-unit death
+// counts carry over, and units exceeding MaxDeliveries are quarantined
+// immediately. With no sidecar (or a fresh one) this is a no-op.
+func (r *coordRun) recover() error {
+	side := r.opts.Side
+	if side == nil || !side.Resumed() {
+		return nil
+	}
+	st, err := replaySide(side, r.opts.Units)
+	if err != nil {
+		return err
+	}
+	r.nextToken = st.maxToken + 1
+	for u, n := range st.deaths {
+		r.deaths[u] = n
+	}
+	tokens := make([]uint64, 0, len(st.sessions))
+	for token := range st.sessions {
+		tokens = append(tokens, token)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	stillPending := make(map[int]bool, len(r.pending))
+	for _, u := range r.pending {
+		stillPending[u] = true
+	}
+	for _, token := range tokens {
+		ss := st.sessions[token]
+		s := &session{
+			token:      token,
+			id:         r.nextID,
+			name:       ss.name,
+			workers:    ss.workers,
+			seen:       make(map[uint32]bool),
+			detachedAt: time.Now(),
+		}
+		r.nextID++
+		for _, u := range ss.ownedSorted() {
+			if r.done[u] {
+				continue // journaled before the crash
+			}
+			r.owner[u] = s
+			s.assigned++
+			delete(stillPending, u)
+		}
+		r.sessions[token] = s
+	}
+	pending := r.pending[:0]
+	for _, u := range r.pending {
+		if stillPending[u] {
+			pending = append(pending, u)
+		}
+	}
+	r.pending = pending
+	for _, u := range append([]int(nil), r.pending...) {
+		if r.deaths[u] >= r.opts.MaxDeliveries {
+			r.dropPending(u)
+			r.quarantine(u)
+		}
+	}
+	r.started = len(r.sessions) > 0
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindCoordRecovered,
+		Detail: fmt.Sprintf("%d session(s), %d units outstanding, %d pending", len(r.sessions), len(r.owner), len(r.pending))})
+	r.opts.logf("fabric: recovered coordinator state: %d session(s) awaiting re-attach, %d units outstanding, %d pending",
+		len(r.sessions), len(r.owner), len(r.pending))
+	if err := r.fatalErr(); err != nil {
+		return err // a quarantine delivery failed
+	}
+	return nil
+}
+
+// nudge re-sends a session's outstanding ranges when it has owned units but
+// made no verdict progress for a full HeartbeatTimeout. On a clean link this
+// never fires; under chaos it repairs silently dropped assign frames (the
+// executor never saw the range) and keeps the campaign converging. A
+// re-delivered range is idempotent: the executor deduplicates its queue, and
+// any re-executed unit yields a duplicate verdict the done-set drops.
+func (r *coordRun) nudge(s *session) {
+	if s.assigned == 0 || s.conn == nil {
+		return
+	}
+	last := s.progressAt
+	if s.nudgedAt.After(last) {
+		last = s.nudgedAt
+	}
+	if time.Since(last) < r.opts.HeartbeatTimeout {
+		return
+	}
+	s.nudgedAt = time.Now()
+	var outstanding []int
+	for u, o := range r.owner {
+		if o == s && !r.done[u] {
+			outstanding = append(outstanding, u)
+		}
+	}
+	if len(outstanding) == 0 {
+		return
+	}
+	sort.Ints(outstanding)
+	r.opts.logf("fabric: %s made no progress for %v; re-sending %d outstanding unit(s)",
+		s.name, r.opts.HeartbeatTimeout, len(outstanding))
+	if err := s.conn.send(msgAssign, encodeRuns(outstanding)); err != nil {
+		r.detach(s.conn, fmt.Errorf("assign write: %w", err))
+	}
+}
+
+// dropPending removes one unit from the pending slice.
+func (r *coordRun) dropPending(unit int) {
+	for i, u := range r.pending {
+		if u == unit {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// side appends one record to the sidecar WAL. Append failures degrade
+// recovery (a restarted coordinator redelivers more than it had to) but
+// never the running campaign, so they are logged, not fatal.
+func (r *coordRun) side(kind uint8, payload []byte) {
+	if r.opts.Side == nil {
+		return
+	}
+	if err := r.opts.Side.Append(kind, payload); err != nil {
+		r.opts.logf("fabric: sidecar append failed (recovery state degraded): %v", err)
 	}
 }
 
@@ -276,9 +545,14 @@ func (c *Coordinator) handshake(conn net.Conn, r *coordRun) {
 	}
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
-		typ, payload, err := worker.ReadFrame(conn)
+		typ, payload, err := worker.ReadFrameCRC(conn)
 		if err != nil {
-			reject(fmt.Errorf("no ready frame: %w", err))
+			// A torn or corrupt stream is a transport failure, not a
+			// rejection: close silently so the executor redials, rather
+			// than sending an error frame it would treat as fatal.
+			c.noteBadFrame(err)
+			c.opts.logf("fabric: dropping %s during handshake: %v", conn.RemoteAddr(), err)
+			conn.Close()
 			return
 		}
 		switch typ {
@@ -305,16 +579,14 @@ func (c *Coordinator) handshake(conn net.Conn, r *coordRun) {
 				reject(fmt.Errorf("executor plan has %d units, coordinator planned %d", rd.Units, c.opts.Units))
 				return
 			}
-			x.name = rd.Name
-			if x.name == "" {
-				x.name = conn.RemoteAddr().String()
+			if rd.Name == "" {
+				rd.Name = conn.RemoteAddr().String()
 			}
-			x.workers = int(rd.Workers)
-			if x.workers < 1 {
-				x.workers = 1
+			if rd.Workers < 1 {
+				rd.Workers = 1
 			}
 			select {
-			case r.events <- event{x: x, join: true}:
+			case r.events <- event{x: x, join: true, rd: rd}:
 			case <-r.stop:
 				conn.Close()
 				return
@@ -333,9 +605,10 @@ func (c *Coordinator) handshake(conn net.Conn, r *coordRun) {
 func (c *Coordinator) readLoop(x *executorConn, r *coordRun) {
 	for {
 		_ = x.conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
-		typ, payload, err := worker.ReadFrame(x.conn)
+		typ, payload, err := worker.ReadFrameCRC(x.conn)
 		ev := event{x: x, typ: typ, payload: payload}
 		if err != nil {
+			c.noteBadFrame(err)
 			ev = event{x: x, err: err}
 		}
 		select {
@@ -350,68 +623,173 @@ func (c *Coordinator) readLoop(x *executorConn, r *coordRun) {
 	}
 }
 
-// liveExecs snapshots the live executors in id order, so scheduling
-// decisions are deterministic for a given event sequence.
-func (r *coordRun) liveExecs() []*executorConn {
-	ids := make([]int, 0, len(r.execs))
-	for id := range r.execs {
-		ids = append(ids, id)
+// noteBadFrame counts checksum-rejected frames — the poisoned-frame path,
+// where the connection is severed for re-establishment rather than parsed
+// past the corruption.
+func (c *Coordinator) noteBadFrame(err error) {
+	if errors.Is(err, worker.ErrFrameCRC) {
+		if m := c.opts.Metrics; m != nil && m.BadFrames != nil {
+			m.BadFrames.Inc()
+		}
 	}
-	sort.Ints(ids)
-	xs := make([]*executorConn, len(ids))
-	for i, id := range ids {
-		xs[i] = r.execs[id]
-	}
-	return xs
 }
 
-// addExec registers a ready executor and reschedules.
-func (r *coordRun) addExec(x *executorConn) {
-	x.id = r.nextID
-	r.nextID++
-	x.live = true
-	r.execs[x.id] = x
-	if m := r.opts.Metrics; m != nil {
-		if m.Hosts != nil {
-			m.Hosts.Set(int64(len(r.execs)))
-		}
-		if m.HostUnits != nil {
-			x.done = m.HostUnits(x.name)
+// attached snapshots the attached sessions in id order, so scheduling
+// decisions are deterministic for a given event sequence.
+func (r *coordRun) attached() []*session {
+	ss := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		if s.conn != nil {
+			ss = append(ss, s)
 		}
 	}
-	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostJoined, Detail: fmt.Sprintf("%s (%d workers)", x.name, x.workers)})
-	r.opts.logf("fabric: executor %s joined (%d workers; %d/%d hosts)", x.name, x.workers, len(r.execs), r.opts.MinHosts)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+	return ss
+}
+
+func (r *coordRun) hostsGauge() {
+	if m := r.opts.Metrics; m != nil && m.Hosts != nil {
+		m.Hosts.Set(int64(len(r.attached())))
+	}
+}
+
+// register handles a completed handshake: either re-attaching an executor
+// to its surviving session (the ready frame presented a known token) or
+// opening a fresh session. The welcome frame always precedes any assign on
+// the new connection.
+func (r *coordRun) register(x *executorConn, rd ready) {
+	if rd.Token != 0 {
+		if s, ok := r.sessions[rd.Token]; ok {
+			r.reattach(x, s)
+			return
+		}
+		// Unknown or expired token: the session's units were redelivered;
+		// fall through to a fresh session. Verdicts the executor still
+		// retransmits are deduplicated by the done-set.
+		r.opts.logf("fabric: executor %s presented expired session %d; opening a fresh session", rd.Name, rd.Token)
+	}
+	s := &session{
+		token:      r.nextToken,
+		id:         r.nextID,
+		name:       rd.Name,
+		workers:    int(rd.Workers),
+		conn:       x,
+		seen:       make(map[uint32]bool),
+		progressAt: time.Now(),
+	}
+	r.nextToken++
+	r.nextID++
+	x.sess = s
+	r.sessions[s.token] = s
+	r.side(sideSession, encodeSideSession(s.token, s.workers, s.name))
+	if m := r.opts.Metrics; m != nil && m.HostUnits != nil {
+		s.done = m.HostUnits(s.name)
+	}
+	r.hostsGauge()
+	if err := x.send(msgWelcome, encodeWelcome(welcome{Token: s.token})); err != nil {
+		r.detach(x, fmt.Errorf("welcome write: %w", err))
+		return
+	}
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostJoined, Detail: fmt.Sprintf("%s (%d workers)", s.name, s.workers)})
+	r.opts.logf("fabric: executor %s joined (%d workers; %d/%d hosts)", s.name, s.workers, len(r.attached()), r.opts.MinHosts)
 	r.schedule()
 }
 
-// dropExec handles an executor death: its unfinished units go back to
-// pending (counting one delivery each; exhausted units are quarantined) and
-// the fleet is rescheduled — host loss is redelivery at range granularity.
-func (r *coordRun) dropExec(x *executorConn, err error) {
-	if !x.live {
+// reattach binds a new connection to a surviving session: welcome carries
+// the ack watermark so the executor prunes its retransmit buffer, and the
+// session's outstanding units are re-sent (idempotently — the executor
+// deduplicates its queue) in case the original assign died in a partition.
+func (r *coordRun) reattach(x *executorConn, s *session) {
+	if s.conn != nil {
+		// The old connection is half-open (the executor gave up on it
+		// first). Drop it; its reader will surface a stale error we ignore.
+		s.conn.sess = nil
+		s.conn.conn.Close()
+	}
+	s.conn = x
+	s.detachedAt = time.Time{}
+	s.progressAt = time.Now()
+	x.sess = s
+	if m := r.opts.Metrics; m != nil && m.Resumed != nil {
+		m.Resumed.Inc()
+	}
+	r.hostsGauge()
+	if err := x.send(msgWelcome, encodeWelcome(welcome{Token: s.token, Resumed: true, Acked: s.seq})); err != nil {
+		r.detach(x, fmt.Errorf("welcome write: %w", err))
 		return
 	}
-	x.live = false
-	delete(r.execs, x.id)
+	var outstanding []int
+	for u, o := range r.owner {
+		if o == s && !r.done[u] {
+			outstanding = append(outstanding, u)
+		}
+	}
+	sort.Ints(outstanding)
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostResumed,
+		Detail: fmt.Sprintf("%s (session %d, %d units outstanding)", s.name, s.token, len(outstanding))})
+	r.opts.logf("fabric: executor %s re-attached to session %d (%d units outstanding, acked seq %d)",
+		s.name, s.token, len(outstanding), s.seq)
+	if len(outstanding) > 0 {
+		// Not recorded in the sidecar: ownership is unchanged.
+		if err := x.send(msgAssign, encodeRuns(outstanding)); err != nil {
+			r.detach(x, fmt.Errorf("assign write: %w", err))
+			return
+		}
+	}
+	r.schedule()
+}
+
+// detach handles a lost connection: the session survives, detached, for
+// SessionTimeout — the grace window in which its executor may redial and
+// re-attach with every assignment intact. Only expiry redelivers.
+func (r *coordRun) detach(x *executorConn, err error) {
+	s := x.sess
 	x.conn.Close()
+	if s == nil || s.conn != x {
+		return // pre-registration conn, or already replaced by a reconnect
+	}
+	s.conn = nil
+	s.detachedAt = time.Now()
+	r.hostsGauge()
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostDetached,
+		Detail: fmt.Sprintf("%s: %v (session %d; %v grace)", s.name, err, s.token, r.opts.SessionTimeout)})
+	r.opts.logf("fabric: lost connection to %s (%v); session %d has %v to re-attach",
+		s.name, err, s.token, r.opts.SessionTimeout)
+}
+
+// expireDetached declares sessions dead once their grace window closes:
+// unfinished units go back to pending (counting one delivery each;
+// exhausted units are quarantined) and the fleet is rescheduled.
+func (r *coordRun) expireDetached() {
+	var expired []*session
+	for _, s := range r.sessions {
+		if s.conn == nil && time.Since(s.detachedAt) > r.opts.SessionTimeout {
+			expired = append(expired, s)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, s := range expired {
+		r.expire(s)
+	}
+}
+
+func (r *coordRun) expire(s *session) {
+	delete(r.sessions, s.token)
+	r.side(sideExpire, encodeSideExpire(s.token))
 	var lost []int
 	for u, o := range r.owner {
-		if o == x {
+		if o == s {
 			lost = append(lost, u)
 		}
 	}
 	sort.Ints(lost)
 	m := r.opts.Metrics
-	if m != nil {
-		if m.Hosts != nil {
-			m.Hosts.Set(int64(len(r.execs)))
-		}
-		if m.HostDeaths != nil {
-			m.HostDeaths.Inc()
-		}
+	if m != nil && m.HostDeaths != nil {
+		m.HostDeaths.Inc()
 	}
-	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostLost, Detail: fmt.Sprintf("%s: %v (%d units redelivered)", x.name, err, len(lost))})
-	r.opts.logf("fabric: lost executor %s (%v); redelivering %d units", x.name, err, len(lost))
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostLost,
+		Detail: fmt.Sprintf("%s: grace expired (%d units redelivered)", s.name, len(lost))})
+	r.opts.logf("fabric: executor %s never re-attached; session %d expired, redelivering %d units", s.name, s.token, len(lost))
 	for _, u := range lost {
 		delete(r.owner, u)
 		r.deaths[u]++
@@ -459,24 +837,49 @@ func (r *coordRun) deliver(res worker.Result) {
 // fatal to the whole run (onResult failure or an executor-reported fatal
 // unit error — the same unit would fail on any host).
 func (r *coordRun) frame(x *executorConn, typ uint8, payload []byte) error {
+	s := x.sess
+	if s == nil || s.conn != x {
+		x.conn.Close() // stale conn replaced by a reconnect; drop its frames
+		return r.fatalErr()
+	}
 	switch typ {
 	case msgHeartbeat:
 		return r.fatalErr()
 	case msgError:
-		return fmt.Errorf("fabric: executor %s: %s", x.name, payload)
+		return fmt.Errorf("fabric: executor %s: %s", s.name, payload)
 	case msgVerdict:
 		v, err := decodeVerdict(payload)
 		if err != nil {
-			r.dropExec(x, err)
+			r.detach(x, err)
 			return r.fatalErr()
 		}
 		u := int(v.Unit)
 		if u < 0 || u >= r.opts.Units {
-			r.dropExec(x, fmt.Errorf("verdict for unit %d outside the %d-unit plan", u, r.opts.Units))
+			r.detach(x, fmt.Errorf("verdict for unit %d outside the %d-unit plan", u, r.opts.Units))
 			return r.fatalErr()
 		}
+		if v.Seq <= s.seq || s.seen[v.Seq] {
+			// A retransmit of a verdict this session already processed;
+			// re-ack the watermark so the executor prunes its buffer.
+			_ = x.send(msgAck, encodeAck(s.seq))
+			return r.fatalErr()
+		}
+		// The ack is cumulative (TCP-style): s.seq is the highest seq below
+		// which everything was processed. A chaos-dropped write leaves a gap
+		// — later verdicts still arrive on the healthy connection — so gaps
+		// are tracked in s.seen and the watermark only advances when the
+		// executor's stall retransmit fills them.
+		s.seen[v.Seq] = true
+		for s.seen[s.seq+1] {
+			delete(s.seen, s.seq+1)
+			s.seq++
+		}
+		s.progressAt = time.Now()
 		if r.done[u] {
-			return r.fatalErr() // duplicate (steal race or redelivery); first verdict won
+			// Duplicate from a steal race, a redelivery, or a pre-restart
+			// journal append; the verdict is spent.
+			_ = x.send(msgAck, encodeAck(s.seq))
+			return r.fatalErr()
 		}
 		r.done[u] = true
 		r.doneN++
@@ -484,17 +887,24 @@ func (r *coordRun) frame(x *executorConn, typ uint8, payload []byte) error {
 			o.assigned--
 			delete(r.owner, u)
 		}
-		if x.done != nil {
-			x.done.Inc()
+		if s.done != nil {
+			s.done.Inc()
 		}
 		r.deliver(worker.Result{Index: u, Outcome: v.Outcome, Payload: v.Payload})
 		if err := r.fatalErr(); err != nil {
 			return err
 		}
+		// Ack only after deliver: every seq at or below the watermark has
+		// been journaled, so an executor that prunes on this ack can never
+		// strand an unjournaled verdict.
+		if err := x.send(msgAck, encodeAck(s.seq)); err != nil {
+			r.detach(x, fmt.Errorf("ack write: %w", err))
+			return r.fatalErr()
+		}
 		r.schedule()
 		return nil
 	default:
-		r.dropExec(x, fmt.Errorf("unexpected frame type %d", typ))
+		r.detach(x, fmt.Errorf("unexpected frame type %d", typ))
 		return r.fatalErr()
 	}
 }
@@ -503,27 +913,29 @@ func (r *coordRun) frame(x *executorConn, typ uint8, payload []byte) error {
 func (r *coordRun) fatalErr() error { return r.fatal }
 
 // schedule is the whole balancing policy, run after every join, verdict
-// and death:
+// and expiry:
 //
 //  1. Nothing happens until MinHosts executors are ready; then the pending
 //     set (the full todo on a fresh start) is cut into contiguous ranges
 //     weighted by each host's worker count — the initial shard.
-//  2. Units returned by a host death are redistributed the same way.
+//  2. Units returned by a session expiry are redistributed the same way.
 //  3. With nothing pending, an idle executor steals the top half (by plan
-//     index) of the most-loaded executor's unfinished units: the victim is
-//     revoked the range, the thief is assigned it. Executors run their
-//     ranges in ascending order, so the stolen tail is the least likely to
-//     be in flight; a unit that was anyway produces a duplicate verdict,
-//     which the merge drops.
+//     index) of the most-loaded *attached* executor's unfinished units: the
+//     victim is revoked the range, the thief is assigned it. Detached
+//     sessions are never stolen from — their executors are presumed to be
+//     reconnecting, still executing; expiry, not theft, reclaims their
+//     units. Executors run their ranges in ascending order, so the stolen
+//     tail is the least likely to be in flight; a unit that was anyway
+//     produces a duplicate verdict, which the merge drops.
 func (r *coordRun) schedule() {
+	xs := r.attached()
 	if !r.started {
-		if len(r.execs) < r.opts.MinHosts {
+		if len(xs) < r.opts.MinHosts {
 			return
 		}
 		r.started = true
-		r.opts.logf("fabric: %d executor(s) ready; sharding %d units", len(r.execs), len(r.pending))
+		r.opts.logf("fabric: %d executor(s) ready; sharding %d units", len(xs), len(r.pending))
 	}
-	xs := r.liveExecs()
 	if len(xs) == 0 {
 		return
 	}
@@ -536,13 +948,13 @@ func (r *coordRun) schedule() {
 		if thief.assigned > 0 {
 			continue
 		}
-		var victim *executorConn
-		for _, x := range xs {
-			if x == thief {
+		var victim *session
+		for _, s := range xs {
+			if s == thief {
 				continue
 			}
-			if victim == nil || x.assigned > victim.assigned {
-				victim = x
+			if victim == nil || s.assigned > victim.assigned {
+				victim = s
 			}
 		}
 		if victim == nil || victim.assigned < 2 {
@@ -561,14 +973,16 @@ func (r *coordRun) schedule() {
 		}
 		victim.assigned -= len(stolen)
 		thief.assigned += len(stolen)
+		r.side(sideRevoke, encodeSideUnits(victim.token, stolen))
+		r.side(sideAssign, encodeSideUnits(thief.token, stolen))
 		if m := r.opts.Metrics; m != nil && m.Steals != nil {
 			m.Steals.Inc()
 		}
 		r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindSteal, Detail: fmt.Sprintf("%d units %s -> %s", len(stolen), victim.name, thief.name)})
 		r.opts.logf("fabric: %s stole %d units from %s", thief.name, len(stolen), victim.name)
-		if err := victim.send(msgRevoke, encodeRuns(stolen)); err != nil {
-			r.dropExec(victim, fmt.Errorf("revoke write: %w", err))
-			// dropExec reschedules; the stolen units stay with the thief.
+		if err := victim.conn.send(msgRevoke, encodeRuns(stolen)); err != nil {
+			r.detach(victim.conn, fmt.Errorf("revoke write: %w", err))
+			// The stolen units stay with the thief either way.
 		}
 		r.assign(thief, stolen)
 	}
@@ -576,18 +990,18 @@ func (r *coordRun) schedule() {
 
 // distribute cuts a sorted unit set into contiguous slices weighted by each
 // executor's worker count and assigns them in id order.
-func (r *coordRun) distribute(xs []*executorConn, units []int) {
+func (r *coordRun) distribute(xs []*session, units []int) {
 	totalW := 0
-	for _, x := range xs {
-		totalW += x.workers
+	for _, s := range xs {
+		totalW += s.workers
 	}
 	start, given := 0, 0
-	for i, x := range xs {
+	for i, s := range xs {
 		var n int
 		if i == len(xs)-1 {
 			n = len(units) - start
 		} else {
-			given += x.workers
+			given += s.workers
 			n = len(units)*given/totalW - start
 		}
 		if n <= 0 {
@@ -596,34 +1010,38 @@ func (r *coordRun) distribute(xs []*executorConn, units []int) {
 		slice := units[start : start+n]
 		start += n
 		for _, u := range slice {
-			r.owner[u] = x
+			r.owner[u] = s
 		}
-		x.assigned += len(slice)
-		r.assign(x, slice)
+		s.assigned += len(slice)
+		r.side(sideAssign, encodeSideUnits(s.token, slice))
+		r.assign(s, slice)
 	}
 }
 
-// assign ships one sorted unit set to an executor. The owner bookkeeping is
-// the caller's; assign only encodes, counts and writes.
-func (r *coordRun) assign(x *executorConn, units []int) {
-	if len(units) == 0 || !x.live {
+// assign ships one sorted unit set to an attached session. The owner and
+// sidecar bookkeeping are the caller's; assign only encodes, counts and
+// writes.
+func (r *coordRun) assign(s *session, units []int) {
+	if len(units) == 0 || s.conn == nil {
 		return
 	}
 	if m := r.opts.Metrics; m != nil && m.Assigned != nil {
 		m.Assigned.Add(uint64(len(units)))
 	}
-	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindRangeAssigned, Detail: fmt.Sprintf("%d units -> %s", len(units), x.name)})
-	if err := x.send(msgAssign, encodeRuns(units)); err != nil {
-		r.dropExec(x, fmt.Errorf("assign write: %w", err))
+	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindRangeAssigned, Detail: fmt.Sprintf("%d units -> %s", len(units), s.name)})
+	if err := s.conn.send(msgAssign, encodeRuns(units)); err != nil {
+		r.detach(s.conn, fmt.Errorf("assign write: %w", err))
 	}
 }
 
-// shutdownAll releases every executor (best effort) and closes the fleet.
+// shutdownAll releases every attached executor (best effort) and closes the
+// fleet. Detached sessions have no connection to release; their executors'
+// reconnect windows expire against a closed port.
 func (r *coordRun) shutdownAll() {
-	for _, x := range r.liveExecs() {
-		_ = x.send(msgShutdown, nil)
-		x.conn.Close()
-		x.live = false
+	for _, s := range r.attached() {
+		_ = s.conn.send(msgShutdown, nil)
+		s.conn.conn.Close()
+		s.conn = nil
 	}
 	if m := r.opts.Metrics; m != nil && m.Hosts != nil {
 		m.Hosts.Set(0)

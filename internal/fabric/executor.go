@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -27,8 +29,9 @@ type BatchRunner interface {
 	// batch was cut, which the runner should not spend time on — skipping
 	// is an optimisation, not a correctness requirement, because duplicate
 	// verdicts are dropped at the merge. emit ships one verdict; it is
-	// safe to call from concurrent workers. A returned error is fatal to
-	// the executor session.
+	// safe to call from concurrent workers and never fails on a connection
+	// loss (the verdict is buffered and retransmitted after reconnecting).
+	// A returned error is fatal to the executor session.
 	RunBatch(ctx context.Context, units []int, skip func(int) bool, emit func(unit int, o journal.Outcome, payload []byte) error) error
 }
 
@@ -37,6 +40,15 @@ type BatchRunner interface {
 // It runs before the ready frame, so it is where the executor re-plans and
 // where a fingerprint mismatch should surface as an error.
 type BatchFactory func(spec worker.Spec) (BatchRunner, error)
+
+// ExecutorMetrics observes the executor's resilience path. All fields are
+// optional.
+type ExecutorMetrics struct {
+	// Reconnects counts successful redials after a lost connection.
+	Reconnects *telemetry.Counter
+	// Resumes counts welcomes that re-attached to a surviving session.
+	Resumes *telemetry.Counter
+}
 
 // ExecutorOptions configures one Join session.
 type ExecutorOptions struct {
@@ -48,11 +60,21 @@ type ExecutorOptions struct {
 	Workers int
 	// Batch builds the local execution stack from the campaign spec.
 	Batch BatchFactory
-	// DialTimeout bounds how long Join keeps trying to connect (default
-	// 10s). The coordinator binds its port only after planning the
-	// campaign, so refused connections are retried until the window
-	// closes — an executor may be started before its coordinator.
+	// DialTimeout caps the total time Join spends establishing the first
+	// connection, retries included (default 10s). The coordinator binds
+	// its port only after planning the campaign, so refused connections
+	// are retried — with backoff, honoring context cancellation — until
+	// the window closes.
 	DialTimeout time.Duration
+	// ReconnectWindow caps the total time a lost connection may spend
+	// re-establishing before the session is abandoned (default 60s).
+	// Execution continues through the outage; only the wire goes quiet.
+	ReconnectWindow time.Duration
+	// WrapConn, when non-nil, wraps every dialed connection — the hook
+	// the chaos proxy plugs into.
+	WrapConn func(net.Conn) net.Conn
+	// Metrics observes reconnects and session resumes; passive.
+	Metrics *ExecutorMetrics
 	// Log, when non-nil, receives one line per session event.
 	Log func(format string, args ...any)
 }
@@ -63,10 +85,20 @@ func (o *ExecutorOptions) logf(format string, args ...any) {
 	}
 }
 
+// fatalError marks errors that must not trigger a reconnect: the
+// coordinator rejected or aborted this executor, or the local batch stack
+// failed. Redialing could only repeat the failure.
+type fatalError struct{ error }
+
+func (e fatalError) Unwrap() error { return e.error }
+
 // Join connects to a coordinator, rebuilds the plan from the hello spec,
 // and executes assigned unit ranges until the coordinator sends shutdown
-// (clean end: returns nil), the context is cancelled, or the connection or
-// the batch runner fails.
+// (clean end: returns nil), the context is cancelled, or the session fails
+// fatally. A lost connection is not fatal: execution continues, verdicts
+// are buffered, and the executor redials with backoff — re-attaching to its
+// session, retransmitting unacknowledged verdicts — for up to
+// ReconnectWindow before giving up.
 func Join(ctx context.Context, addr string, opts ExecutorOptions) error {
 	if opts.Batch == nil {
 		return errors.New("fabric: ExecutorOptions.Batch is required")
@@ -82,77 +114,246 @@ func Join(ctx context.Context, addr string, opts ExecutorOptions) error {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 10 * time.Second
 	}
-	opts.logf("fabric: joining coordinator at %s", addr)
-	var conn net.Conn
-	dialUntil := time.Now().Add(opts.DialTimeout)
-	for attempt := 0; ; attempt++ {
-		var err error
-		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
-		if err == nil {
-			break
-		}
-		if time.Now().After(dialUntil) {
-			return fmt.Errorf("fabric: %w", err)
-		}
-		if attempt == 0 {
-			opts.logf("fabric: coordinator not up yet (%v); retrying for %v", err, opts.DialTimeout)
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(200 * time.Millisecond):
-		}
+	if opts.ReconnectWindow <= 0 {
+		opts.ReconnectWindow = 60 * time.Second
 	}
-	defer conn.Close()
+	x := &executor{
+		addr:    addr,
+		opts:    &opts,
+		revoked: make(map[int]bool),
+		wake:    make(chan struct{}, 1),
+		runErr:  make(chan error, 1),
+	}
+	opts.logf("fabric: joining coordinator at %s", addr)
+	conn, err := x.dialRetry(ctx, opts.DialTimeout)
+	if err != nil {
+		return err
+	}
 	if opts.Name == "" {
 		opts.Name = conn.LocalAddr().String()
 	}
 
-	// Cancellation severs the connection, which unblocks every read and
-	// write immediately.
-	x := &executor{conn: conn, opts: &opts, revoked: make(map[int]bool), wake: make(chan struct{}, 1)}
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	// Cancellation severs the current connection, which unblocks every
+	// read and write immediately; the dial loops check ctx themselves.
+	stop := context.AfterFunc(ctx, x.sever)
 	defer stop()
-	err := x.session(ctx)
-	if ctx.Err() != nil {
-		return ctx.Err()
+
+	runCtx, runCancel := context.WithCancel(ctx)
+	defer runCancel()
+
+	finish := func(sessErr error) error {
+		runCancel()
+		if x.batchStarted {
+			if err := <-x.runErr; err != nil && !errors.Is(err, context.Canceled) {
+				return err
+			}
+		}
+		return sessErr
 	}
-	return err
+
+	for {
+		err := x.session(runCtx, conn)
+		if ctx.Err() != nil {
+			return finish(ctx.Err())
+		}
+		x.qmu.Lock()
+		released := x.shutdown
+		x.qmu.Unlock()
+		if released {
+			// Clean shutdown: the coordinator has every verdict it needs;
+			// buffered retransmits are moot. A real batch error still
+			// surfaces (the shutdown may be the coordinator reacting to
+			// this executor's own error frame).
+			if err := finish(nil); err != nil {
+				return err
+			}
+			x.opts.logf("fabric: campaign complete; coordinator released this executor")
+			return nil
+		}
+		if berr := x.batchError(); berr != nil {
+			return finish(berr)
+		}
+		var fe fatalError
+		if errors.As(err, &fe) {
+			return finish(err)
+		}
+		// Connection lost. Execution keeps running; redial and re-attach.
+		x.opts.logf("fabric: connection lost (%v); redialing for up to %v", err, x.opts.ReconnectWindow)
+		conn2, rerr := x.dialRetry(ctx, x.opts.ReconnectWindow)
+		if rerr != nil {
+			if ctx.Err() != nil {
+				return finish(ctx.Err())
+			}
+			// The coordinator stayed unreachable for the whole window. If
+			// this executor holds no work — empty queue, no batch running —
+			// the likeliest story is a campaign that ended while the wire
+			// was too mangled to deliver the shutdown frame. Exit cleanly:
+			// there is nothing left this host could contribute, and any
+			// verdicts still unacked are surplus a restarted coordinator
+			// re-derives by redelivery (duplicates are merged away).
+			x.qmu.Lock()
+			idle := len(x.queue) == 0 && !x.batchActive
+			x.qmu.Unlock()
+			if idle {
+				x.smu.Lock()
+				surplus := len(x.unacked)
+				x.smu.Unlock()
+				if surplus > 0 {
+					x.opts.logf("fabric: abandoning %d unacknowledged verdict(s); a resumed campaign re-runs those units", surplus)
+				}
+				x.opts.logf("fabric: coordinator gone and no work left (%v); treating the campaign as ended", rerr)
+				if err := finish(nil); err != nil {
+					return err
+				}
+				return nil
+			}
+			return finish(fmt.Errorf("fabric: connection lost (%v); %w", err, rerr))
+		}
+		if m := x.opts.Metrics; m != nil && m.Reconnects != nil {
+			m.Reconnects.Inc()
+		}
+		conn = conn2
+	}
 }
 
-// executor is one Join session.
+// executor is one Join call's state, spanning every reconnected session.
 type executor struct {
-	conn net.Conn
+	addr string
 	opts *ExecutorOptions
 
 	wmu sync.Mutex // serialises frame writes (verdicts vs heartbeats)
 
-	qmu      sync.Mutex
-	queue    []int        // assigned, not yet handed to RunBatch; sorted
-	revoked  map[int]bool // stolen; skip if not yet started
-	wake     chan struct{}
-	shutdown bool
+	smu       sync.Mutex // session identity and the retransmit buffer
+	conn      net.Conn   // current connection; nil during an outage
+	token     uint64     // session token from the last welcome (0 = none yet)
+	seq       uint32     // last verdict sequence stamped
+	unacked   []verdict  // sent or pending verdicts not yet acknowledged
+	ackedSeq  uint32     // coordinator's cumulative ack watermark
+	lastAckAt time.Time  // last watermark advance (stall detection)
+
+	qmu         sync.Mutex
+	queue       []int        // assigned, not yet handed to RunBatch; sorted
+	revoked     map[int]bool // stolen; skip if not yet started
+	wake        chan struct{}
+	shutdown    bool
+	batchActive bool // a batch is inside RunBatch right now
+
+	bmu      sync.Mutex
+	batchErr error
+
+	runner       BatchRunner
+	units        int
+	fp           uint64 // the first hello's plan fingerprint
+	batchStarted bool
+	runErr       chan error
 
 	hb hello // negotiated timings
 }
 
-func (x *executor) send(typ uint8, payload []byte) error {
-	x.wmu.Lock()
-	defer x.wmu.Unlock()
-	_ = x.conn.SetWriteDeadline(time.Now().Add(x.hb.HeartbeatTimeout))
-	return worker.WriteFrame(x.conn, typ, payload)
+// sever closes the current connection (context cancellation path).
+func (x *executor) sever() {
+	x.smu.Lock()
+	defer x.smu.Unlock()
+	if x.conn != nil {
+		x.conn.Close()
+	}
 }
 
-func (x *executor) session(ctx context.Context) error {
-	// Handshake: hello in, re-plan, ready out. The hello read gets a
-	// generous fixed deadline because the negotiated timeout is inside it.
-	_ = x.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-	typ, payload, err := worker.ReadFrame(x.conn)
+// dialRetry establishes one TCP connection within the given window,
+// retrying with jittered exponential backoff. Context cancellation aborts
+// both the in-flight dial and the backoff sleeps; the window caps the total
+// wait, not each attempt.
+func (x *executor) dialRetry(ctx context.Context, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("fabric: no connection to %s within %v: %w", x.addr, window, lastErr)
+		}
+		attemptTimeout := remaining
+		if attemptTimeout > 5*time.Second {
+			attemptTimeout = 5 * time.Second
+		}
+		d := net.Dialer{Timeout: attemptTimeout}
+		conn, err := d.DialContext(ctx, "tcp", x.addr)
+		if err == nil {
+			if x.opts.WrapConn != nil {
+				conn = x.opts.WrapConn(conn)
+			}
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		if attempt == 0 {
+			x.opts.logf("fabric: coordinator unreachable (%v); retrying for up to %v", err, window)
+		}
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if sleep > remaining {
+			sleep = remaining
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(sleep):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// write sends one CRC frame under a write deadline.
+func (x *executor) write(conn net.Conn, typ uint8, payload []byte) error {
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	timeout := x.hb.HeartbeatTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	return worker.WriteFrameCRC(conn, typ, payload)
+}
+
+func (x *executor) setBatchError(err error) {
+	x.bmu.Lock()
+	x.batchErr = err
+	x.bmu.Unlock()
+}
+
+func (x *executor) batchError() error {
+	x.bmu.Lock()
+	defer x.bmu.Unlock()
+	return x.batchErr
+}
+
+// session drives one connection from handshake to loss or shutdown.
+func (x *executor) session(ctx context.Context, conn net.Conn) error {
+	defer func() {
+		x.smu.Lock()
+		if x.conn == conn {
+			x.conn = nil
+		}
+		x.smu.Unlock()
+		conn.Close()
+	}()
+
+	// Handshake: hello in, re-plan (first session only), ready out. The
+	// hello read gets a generous fixed deadline because the negotiated
+	// timeout is inside it.
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	typ, payload, err := worker.ReadFrameCRC(conn)
 	if err != nil {
 		return fmt.Errorf("fabric: reading hello: %w", err)
 	}
 	if typ == msgError {
-		return fmt.Errorf("fabric: coordinator: %s", payload)
+		return fatalError{fmt.Errorf("fabric: coordinator: %s", payload)}
 	}
 	if typ != msgHello {
 		return fmt.Errorf("fabric: expected hello, got frame type %d", typ)
@@ -162,7 +363,7 @@ func (x *executor) session(ctx context.Context) error {
 		return err
 	}
 	if h.Version != ProtocolVersion {
-		return fmt.Errorf("fabric: coordinator speaks protocol version %d, executor speaks %d", h.Version, ProtocolVersion)
+		return fatalError{fmt.Errorf("fabric: coordinator speaks protocol version %d, executor speaks %d", h.Version, ProtocolVersion)}
 	}
 	if h.HeartbeatInterval <= 0 {
 		h.HeartbeatInterval = 500 * time.Millisecond
@@ -170,7 +371,12 @@ func (x *executor) session(ctx context.Context) error {
 	if h.HeartbeatTimeout <= 0 {
 		h.HeartbeatTimeout = 10 * time.Second
 	}
-	x.hb = h
+	// The negotiated timings are stored once: after the first session the
+	// batch loop's emit path reads x.hb concurrently, and a coordinator
+	// restart does not renegotiate.
+	if x.runner == nil {
+		x.hb = h
+	}
 
 	// Heartbeats start before the (possibly slow) re-plan so the
 	// coordinator's handshake deadline does not fire while we build.
@@ -184,68 +390,156 @@ func (x *executor) session(ctx context.Context) error {
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				if x.send(msgHeartbeat, nil) != nil {
+				if x.write(conn, msgHeartbeat, nil) != nil {
 					return // reader sees the dead conn too
 				}
+				x.maybeRetransmit(conn)
 			}
 		}
 	}()
 
-	runner, err := x.opts.Batch(h.Spec)
-	if err != nil {
-		_ = x.send(msgError, []byte(err.Error()))
-		return fmt.Errorf("fabric: building batch runner: %w", err)
+	if x.runner == nil {
+		runner, err := x.opts.Batch(h.Spec)
+		if err != nil {
+			_ = x.write(conn, msgError, []byte(err.Error()))
+			return fatalError{fmt.Errorf("fabric: building batch runner: %w", err)}
+		}
+		x.runner = runner
+		x.units = runner.Units()
+		x.fp = h.Spec.Fingerprint
+	} else if h.Spec.Fingerprint != x.fp {
+		return fatalError{fmt.Errorf("fabric: coordinator now plans fingerprint %016x, this session was built for %016x", h.Spec.Fingerprint, x.fp)}
 	}
-	units := runner.Units()
-	if err := x.send(msgReady, encodeReady(ready{
+
+	x.smu.Lock()
+	token := x.token
+	x.smu.Unlock()
+	if err := x.write(conn, msgReady, encodeReady(ready{
 		Version:     ProtocolVersion,
-		Fingerprint: h.Spec.Fingerprint,
-		Units:       uint32(units),
+		Fingerprint: x.fp,
+		Units:       uint32(x.units),
 		Workers:     uint32(x.opts.Workers),
+		Token:       token,
 		Name:        x.opts.Name,
 	})); err != nil {
 		return fmt.Errorf("fabric: sending ready: %w", err)
 	}
-	x.opts.logf("fabric: ready as %q: %d-unit plan, %d workers", x.opts.Name, units, x.opts.Workers)
 
-	// The batch loop runs concurrently with the read loop: assigns and
-	// revokes keep landing while a batch executes.
-	runCtx, runCancel := context.WithCancel(ctx)
-	defer runCancel()
-	runErr := make(chan error, 1)
-	go func() { runErr <- x.batchLoop(runCtx, runner) }()
-
-	readErr := x.readLoop(units)
-
-	x.qmu.Lock()
-	done := x.shutdown
-	x.qmu.Unlock()
-	if done {
-		// Clean shutdown: let the in-flight batch finish nothing more —
-		// the coordinator has every verdict it needs. A real batch error
-		// still surfaces (the shutdown may be the coordinator reacting to
-		// this executor's own error frame).
-		runCancel()
-		if err := <-runErr; err != nil && !errors.Is(err, context.Canceled) {
-			return err
-		}
-		x.opts.logf("fabric: campaign complete; coordinator released this executor")
-		return nil
-	}
-	// Connection failed. A batch-runner error is the root cause when there
-	// is one (its msgError write is usually what the reader saw die).
-	runCancel()
-	if err := <-runErr; err != nil && !errors.Is(err, context.Canceled) {
+	if err := x.awaitWelcome(conn); err != nil {
 		return err
 	}
-	return readErr
+
+	// The batch loop runs concurrently with the read loop — and across
+	// reconnects: assigns and revokes keep landing while a batch executes,
+	// and a batch keeps executing while the wire is down.
+	if !x.batchStarted {
+		x.batchStarted = true
+		x.opts.logf("fabric: ready as %q: %d-unit plan, %d workers", x.opts.Name, x.units, x.opts.Workers)
+		go func() { x.runErr <- x.batchLoop(ctx, x.runner) }()
+	}
+
+	return x.readLoop(conn)
+}
+
+// awaitWelcome reads the coordinator's welcome and installs the session:
+// on a resume, the retransmit buffer is pruned to the coordinator's ack
+// watermark and the remainder is flushed; on a fresh session (first join,
+// or the old session expired), buffered verdicts are re-stamped under the
+// new session and flushed, and the stale queue is discarded — the
+// coordinator re-assigns from scratch. The session lock is held across the
+// flush so a concurrent emit cannot interleave a new verdict ahead of a
+// retransmit (sequence numbers must reach the coordinator in order).
+func (x *executor) awaitWelcome(conn net.Conn) error {
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(x.hb.HeartbeatTimeout))
+		typ, payload, err := worker.ReadFrameCRC(conn)
+		if err != nil {
+			return fmt.Errorf("fabric: reading welcome: %w", err)
+		}
+		switch typ {
+		case msgHeartbeat:
+			continue
+		case msgError:
+			return fatalError{fmt.Errorf("fabric: coordinator: %s", payload)}
+		case msgShutdown:
+			// Reconnected into the campaign's goodbye phase: the work is
+			// done. Closing the connection (session teardown) is the
+			// receipt the coordinator waits for.
+			x.qmu.Lock()
+			x.shutdown = true
+			x.qmu.Unlock()
+			return errors.New("fabric: released during handshake")
+		case msgWelcome:
+			w, err := decodeWelcome(payload)
+			if err != nil {
+				return err
+			}
+			x.smu.Lock()
+			defer x.smu.Unlock()
+			if w.Resumed {
+				kept := x.unacked[:0]
+				for _, v := range x.unacked {
+					if v.Seq > w.Acked {
+						kept = append(kept, v)
+					}
+				}
+				// Re-stamp the survivors consecutively above the
+				// coordinator's watermark. Against a coordinator that acked
+				// this session before, this is the identity (cumulative acks
+				// leave the buffer contiguous at acked+1..seq) — but a
+				// coordinator recovered from the sidecar starts the session
+				// at watermark 0 while this buffer's prefix was acked by its
+				// predecessor, and without renumbering the gap below the
+				// buffer's first seq would pin the new watermark at 0
+				// forever: nothing prunes, every stall re-sends everything.
+				for i := range kept {
+					kept[i].Seq = w.Acked + uint32(i+1)
+				}
+				x.unacked = kept
+				x.seq = w.Acked + uint32(len(kept))
+				if m := x.opts.Metrics; m != nil && m.Resumes != nil {
+					m.Resumes.Inc()
+				}
+				x.opts.logf("fabric: session %d resumed; retransmitting %d unacknowledged verdict(s)", w.Token, len(x.unacked))
+			} else {
+				// Fresh session: the old assignments are void (the
+				// coordinator redelivered or never knew them), but buffered
+				// verdicts are still good — verdicts are deterministic, and
+				// retransmitting saves re-execution elsewhere.
+				for i := range x.unacked {
+					x.unacked[i].Seq = uint32(i + 1)
+				}
+				x.seq = uint32(len(x.unacked))
+				x.qmu.Lock()
+				x.queue = nil
+				x.revoked = make(map[int]bool)
+				x.qmu.Unlock()
+				if x.token != 0 {
+					x.opts.logf("fabric: session %d expired on the coordinator; starting session %d with %d buffered verdict(s)",
+						x.token, w.Token, len(x.unacked))
+				}
+			}
+			x.token = w.Token
+			x.ackedSeq = w.Acked
+			x.lastAckAt = time.Now()
+			for _, v := range x.unacked {
+				if err := x.write(conn, msgVerdict, encodeVerdict(v)); err != nil {
+					return fmt.Errorf("fabric: retransmitting verdicts: %w", err)
+				}
+			}
+			x.conn = conn
+			return nil
+		default:
+			return fmt.Errorf("fabric: expected welcome, got frame type %d", typ)
+		}
+	}
 }
 
 // readLoop drains coordinator frames until shutdown or a dead connection.
-func (x *executor) readLoop(maxUnits int) error {
+func (x *executor) readLoop(conn net.Conn) error {
 	for {
-		_ = x.conn.SetReadDeadline(time.Now().Add(x.hb.HeartbeatTimeout))
-		typ, payload, err := worker.ReadFrame(x.conn)
+		_ = conn.SetReadDeadline(time.Now().Add(x.hb.HeartbeatTimeout))
+		typ, payload, err := worker.ReadFrameCRC(conn)
 		if err != nil {
 			if err == io.EOF {
 				return fmt.Errorf("fabric: coordinator closed the connection")
@@ -254,17 +548,64 @@ func (x *executor) readLoop(maxUnits int) error {
 		}
 		switch typ {
 		case msgHeartbeat:
-		case msgAssign:
-			units, err := decodeRuns(payload, maxUnits)
+		case msgAck:
+			seq, err := decodeAck(payload)
 			if err != nil {
 				return err
 			}
+			x.smu.Lock()
+			if seq > x.ackedSeq {
+				x.ackedSeq = seq
+				x.lastAckAt = time.Now()
+			}
+			kept := x.unacked[:0]
+			for _, v := range x.unacked {
+				if v.Seq > seq {
+					kept = append(kept, v)
+				}
+			}
+			x.unacked = kept
+			x.smu.Unlock()
+		case msgAssign:
+			units, err := decodeRuns(payload, x.units)
+			if err != nil {
+				return err
+			}
+			// Units this host already executed sit in the retransmit buffer
+			// awaiting an ack; a re-assignment of those (a stall nudge, or a
+			// recovered coordinator re-sending outstanding ranges) must not
+			// re-execute them — the buffered verdict is already the answer
+			// and the retransmit path delivers it. Without this filter every
+			// nudge during a long outage re-runs the whole assignment and
+			// the buffer grows without bound.
+			x.smu.Lock()
+			emitted := make(map[int]bool, len(x.unacked))
+			for _, v := range x.unacked {
+				emitted[int(v.Unit)] = true
+			}
+			x.smu.Unlock()
+			fresh := units[:0]
+			for _, u := range units {
+				if !emitted[u] {
+					fresh = append(fresh, u)
+				}
+			}
+			units = fresh
 			x.qmu.Lock()
 			for _, u := range units {
 				delete(x.revoked, u) // re-assignment supersedes an old steal
 			}
 			x.queue = append(x.queue, units...)
 			sort.Ints(x.queue)
+			// A re-attach re-sends outstanding ranges; deduplicate so a
+			// unit is not queued (and executed) twice by this host.
+			dedup := x.queue[:0]
+			for i, u := range x.queue {
+				if i == 0 || u != x.queue[i-1] {
+					dedup = append(dedup, u)
+				}
+			}
+			x.queue = dedup
 			x.qmu.Unlock()
 			select {
 			case x.wake <- struct{}{}:
@@ -272,7 +613,7 @@ func (x *executor) readLoop(maxUnits int) error {
 			}
 			x.opts.logf("fabric: assigned %d units", len(units))
 		case msgRevoke:
-			units, err := decodeRuns(payload, maxUnits)
+			units, err := decodeRuns(payload, x.units)
 			if err != nil {
 				return err
 			}
@@ -297,9 +638,60 @@ func (x *executor) readLoop(maxUnits int) error {
 			x.qmu.Unlock()
 			return nil
 		case msgError:
-			return fmt.Errorf("fabric: coordinator aborted: %s", payload)
+			return fatalError{fmt.Errorf("fabric: coordinator aborted: %s", payload)}
 		default:
 			return fmt.Errorf("fabric: unexpected frame type %d from coordinator", typ)
+		}
+	}
+}
+
+// emit stamps one verdict with the next sequence number, buffers it for
+// retransmission, and sends it if the wire is up. A connection failure is
+// not an error: the verdict stays buffered, the dead connection is severed
+// so the read loop notices, and the reconnect path retransmits.
+func (x *executor) emit(unit int, o journal.Outcome, payload []byte) error {
+	x.smu.Lock()
+	defer x.smu.Unlock()
+	x.seq++
+	v := verdict{Seq: x.seq, Unit: uint32(unit), Outcome: o, Payload: payload}
+	x.unacked = append(x.unacked, v)
+	if x.conn != nil {
+		if err := x.write(x.conn, msgVerdict, encodeVerdict(v)); err != nil {
+			x.opts.logf("fabric: verdict for unit %d buffered (%v); will retransmit after reconnecting", unit, err)
+			x.conn.Close()
+			x.conn = nil
+		}
+	}
+	return nil
+}
+
+// maybeRetransmit re-sends the whole unacked buffer when the coordinator's
+// cumulative ack watermark has not advanced for half a heartbeat timeout
+// while verdicts are outstanding. On a clean link acks advance with every
+// verdict and this never fires; a chaos-dropped verdict write (the stream
+// stays healthy, the frame simply never existed) leaves a gap at the
+// watermark that only a retransmit can fill. Re-sent verdicts the
+// coordinator did process are re-acked and pruned.
+func (x *executor) maybeRetransmit(conn net.Conn) {
+	x.smu.Lock()
+	defer x.smu.Unlock()
+	if x.conn != conn || len(x.unacked) == 0 {
+		return
+	}
+	stall := x.hb.HeartbeatTimeout / 2
+	if stall <= 0 {
+		stall = 5 * time.Second
+	}
+	if time.Since(x.lastAckAt) < stall {
+		return
+	}
+	x.lastAckAt = time.Now()
+	x.opts.logf("fabric: no ack progress for %v; retransmitting %d verdict(s)", stall, len(x.unacked))
+	for _, v := range x.unacked {
+		if err := x.write(conn, msgVerdict, encodeVerdict(v)); err != nil {
+			x.conn.Close()
+			x.conn = nil
+			return
 		}
 	}
 }
@@ -313,24 +705,11 @@ func (x *executor) batchLoop(ctx context.Context, runner BatchRunner) error {
 		defer x.qmu.Unlock()
 		return x.revoked[u]
 	}
-	emit := func(unit int, o journal.Outcome, payload []byte) error {
-		err := x.send(msgVerdict, encodeVerdict(verdict{Unit: uint32(unit), Outcome: o, Payload: payload}))
-		if err != nil {
-			x.qmu.Lock()
-			released := x.shutdown
-			x.qmu.Unlock()
-			if released {
-				// The campaign completed while this (stale, already
-				// duplicated) unit was in flight; the verdict is not needed.
-				return nil
-			}
-		}
-		return err
-	}
 	for {
 		x.qmu.Lock()
 		batch := x.queue
 		x.queue = nil
+		x.batchActive = len(batch) > 0
 		x.qmu.Unlock()
 		if len(batch) == 0 {
 			select {
@@ -340,9 +719,19 @@ func (x *executor) batchLoop(ctx context.Context, runner BatchRunner) error {
 			}
 			continue
 		}
-		if err := runner.RunBatch(ctx, batch, skip, emit); err != nil {
+		err := runner.RunBatch(ctx, batch, skip, x.emit)
+		x.qmu.Lock()
+		x.batchActive = false
+		x.qmu.Unlock()
+		if err != nil {
 			if ctx.Err() == nil {
-				_ = x.send(msgError, []byte(err.Error()))
+				x.setBatchError(err)
+				x.smu.Lock()
+				conn := x.conn
+				x.smu.Unlock()
+				if conn != nil {
+					_ = x.write(conn, msgError, []byte(err.Error()))
+				}
 			}
 			return err
 		}

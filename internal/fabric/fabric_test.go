@@ -64,9 +64,12 @@ func testCoordinator(t *testing.T, units, minHosts int, m *Metrics) *Coordinator
 		Units:             units,
 		HeartbeatInterval: 20 * time.Millisecond,
 		HeartbeatTimeout:  2 * time.Second,
-		Quarantine:        journal.Outcome{Mode: 9},
-		Metrics:           m,
-		Log:               t.Logf,
+		// Tests sever connections on purpose; expire the session quickly so
+		// redelivery expectations hold without multi-second waits.
+		SessionTimeout: 150 * time.Millisecond,
+		Quarantine:     journal.Outcome{Mode: 9},
+		Metrics:        m,
+		Log:            t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)

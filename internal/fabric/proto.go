@@ -23,28 +23,46 @@
 // keeps the scheduling policy simple — nothing needs distributed consensus,
 // only the coordinator's single-threaded event loop.
 //
-// The wire protocol, version 1 (all integers little-endian), framed exactly
-// as the worker protocol (length u32 | type u8 | payload, length counting
-// type+payload, MaxFrame-bounded):
+// The wire protocol, version 2 (all integers little-endian), framed as the
+// worker protocol's CRC form (length u32 | type u8 | payload | crc32 u32,
+// length counting type+payload+crc, MaxFrame-bounded). Version 1 spoke the
+// plain frame form over a trusted loopback; version 2 assumes the network
+// itself is under fault injection, so every frame is checksummed and a
+// poisoned frame severs the connection for re-establishment rather than
+// desynchronizing the stream:
 //
 //	hello     version u16 | heartbeat-ms u32 | deadline-ms u32 |
 //	          fingerprint u64 | kind-len u16 | kind | spec-len u32 | spec
 //	ready     version u16 | fingerprint u64 | units u32 | workers u32 |
-//	          name-len u16 | name
+//	          token u64 | name-len u16 | name
 //	assign    runs u32 | (start u32 | count u32)*
 //	revoke    runs u32 | (start u32 | count u32)*
-//	verdict   unit u32 | mode u8 | flags u8 | payload-len u32 | payload
+//	verdict   seq u32 | unit u32 | mode u8 | flags u8 |
+//	          payload-len u32 | payload
 //	heartbeat (empty, both directions)
 //	shutdown  (empty; campaign complete, executor exits cleanly)
 //	error     message (UTF-8; either side aborts the campaign)
+//	welcome   token u64 | resumed u8 | acked u32
+//	ack       seq u32
 //
 // The coordinator opens with hello; the executor answers ready after
 // re-planning, echoing the negotiated version and the plan fingerprint it
-// reconstructed. Assign and revoke carry run-length-encoded sorted unit
-// sets: a fresh campaign's shard is one run, a resumed campaign's holes
-// make more. Verdict mode/flags use the journal.Outcome wire encoding, the
-// same bytes the journal appends and the worker protocol ships, so a
-// verdict crosses host, supervisor and journal without translation.
+// reconstructed, plus its session token — zero on a first join, the token
+// from the welcome frame when re-attaching after a connection loss. The
+// coordinator answers ready with welcome: the session token to present next
+// time, whether the session resumed (an existing session's assignments
+// survive the reconnect), and the highest verdict sequence number it has
+// processed, which lets the executor prune its retransmit buffer.
+//
+// Assign and revoke carry run-length-encoded sorted unit sets: a fresh
+// campaign's shard is one run, a resumed campaign's holes make more.
+// Verdict mode/flags use the journal.Outcome wire encoding, the same bytes
+// the journal appends and the worker protocol ships, so a verdict crosses
+// host, supervisor and journal without translation. Each verdict carries a
+// per-session sequence number, acknowledged by the coordinator only after
+// the verdict is durably journaled; unacknowledged verdicts are buffered by
+// the executor and retransmitted on re-attach, where the sequence number
+// (and, behind it, the done-set) makes duplicate delivery idempotent.
 package fabric
 
 import (
@@ -60,7 +78,7 @@ import (
 // ProtocolVersion is the fabric frame-format version sent in hello and
 // echoed in ready. Mixed-build coordinator/executor pairs fail the
 // handshake instead of mis-parsing frames.
-const ProtocolVersion = 1
+const ProtocolVersion = 2
 
 // Message types. The numbering space is independent of the worker
 // protocol's — the two never share a stream.
@@ -73,6 +91,8 @@ const (
 	msgHeartbeat
 	msgShutdown
 	msgError
+	msgWelcome
+	msgAck
 )
 
 // hello is the coordinator's opening frame.
@@ -83,17 +103,31 @@ type hello struct {
 	Spec              worker.Spec
 }
 
-// ready is the executor's handshake answer.
+// ready is the executor's handshake answer. Token is zero on a first join
+// and the welcome-issued session token when re-attaching.
 type ready struct {
 	Version     uint16
 	Fingerprint uint64
 	Units       uint32
 	Workers     uint32
+	Token       uint64
 	Name        string
 }
 
-// verdict is one completed unit crossing back to the coordinator.
+// welcome is the coordinator's answer to ready: the session identity the
+// executor keeps across reconnects, whether an existing session's
+// assignments survived, and the retransmit-buffer watermark.
+type welcome struct {
+	Token   uint64
+	Resumed bool
+	Acked   uint32
+}
+
+// verdict is one completed unit crossing back to the coordinator. Seq is
+// the per-session sequence number (1-based; monotone over the session's
+// whole lifetime, reconnects included).
 type verdict struct {
+	Seq     uint32
 	Unit    uint32
 	Outcome journal.Outcome
 	Payload []byte
@@ -140,11 +174,12 @@ func decodeHello(b []byte) (hello, error) {
 
 func encodeReady(r ready) []byte {
 	name := []byte(r.Name)
-	buf := make([]byte, 0, 20+len(name))
+	buf := make([]byte, 0, 28+len(name))
 	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Fingerprint)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Units)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Workers)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Token)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
 	buf = append(buf, name...)
 	return buf
@@ -152,23 +187,59 @@ func encodeReady(r ready) []byte {
 
 func decodeReady(b []byte) (ready, error) {
 	var r ready
-	if len(b) < 20 {
+	if len(b) < 28 {
 		return r, fmt.Errorf("fabric: ready frame too short (%d bytes)", len(b))
 	}
 	r.Version = binary.LittleEndian.Uint16(b[0:2])
 	r.Fingerprint = binary.LittleEndian.Uint64(b[2:10])
 	r.Units = binary.LittleEndian.Uint32(b[10:14])
 	r.Workers = binary.LittleEndian.Uint32(b[14:18])
-	nn := int(binary.LittleEndian.Uint16(b[18:20]))
-	if len(b)-20 != nn {
-		return r, fmt.Errorf("fabric: ready name length %d, frame holds %d", nn, len(b)-20)
+	r.Token = binary.LittleEndian.Uint64(b[18:26])
+	nn := int(binary.LittleEndian.Uint16(b[26:28]))
+	if len(b)-28 != nn {
+		return r, fmt.Errorf("fabric: ready name length %d, frame holds %d", nn, len(b)-28)
 	}
-	r.Name = string(b[20:])
+	r.Name = string(b[28:])
 	return r, nil
 }
 
+func encodeWelcome(w welcome) []byte {
+	buf := make([]byte, 0, 13)
+	buf = binary.LittleEndian.AppendUint64(buf, w.Token)
+	if w.Resumed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, w.Acked)
+	return buf
+}
+
+func decodeWelcome(b []byte) (welcome, error) {
+	var w welcome
+	if len(b) != 13 {
+		return w, fmt.Errorf("fabric: welcome frame is %d bytes, want 13", len(b))
+	}
+	w.Token = binary.LittleEndian.Uint64(b[0:8])
+	w.Resumed = b[8] != 0
+	w.Acked = binary.LittleEndian.Uint32(b[9:13])
+	return w, nil
+}
+
+func encodeAck(seq uint32) []byte {
+	return binary.LittleEndian.AppendUint32(nil, seq)
+}
+
+func decodeAck(b []byte) (uint32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("fabric: ack frame is %d bytes, want 4", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
 func encodeVerdict(v verdict) []byte {
-	buf := make([]byte, 0, 10+len(v.Payload))
+	buf := make([]byte, 0, 14+len(v.Payload))
+	buf = binary.LittleEndian.AppendUint32(buf, v.Seq)
 	buf = binary.LittleEndian.AppendUint32(buf, v.Unit)
 	buf = append(buf, v.Outcome.Mode, v.Outcome.Flags())
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Payload)))
@@ -178,17 +249,18 @@ func encodeVerdict(v verdict) []byte {
 
 func decodeVerdict(b []byte) (verdict, error) {
 	var v verdict
-	if len(b) < 10 {
+	if len(b) < 14 {
 		return v, fmt.Errorf("fabric: verdict frame too short (%d bytes)", len(b))
 	}
-	v.Unit = binary.LittleEndian.Uint32(b[0:4])
-	v.Outcome = journal.DecodeOutcome(b[4], b[5])
-	pn := int(binary.LittleEndian.Uint32(b[6:10]))
-	if len(b)-10 != pn {
-		return v, fmt.Errorf("fabric: verdict payload length %d, frame holds %d", pn, len(b)-10)
+	v.Seq = binary.LittleEndian.Uint32(b[0:4])
+	v.Unit = binary.LittleEndian.Uint32(b[4:8])
+	v.Outcome = journal.DecodeOutcome(b[8], b[9])
+	pn := int(binary.LittleEndian.Uint32(b[10:14]))
+	if len(b)-14 != pn {
+		return v, fmt.Errorf("fabric: verdict payload length %d, frame holds %d", pn, len(b)-14)
 	}
 	if pn > 0 {
-		v.Payload = b[10:]
+		v.Payload = b[14:]
 	}
 	return v, nil
 }

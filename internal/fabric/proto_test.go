@@ -42,7 +42,7 @@ func TestHelloTruncated(t *testing.T) {
 }
 
 func TestReadyRoundTrip(t *testing.T) {
-	in := ready{Version: ProtocolVersion, Fingerprint: 0x0123456789abcdef, Units: 991, Workers: 8, Name: "host-b"}
+	in := ready{Version: ProtocolVersion, Fingerprint: 0x0123456789abcdef, Units: 991, Workers: 8, Token: 0xfeedface, Name: "host-b"}
 	out, err := decodeReady(encodeReady(in))
 	if err != nil {
 		t.Fatal(err)
@@ -55,18 +55,51 @@ func TestReadyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWelcomeRoundTrip(t *testing.T) {
+	for _, in := range []welcome{
+		{Token: 1},
+		{Token: 0xdead0001, Resumed: true, Acked: 977},
+	} {
+		out, err := decodeWelcome(encodeWelcome(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+		}
+	}
+	if _, err := decodeWelcome(encodeWelcome(welcome{Token: 9})[:12]); err == nil {
+		t.Fatal("decodeWelcome accepted a short frame")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, in := range []uint32{0, 1, 1 << 30} {
+		out, err := decodeAck(encodeAck(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip mismatch: %d != %d", out, in)
+		}
+	}
+	if _, err := decodeAck([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decodeAck accepted a short frame")
+	}
+}
+
 func TestVerdictRoundTrip(t *testing.T) {
 	cases := []verdict{
 		{Unit: 0, Outcome: journal.Outcome{Mode: 1}},
-		{Unit: 7, Outcome: journal.Outcome{Mode: 5, Activated: true, Retried: true}},
-		{Unit: 123456, Outcome: journal.Outcome{Mode: 3, Degraded: true}, Payload: []byte("case output")},
+		{Seq: 41, Unit: 7, Outcome: journal.Outcome{Mode: 5, Activated: true, Retried: true}},
+		{Seq: 1 << 20, Unit: 123456, Outcome: journal.Outcome{Mode: 3, Degraded: true}, Payload: []byte("case output")},
 	}
 	for _, in := range cases {
 		out, err := decodeVerdict(encodeVerdict(in))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if out.Unit != in.Unit || out.Outcome != in.Outcome || !bytes.Equal(out.Payload, in.Payload) {
+		if out.Seq != in.Seq || out.Unit != in.Unit || out.Outcome != in.Outcome || !bytes.Equal(out.Payload, in.Payload) {
 			t.Fatalf("round trip mismatch: %+v != %+v", out, in)
 		}
 	}
@@ -121,14 +154,26 @@ func seqUnits(start, n int) []int {
 // maxUnits bound no matter what the frame claims.
 func FuzzDecoders(f *testing.F) {
 	f.Add(encodeHello(hello{Version: 1, Spec: worker.Spec{Kind: "k", Payload: []byte("p")}}))
-	f.Add(encodeReady(ready{Version: 1, Name: "n"}))
-	f.Add(encodeVerdict(verdict{Unit: 3, Payload: []byte("out")}))
+	f.Add(encodeReady(ready{Version: 2, Token: 7, Name: "n"}))
+	f.Add(encodeVerdict(verdict{Seq: 5, Unit: 3, Payload: []byte("out")}))
+	f.Add(encodeWelcome(welcome{Token: 12, Resumed: true, Acked: 44}))
+	f.Add(encodeAck(99))
+	f.Add(encodeSideSession(3, 2, "host"))
+	f.Add(encodeSideUnits(3, []int{0, 1, 2, 9, 10}))
 	f.Add(encodeRuns([]int{0, 1, 2, 9, 10}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeHello(data)
 		decodeReady(data)
 		decodeVerdict(data)
+		decodeWelcome(data)
+		decodeAck(data)
+		decodeSideSession(data)
+		decodeSideExpire(data)
+		const maxSideUnits = 128
+		if _, units, err := decodeSideUnits(data, maxSideUnits); err == nil && len(units) > maxSideUnits {
+			t.Fatalf("decodeSideUnits returned %d units past the %d bound", len(units), maxSideUnits)
+		}
 		const maxUnits = 128
 		if units, err := decodeRuns(data, maxUnits); err == nil && len(units) > maxUnits {
 			t.Fatalf("decodeRuns returned %d units past the %d bound", len(units), maxUnits)

@@ -1,0 +1,161 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/journal"
+)
+
+// The coordinator's crash-recovery state rides in a journal.SideLog beside
+// the campaign journal. The campaign journal's bytes are the determinism
+// contract — compared verbatim against a single-host run — so scheduling
+// state (who owns which units, how many hosts each unit has gone down with,
+// which session tokens are outstanding) lives in this sidecar instead. A
+// coordinator restarted with -fabric-listen -resume replays the sidecar to
+// rebuild its session table and outstanding ranges; executors that kept
+// redialing during the outage re-attach to their recovered sessions and the
+// campaign continues as if the coordinator had only been partitioned.
+//
+// Record kinds (payloads little-endian):
+//
+//	session  token u64 | workers u32 | name        — a session registered
+//	assign   token u64 | runs u32 | (start,count)* — units granted to it
+//	revoke   token u64 | runs u32 | (start,count)* — units stolen from it
+//	expire   token u64                             — session declared dead;
+//	                                                 its units were redelivered
+const (
+	sideSession uint8 = 1 + iota
+	sideAssign
+	sideRevoke
+	sideExpire
+)
+
+func encodeSideSession(token uint64, workers int, name string) []byte {
+	buf := make([]byte, 0, 12+len(name))
+	buf = binary.LittleEndian.AppendUint64(buf, token)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(workers))
+	return append(buf, name...)
+}
+
+func decodeSideSession(b []byte) (token uint64, workers int, name string, err error) {
+	if len(b) < 12 {
+		return 0, 0, "", fmt.Errorf("fabric: session record too short (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), int(binary.LittleEndian.Uint32(b[8:12])), string(b[12:]), nil
+}
+
+func encodeSideUnits(token uint64, units []int) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, token)
+	return append(buf, encodeRuns(units)...)
+}
+
+func decodeSideUnits(b []byte, maxUnits int) (token uint64, units []int, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("fabric: unit-set record too short (%d bytes)", len(b))
+	}
+	units, err = decodeRuns(b[8:], maxUnits)
+	return binary.LittleEndian.Uint64(b[0:8]), units, err
+}
+
+func encodeSideExpire(token uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, token)
+}
+
+func decodeSideExpire(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("fabric: expire record is %d bytes, want 8", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// sideSessionState is one surviving session rebuilt from the sidecar.
+type sideSessionState struct {
+	token   uint64
+	name    string
+	workers int
+	owned   map[int]bool
+}
+
+// sideState is the coordinator state a sidecar replay yields.
+type sideState struct {
+	sessions map[uint64]*sideSessionState
+	deaths   map[int]int // per-unit executor-host death counts
+	maxToken uint64
+}
+
+// replaySide folds a sidecar's records into the coordinator state they
+// describe. maxUnits bounds run-set expansion exactly as on the wire. A
+// record for an unknown token is ignored rather than fatal: the sidecar's
+// tail may reference a session whose registration record was the torn tail
+// of an earlier crash, and dropping it costs only redundant execution.
+func replaySide(side *journal.SideLog, maxUnits int) (*sideState, error) {
+	st := &sideState{
+		sessions: make(map[uint64]*sideSessionState),
+		deaths:   make(map[int]int),
+	}
+	err := side.Replay(func(rec journal.SideRecord) error {
+		switch rec.Kind {
+		case sideSession:
+			token, workers, name, err := decodeSideSession(rec.Payload)
+			if err != nil {
+				return err
+			}
+			st.sessions[token] = &sideSessionState{
+				token: token, name: name, workers: workers, owned: make(map[int]bool),
+			}
+			if token > st.maxToken {
+				st.maxToken = token
+			}
+		case sideAssign:
+			token, units, err := decodeSideUnits(rec.Payload, maxUnits)
+			if err != nil {
+				return err
+			}
+			if s := st.sessions[token]; s != nil {
+				for _, u := range units {
+					s.owned[u] = true
+				}
+			}
+		case sideRevoke:
+			token, units, err := decodeSideUnits(rec.Payload, maxUnits)
+			if err != nil {
+				return err
+			}
+			if s := st.sessions[token]; s != nil {
+				for _, u := range units {
+					delete(s.owned, u)
+				}
+			}
+		case sideExpire:
+			token, err := decodeSideExpire(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if s := st.sessions[token]; s != nil {
+				for u := range s.owned {
+					st.deaths[u]++
+				}
+				delete(st.sessions, token)
+			}
+		default:
+			return fmt.Errorf("fabric: unknown sidecar record kind %d", rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ownedSorted returns a session's owned units in ascending order.
+func (s *sideSessionState) ownedSorted() []int {
+	units := make([]int, 0, len(s.owned))
+	for u := range s.owned {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	return units
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/journal"
 )
 
@@ -69,6 +70,89 @@ func TestCanonicalizeOrderIndependence(t *testing.T) {
 		}
 		if got := write(order); !bytes.Equal(got, want) {
 			t.Fatalf("seed %d: canonicalized journal differs from in-order journal (%d vs %d bytes)",
+				seed, len(got), len(want))
+		}
+	}
+}
+
+// TestCanonicalizeResumedSessionStability is the property the fabric's
+// crash-recovery story rests on: a record set containing
+// HostFault-quarantined units AND duplicate verdicts from resumed executor
+// sessions (the same unit's verdict replayed from an unacked buffer after a
+// reconnect, possibly many times, possibly interleaved across the whole
+// stream) canonicalizes to the same bytes as a clean single pass. The
+// journal's first-write-wins dedup plus Canonicalize's unit-order rewrite
+// must erase every trace of the retransmissions.
+func TestCanonicalizeResumedSessionStability(t *testing.T) {
+	const units = 150
+	outcome := func(u int) journal.Outcome {
+		o := journal.Outcome{
+			Mode:      uint8(u%4 + 1),
+			Activated: u%3 == 0,
+			Retried:   u%13 == 0,
+		}
+		// Every ninth unit was quarantined by the coordinator: host-side
+		// failure, mode HostFault, no activation data.
+		if u%9 == 0 {
+			o = journal.Outcome{Mode: uint8(campaign.HostFault)}
+		}
+		return o
+	}
+
+	write := func(order []int) []byte {
+		path := tempPath(t)
+		j, err := journal.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Bind(0x5e551044); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range order {
+			if err := j.Append(u, outcome(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	clean := make([]int, units)
+	for i := range clean {
+		clean[i] = i
+	}
+	want := write(clean)
+
+	for seed := int64(0); seed < 16; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		order := append([]int(nil), clean...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// A resumed session retransmits a contiguous window of its unacked
+		// verdicts — model 1-3 resumes, each replaying a random slice of
+		// what was already sent, spliced at a random later point.
+		for r := 0; r < 1+rng.Intn(3); r++ {
+			at := rng.Intn(len(order))
+			width := 1 + rng.Intn(30)
+			lo := rng.Intn(units)
+			var replay []int
+			for _, u := range order[:at] {
+				if u >= lo && u < lo+width {
+					replay = append(replay, u)
+				}
+			}
+			order = append(order, replay...)
+		}
+		if got := write(order); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: journal with resumed-session duplicates differs from clean pass (%d vs %d bytes)",
 				seed, len(got), len(want))
 		}
 	}

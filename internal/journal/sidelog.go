@@ -1,0 +1,232 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// SideLog is a sidecar write-ahead log for coordination state that must
+// survive a crash but must NOT land in the campaign journal itself — the
+// journal's bytes are the determinism contract, compared verbatim against a
+// single-host run, so assignment ranges, steals and session tokens go in a
+// separate file beside it. The fabric coordinator writes one at
+// Journal.Path()+".fabric" and deletes it after a campaign completes; its
+// presence on -resume is what distinguishes "coordinator crashed
+// mid-campaign" from "fresh campaign over an old journal".
+//
+// Records are variable-length and individually CRC-protected; like the main
+// journal, a torn or corrupt tail is truncated on open and replay stops at
+// the last good record. Record kinds are opaque to this package — the
+// fabric defines them.
+//
+// Layout (little-endian):
+//
+//	header   magic "SWFS" | version u16 | reserved u16 | fingerprint u64 | crc32 u32
+//	record   kind u8 | len u32 | payload | crc32 u32  (crc over kind|len|payload)
+const (
+	sideMagic   = "SWFS"
+	sideVersion = 1
+
+	// MaxSideRecord bounds one record's payload; anything larger is
+	// corruption, not state.
+	MaxSideRecord = 1 << 20
+)
+
+// SideRecord is one replayed sidecar entry.
+type SideRecord struct {
+	Kind    uint8
+	Payload []byte
+}
+
+// SideLog is an open sidecar log. It is not safe for concurrent use; the
+// coordinator appends only from its event loop.
+type SideLog struct {
+	f      *os.File
+	path   string
+	fp     uint64
+	bound  bool
+	resume bool
+	recs   []SideRecord
+}
+
+// CreateSide opens a fresh sidecar log at path, truncating any existing
+// file. Like the journal, the header is deferred to BindSide because the
+// plan fingerprint is not known at creation time.
+func CreateSide(path string) (*SideLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sidelog %s: %w", path, err)
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sidelog %s: %w", path, err)
+	}
+	return &SideLog{f: f, path: path}, nil
+}
+
+// OpenSide loads an existing sidecar log for crash recovery, truncating a
+// torn or corrupt tail. The loaded records are handed out by Replay after
+// Bind verifies the fingerprint.
+func OpenSide(path string) (*SideLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sidelog %s: %w", path, err)
+	}
+	s := &SideLog{f: f, path: path, resume: true}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *SideLog) load() error {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
+		return fmt.Errorf("sidelog %s: unreadable header: %w", s.path, err)
+	}
+	if string(hdr[:4]) != sideMagic {
+		return fmt.Errorf("sidelog %s: bad magic %q", s.path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != sideVersion {
+		return fmt.Errorf("sidelog %s: unsupported version %d", s.path, v)
+	}
+	if crc := crc32.ChecksumIEEE(hdr[:16]); crc != binary.LittleEndian.Uint32(hdr[16:20]) {
+		return fmt.Errorf("sidelog %s: header checksum mismatch", s.path)
+	}
+	s.fp = binary.LittleEndian.Uint64(hdr[8:16])
+
+	good := int64(headerSize)
+	var pre [5]byte
+	for {
+		if _, err := io.ReadFull(s.f, pre[:]); err != nil {
+			break // clean EOF or torn prefix — either way the tail ends here
+		}
+		n := binary.LittleEndian.Uint32(pre[1:5])
+		if n > MaxSideRecord {
+			break // corrupt length; trust nothing at or past it
+		}
+		body := make([]byte, int(n)+4)
+		if _, err := io.ReadFull(s.f, body); err != nil {
+			break // torn payload or checksum
+		}
+		sum := crc32.NewIEEE()
+		sum.Write(pre[:])
+		sum.Write(body[:n])
+		if sum.Sum32() != binary.LittleEndian.Uint32(body[n:]) {
+			break
+		}
+		s.recs = append(s.recs, SideRecord{Kind: pre[0], Payload: body[:n:n]})
+		good += int64(len(pre)) + int64(len(body))
+	}
+	if err := s.f.Truncate(good); err != nil {
+		return fmt.Errorf("sidelog %s: truncating damaged tail: %w", s.path, err)
+	}
+	if _, err := s.f.Seek(good, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Bind fixes the sidecar to a campaign plan fingerprint, exactly as
+// Journal.Bind does: fresh logs get their header written, resumed logs are
+// verified against it. A sidecar from a different plan means the journal
+// beside it is from a different plan too, and resuming would re-assign the
+// wrong unit space.
+func (s *SideLog) Bind(fingerprint uint64) error {
+	if s.bound {
+		if s.fp != fingerprint {
+			return fmt.Errorf("sidelog %s: already bound to plan %016x, got %016x", s.path, s.fp, fingerprint)
+		}
+		return nil
+	}
+	if s.resume {
+		if s.fp != fingerprint {
+			return fmt.Errorf("sidelog %s: belongs to a different campaign plan (sidelog %016x, current %016x)", s.path, s.fp, fingerprint)
+		}
+		s.bound = true
+		return nil
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], sideMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], sideVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("sidelog %s: writing header: %w", s.path, err)
+	}
+	s.fp = fingerprint
+	s.bound = true
+	return nil
+}
+
+// Append writes one record straight to the file. A crash loses at most the
+// record being written; the next OpenSide truncates it away.
+func (s *SideLog) Append(kind uint8, payload []byte) error {
+	if !s.bound {
+		return fmt.Errorf("sidelog %s: Append before Bind", s.path)
+	}
+	if len(payload) > MaxSideRecord {
+		return fmt.Errorf("sidelog %s: %d-byte record exceeds the %d-byte bound", s.path, len(payload), MaxSideRecord)
+	}
+	buf := make([]byte, 0, 5+len(payload)+4)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("sidelog %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Replay hands every intact record loaded by OpenSide to fn in append
+// order, stopping at the first error. A freshly created log replays
+// nothing.
+func (s *SideLog) Replay(fn func(SideRecord) error) error {
+	for _, r := range s.recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resumed reports whether the log was opened over an existing file.
+func (s *SideLog) Resumed() bool { return s.resume }
+
+// Path returns the sidecar's file path.
+func (s *SideLog) Path() string { return s.path }
+
+// Sync flushes the log to stable storage.
+func (s *SideLog) Sync() error { return s.f.Sync() }
+
+// Close syncs and closes the file. The SideLog must not be used afterwards.
+func (s *SideLog) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Remove closes the log and deletes its file — the campaign completed, so
+// there is no coordination state left to recover.
+func (s *SideLog) Remove() error {
+	if err := s.f.Close(); err != nil {
+		os.Remove(s.path)
+		return err
+	}
+	return os.Remove(s.path)
+}

@@ -1,0 +1,200 @@
+package journal_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func sideRoundTrip(t *testing.T, path string, fp uint64, recs []journal.SideRecord) {
+	t.Helper()
+	s, err := journal.CreateSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(fp); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := s.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSideLogRoundTrip: records written before a "crash" replay intact, in
+// order, with their kinds and payloads.
+func TestSideLogRoundTrip(t *testing.T) {
+	path := tempPath(t)
+	recs := []journal.SideRecord{
+		{Kind: 1, Payload: []byte("session token 7")},
+		{Kind: 2, Payload: []byte{}},
+		{Kind: 3, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	sideRoundTrip(t, path, 0xfab51c, recs)
+
+	s, err := journal.OpenSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Resumed() {
+		t.Fatal("reopened sidelog does not report resumed")
+	}
+	if err := s.Bind(0xfab51c); err != nil {
+		t.Fatal(err)
+	}
+	var got []journal.SideRecord
+	if err := s.Replay(func(r journal.SideRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Kind != recs[i].Kind || !bytes.Equal(got[i].Payload, recs[i].Payload) {
+			t.Fatalf("record %d: got kind %d payload %q, want kind %d payload %q",
+				i, got[i].Kind, got[i].Payload, recs[i].Kind, recs[i].Payload)
+		}
+	}
+}
+
+// TestSideLogTornTail: a record cut off mid-write — at every possible byte
+// boundary — must be truncated away, keeping every record before it.
+func TestSideLogTornTail(t *testing.T) {
+	path := tempPath(t)
+	sideRoundTrip(t, path, 0x7ea4, []journal.SideRecord{
+		{Kind: 1, Payload: []byte("keep me")},
+		{Kind: 2, Payload: []byte("tear me")},
+	})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := 20 + 5 + len("keep me") + 4
+	for cut := firstEnd + 1; cut < len(whole); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := journal.OpenSide(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		var kinds []uint8
+		s.Replay(func(r journal.SideRecord) error {
+			kinds = append(kinds, r.Kind)
+			return nil
+		})
+		s.Close()
+		if len(kinds) != 1 || kinds[0] != 1 {
+			t.Fatalf("cut %d: replayed kinds %v, want [1]", cut, kinds)
+		}
+	}
+}
+
+// TestSideLogCorruptRecord: a bit flip inside a record must cut replay off
+// at the last good record before it.
+func TestSideLogCorruptRecord(t *testing.T) {
+	path := tempPath(t)
+	sideRoundTrip(t, path, 0xbad, []journal.SideRecord{
+		{Kind: 1, Payload: []byte("good")},
+		{Kind: 2, Payload: []byte("evil")},
+		{Kind: 3, Payload: []byte("unreachable")},
+	})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondPayload := 20 + (5 + 4 + 4) + 5 + 1 // into record 2's payload
+	whole[secondPayload] ^= 0x10
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := journal.OpenSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var kinds []uint8
+	s.Replay(func(r journal.SideRecord) error {
+		kinds = append(kinds, r.Kind)
+		return nil
+	})
+	if len(kinds) != 1 || kinds[0] != 1 {
+		t.Fatalf("replayed kinds %v after corruption, want [1]", kinds)
+	}
+}
+
+// TestSideLogFingerprintMismatch: resuming against a different campaign
+// plan must be refused, mirroring Journal.Bind.
+func TestSideLogFingerprintMismatch(t *testing.T) {
+	path := tempPath(t)
+	sideRoundTrip(t, path, 0x1111, nil)
+	s, err := journal.OpenSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Bind(0x2222); err == nil {
+		t.Fatal("sidelog bound to a different plan fingerprint")
+	}
+}
+
+// TestSideLogAppendAfterReopen: recovery appends extend the truncated tail.
+func TestSideLogAppendAfterReopen(t *testing.T) {
+	path := tempPath(t)
+	sideRoundTrip(t, path, 0x3333, []journal.SideRecord{{Kind: 1, Payload: []byte("a")}})
+	s, err := journal.OpenSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(0x3333); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := journal.OpenSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var kinds []uint8
+	s2.Replay(func(r journal.SideRecord) error {
+		kinds = append(kinds, r.Kind)
+		return nil
+	})
+	if len(kinds) != 2 || kinds[0] != 1 || kinds[1] != 2 {
+		t.Fatalf("replayed kinds %v, want [1 2]", kinds)
+	}
+}
+
+// TestSideLogRemove: Remove deletes the file so a later campaign over the
+// same journal path starts with no stale coordination state.
+func TestSideLogRemove(t *testing.T) {
+	path := tempPath(t)
+	s, err := journal.CreateSide(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("sidelog still exists after Remove: %v", err)
+	}
+}

@@ -26,10 +26,13 @@ const (
 	KindBreaker    = "breaker_open"   // the worker restart circuit breaker tripped
 
 	// Fabric kinds, emitted by the distributed-campaign coordinator.
-	KindHostJoined    = "host_joined"  // an executor host completed the fabric handshake
-	KindHostLost      = "host_lost"    // an executor host died; its units were redelivered
-	KindSteal         = "steal"        // an idle host stole half a straggler's range
-	KindRangeAssigned = "range_assign" // a unit range was shipped to an executor host
+	KindHostJoined     = "host_joined"     // an executor host completed the fabric handshake
+	KindHostLost       = "host_lost"       // an executor host died; its units were redelivered
+	KindSteal          = "steal"           // an idle host stole half a straggler's range
+	KindRangeAssigned  = "range_assign"    // a unit range was shipped to an executor host
+	KindHostDetached   = "host_detached"   // an executor connection dropped; session held for re-attach
+	KindHostResumed    = "host_resumed"    // an executor re-attached to its surviving session
+	KindCoordRecovered = "coord_recovered" // a restarted coordinator rebuilt state from the sidecar log
 )
 
 // Event is one structured trace event. Zero-valued fields are omitted from
@@ -59,9 +62,9 @@ type Tracer struct {
 	total uint64 // events ever emitted
 	kinds map[string]int
 
-	sink  *bufio.Writer
+	sink   *bufio.Writer
 	closer io.Closer
-	err   error // first sink write error; reported by Close
+	err    error // first sink write error; reported by Close
 }
 
 // DefaultTraceCap is the ring capacity CLIs use when none is configured.

@@ -3,6 +3,7 @@ package worker
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"runtime"
 	"testing"
 )
@@ -18,11 +19,11 @@ func FuzzReadFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
-	f.Add(valid.Bytes()[:3])             // torn header
-	f.Add(valid.Bytes()[:6])             // torn body
-	f.Add([]byte{})                      // clean EOF
-	f.Add(make([]byte, 4))               // zero-length claim
-	lying := make([]byte, 8)             // prefix claims more than MaxFrame
+	f.Add(valid.Bytes()[:3]) // torn header
+	f.Add(valid.Bytes()[:6]) // torn body
+	f.Add([]byte{})          // clean EOF
+	f.Add(make([]byte, 4))   // zero-length claim
+	lying := make([]byte, 8) // prefix claims more than MaxFrame
 	binary.LittleEndian.PutUint32(lying, MaxFrame+1)
 	f.Add(lying)
 	big := make([]byte, 4, 4+readChunk+64) // body spanning multiple chunks
@@ -46,6 +47,97 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("re-encoded frame differs from the consumed prefix")
 		}
 	})
+}
+
+// FuzzReadFrameCRC feeds arbitrary byte streams to the CRC frame reader —
+// the framing the fabric speaks over TCP, where chaos (or reality) flips
+// bytes. Beyond ReadFrame's obligations, any frame it accepts must carry a
+// checksum that matches its bytes: the corpus seeds corrupt-CRC frames
+// (one bit flipped anywhere), truncated bodies, and replayed/concatenated
+// frames, and the property re-encodes accepted frames to prove the reader
+// consumed exactly one intact frame.
+func FuzzReadFrameCRC(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteFrameCRC(&valid, msgVerdict, []byte("verdict payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Corrupt-CRC corpus: every byte position of a valid frame flipped.
+	for i := 4; i < valid.Len(); i++ {
+		bad := append([]byte(nil), valid.Bytes()...)
+		bad[i] ^= 0x40
+		f.Add(bad)
+	}
+	f.Add(valid.Bytes()[:3])                       // torn header
+	f.Add(valid.Bytes()[:7])                       // truncated body
+	f.Add(valid.Bytes()[:valid.Len()-2])           // truncated checksum
+	f.Add(append(valid.Bytes(), valid.Bytes()...)) // replayed frame
+	short := make([]byte, 4+3)                     // body shorter than a checksum
+	binary.LittleEndian.PutUint32(short, 3)
+	f.Add(short)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrameCRC(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if 9+len(payload) > len(data) {
+			t.Fatalf("ReadFrameCRC returned %d payload bytes from a %d-byte stream", len(payload), len(data))
+		}
+		var re bytes.Buffer
+		if werr := WriteFrameCRC(&re, typ, payload); werr != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", werr)
+		}
+		if !bytes.Equal(re.Bytes(), data[:re.Len()]) {
+			t.Fatalf("re-encoded frame differs from the consumed prefix")
+		}
+	})
+}
+
+// TestReadFrameCRCRejectsEveryBitFlip is the deterministic core of the
+// poisoned-frame story: flipping any single bit anywhere in a CRC frame's
+// type, payload or checksum must be detected. (Length-prefix flips are
+// covered separately: they change how many bytes are consumed, so they
+// surface as torn frames or checksum mismatches depending on direction.)
+func TestReadFrameCRCRejectsEveryBitFlip(t *testing.T) {
+	var valid bytes.Buffer
+	if err := WriteFrameCRC(&valid, msgExec, []byte("unit 12345")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < valid.Len(); i++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), valid.Bytes()...)
+			bad[i] ^= 1 << bit
+			_, _, err := ReadFrameCRC(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+	// And the pristine frame still reads.
+	typ, payload, err := ReadFrameCRC(bytes.NewReader(valid.Bytes()))
+	if err != nil || typ != msgExec || string(payload) != "unit 12345" {
+		t.Fatalf("pristine CRC frame: typ=%d payload=%q err=%v", typ, payload, err)
+	}
+}
+
+// TestReadFrameCRCErrorIdentity: corrupt frames must be distinguishable
+// from torn ones — the fabric reconnects on ErrFrameCRC and counts it.
+func TestReadFrameCRCErrorIdentity(t *testing.T) {
+	var valid bytes.Buffer
+	if err := WriteFrameCRC(&valid, msgReady, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), valid.Bytes()...)
+	bad[6] ^= 0x01
+	_, _, err := ReadFrameCRC(bytes.NewReader(bad))
+	if !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("corrupt frame error = %v, want ErrFrameCRC", err)
+	}
+	if _, _, err := ReadFrameCRC(bytes.NewReader(valid.Bytes()[:5])); errors.Is(err, ErrFrameCRC) {
+		t.Fatal("torn frame misreported as a checksum mismatch")
+	}
 }
 
 // TestReadFrameAllocationBound pins the chunked-allocation property the

@@ -41,7 +41,9 @@ package worker
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"time"
@@ -178,6 +180,56 @@ func ReadFrame(r io.Reader) (typ uint8, payload []byte, err error) {
 		}
 		buf = append(buf, make([]byte, grow)...)
 	}
+}
+
+// ErrFrameCRC marks a frame whose trailing checksum did not match its
+// bytes: the frame was poisoned in transit (a corrupting link, a hostile
+// peer, a torn TCP segment boundary). Receivers that can re-establish their
+// connection — the fabric — treat it as a connection failure, not a
+// protocol error: the sender is healthy, the link is not.
+var ErrFrameCRC = errors.New("worker: frame checksum mismatch")
+
+// WriteFrameCRC emits one CRC-protected frame: the plain frame layout with
+// a trailing IEEE CRC32 over type+payload. The fabric speaks this framing
+// on TCP, where links corrupt; the pipe protocol keeps plain frames, where
+// they cannot.
+//
+//	length u32 | type u8 | payload | crc32 u32   (length counts type+payload+crc)
+func WriteFrameCRC(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload)+5 > MaxFrame {
+		return fmt.Errorf("worker: frame type %d overflows MaxFrame (%d bytes)", typ, len(payload))
+	}
+	buf := make([]byte, 9+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(payload)+4))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	crc := crc32.ChecksumIEEE(buf[4 : 5+len(payload)])
+	binary.LittleEndian.PutUint32(buf[5+len(payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrameCRC reads one CRC-protected frame and verifies its trailing
+// checksum, returning ErrFrameCRC (wrapped) on mismatch. Length-prefix
+// handling is ReadFrame's: chunked allocation, MaxFrame bound, torn-tail
+// detection.
+func ReadFrameCRC(r io.Reader) (typ uint8, payload []byte, err error) {
+	typ, body, err := ReadFrame(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) < 4 {
+		return 0, nil, fmt.Errorf("worker: CRC frame type %d has %d-byte body, need at least the checksum", typ, len(body))
+	}
+	payload = body[:len(body)-4]
+	want := binary.LittleEndian.Uint32(body[len(body)-4:])
+	crc := crc32.New(crc32.IEEETable)
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	if crc.Sum32() != want {
+		return 0, nil, fmt.Errorf("%w (frame type %d, %d bytes)", ErrFrameCRC, typ, len(payload))
+	}
+	return typ, payload, nil
 }
 
 func encodeHello(h hello) []byte {

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Chaos smoke: the DESIGN.md §5i contract end to end through the real
+# binary, TCP, fault injection and the signal path. A journaled fig7
+# campaign is sharded over two executors with every fabric link running
+# under the deterministic chaos proxy; the coordinator is SIGKILLed
+# mid-campaign — no goodbye, no journal close, no sidecar cleanup — and
+# restarted with -resume. The merged output AND the canonical journal
+# bytes must be identical to a clean single-host run, and the scheduling
+# sidecar must be gone once the campaign completes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/swifi" ./cmd/swifi
+cd "$workdir"
+
+# Single-host golden: output and canonical journal bytes.
+./swifi -scale 0.05 -seed 7 -journal golden.wal fig7 > fig7_golden.txt
+
+CHAOS='seed=7,corrupt=0.01,drop=0.01,truncate=0.005,reset=0.005'
+FLAGS='-scale 0.05 -seed 7 -heartbeat-interval 100ms -heartbeat-timeout 2s'
+
+# Coordinator 1: chaos on every accepted link, scheduling state journaled
+# through the sidecar next to chaos.wal. The session timeout only has to
+# cover redial-and-reattach (seconds — its clock restarts when a resumed
+# coordinator recovers the session table), and it bounds how long the
+# campaign stalls when an executor is truly killed below.
+# shellcheck disable=SC2086
+./swifi $FLAGS -journal chaos.wal \
+  -fabric-listen 127.0.0.1:9372 -fabric-hosts 2 \
+  -fabric-session-timeout 15s -chaos "$CHAOS" \
+  fig7 > fig7_chaos.txt 2> coord1.log &
+COORD=$!
+
+# Two executors with their own chaos streams. The dial timeout covers the
+# coordinator's planning phase; the reconnect window covers its death and
+# restart.
+./swifi -fabric-join 127.0.0.1:9372 -workers 2 \
+  -fabric-dial-timeout 60s -fabric-reconnect-window 120s \
+  -chaos 'seed=8,corrupt=0.01,drop=0.01' 2> exec1.log &
+EXEC1=$!
+./swifi -fabric-join 127.0.0.1:9372 -workers 2 \
+  -fabric-dial-timeout 60s -fabric-reconnect-window 120s \
+  -chaos 'seed=9,corrupt=0.01,drop=0.01' 2> exec2.log &
+EXEC2=$!
+
+# SIGKILL the coordinator mid-campaign — the crash the recovery path
+# exists for.
+sleep 6
+kill -9 "$COORD" 2>/dev/null || echo "coordinator already done; restart degenerates to a journal replay"
+wait "$COORD" || true
+
+# Restart: -resume replays finished units from the journal, the sidecar
+# rebuilds the session table and outstanding ranges, and the executors
+# re-attach with their session tokens mid-flight. The report carries the
+# injected-fault counts.
+# shellcheck disable=SC2086
+./swifi $FLAGS -journal chaos.wal -resume \
+  -fabric-listen 127.0.0.1:9372 -fabric-hosts 1 \
+  -fabric-session-timeout 15s -chaos "$CHAOS" \
+  -report report.json \
+  fig7 > fig7_chaos.txt 2> coord2.log &
+COORD2=$!
+
+# Once the recovered campaign is back underway, SIGKILL an executor too:
+# its session expires and its units redeliver to the survivor.
+sleep 4
+kill -9 "$EXEC1" 2>/dev/null || echo "executor 1 already done; campaign must still finish clean"
+
+wait "$COORD2"
+wait "$EXEC1" || true
+# The surviving executor must ride out everything and exit clean.
+wait "$EXEC2"
+
+# Bit-identical output and journal; no scheduling state left behind.
+diff fig7_golden.txt fig7_chaos.txt
+cmp golden.wal chaos.wal
+if [ -e chaos.wal.fabric ]; then
+  echo "fabric sidecar survived a completed campaign" >&2
+  exit 1
+fi
+# The absorbed abuse must be visible: at least one nonzero chaos_*
+# counter in the end-of-run report (a chaos run that injected nothing
+# tested nothing).
+if ! grep -Eq '"chaos_[a-z_]+": *[1-9]' report.json; then
+  echo "no nonzero chaos_* counter in report.json" >&2
+  exit 1
+fi
+echo "chaos smoke passed"
