@@ -147,7 +147,7 @@ func run(args []string) error {
 		outs, err = describeProc(ctx, planSpec{
 			Programs: rest, Class: *class, N: *n, Seed: *seed,
 			Metrics: *withMetrics, JSON: *asJSON,
-		}, *workers, hb, tel, plans)
+		}, *workers, hb, fab, tel, plans)
 	} else {
 		tr := tel.Tracer()
 		outs, err = parallel.MapCtx(ctx, *workers, len(rest), func(w, i int) (string, error) {
@@ -224,12 +224,16 @@ func (r *planRunner) Run(unit int) (journal.Outcome, []byte, error) {
 // subprocesses and returns the rendered outputs in argument order. A
 // program whose plan repeatedly crashes its worker is reported as an error,
 // not silently dropped.
-func describeProc(ctx context.Context, s planSpec, workers int, hb *cliutil.HeartbeatFlags, tel *telemetry.Telemetry, plans *telemetry.Counter) ([]string, error) {
+func describeProc(ctx context.Context, s planSpec, workers int, hb *cliutil.HeartbeatFlags, fab *cliutil.FabricFlags, tel *telemetry.Telemetry, plans *telemetry.Counter) ([]string, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
 		return nil, err
 	}
 	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	storageChaos, err := fab.StorageChaos(tel.Registry())
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +251,7 @@ func describeProc(ctx context.Context, s planSpec, workers int, hb *cliutil.Hear
 		},
 		HeartbeatInterval: hb.Interval,
 		HeartbeatTimeout:  hb.Timeout,
+		WrapPipes:         cliutil.PipeWrap(storageChaos),
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
 		},

@@ -251,7 +251,7 @@ func runSelftest(p *programs.Program, c *cc.Compiled, n int, seed int64, workers
 			return err
 		}
 	} else if proc {
-		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers, hb, tel)
+		results, err = selftestProc(ctx, selftestSpec{Program: p.Name, Faulty: faulty, N: n, Seed: seed}, workers, hb, fab, tel)
 		if err != nil {
 			return err
 		}
@@ -381,12 +381,16 @@ func (r *selftestRunner) Run(unit int) (journal.Outcome, []byte, error) {
 // subprocesses and returns per-case results in case order. A case that
 // repeatedly crashes its worker comes back as a HostFault deviation rather
 // than aborting the batch.
-func selftestProc(ctx context.Context, s selftestSpec, workers int, hb *cliutil.HeartbeatFlags, tel *telemetry.Telemetry) ([]caseResult, error) {
+func selftestProc(ctx context.Context, s selftestSpec, workers int, hb *cliutil.HeartbeatFlags, fab *cliutil.FabricFlags, tel *telemetry.Telemetry) ([]caseResult, error) {
 	payload, err := json.Marshal(s)
 	if err != nil {
 		return nil, err
 	}
 	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	storageChaos, err := fab.StorageChaos(tel.Registry())
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +408,7 @@ func selftestProc(ctx context.Context, s selftestSpec, workers int, hb *cliutil.
 		},
 		HeartbeatInterval: hb.Interval,
 		HeartbeatTimeout:  hb.Timeout,
+		WrapPipes:         cliutil.PipeWrap(storageChaos),
 		Quarantine:        journal.Outcome{Mode: uint8(campaign.HostFault)},
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)

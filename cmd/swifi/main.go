@@ -83,6 +83,8 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume the campaign from an existing -journal file")
 	unitTimeout := fs.Duration("unit-timeout", 0, "host wall-clock deadline per injection (0 = off); exceeding units are quarantined")
 	isolation := fs.String("isolation", "inproc", "campaign unit execution: inproc (goroutines) or proc (supervised worker subprocesses)")
+	procMaxDeliveries := fs.Int("proc-max-deliveries", 0, "with -isolation=proc: workers a unit may take down before quarantine (0 = default 2; chaos drills want headroom)")
+	procMaxRestarts := fs.Int("proc-max-restarts", 0, "with -isolation=proc: pool-wide worker restart budget before degrading to in-process (0 = default 2×workers)")
 	workerMode := fs.Bool("worker-mode", false, "internal: serve campaign units over stdin/stdout (spawned by -isolation=proc)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -153,6 +155,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The storage/IPC half of -chaos: one process-wide injector shared by
+	// the journal and sidecar handles, the golden checkpoint poisoner and
+	// the proc-isolation pipes, so every plane draws from the same seed.
+	// nil unless the spec carries disk.*, pipe.* or poison keys.
+	storageChaos, err := fab.StorageChaos(tel.Registry())
+	if err != nil {
+		return err
+	}
 
 	if fab.Join != "" {
 		// Executor mode: everything about the campaign — programs, scale,
@@ -170,7 +180,12 @@ func run(args []string) error {
 		}
 		if procIsolation {
 			jo.Isolation = campaign.IsolationProc
-			jo.Proc = &campaign.ProcOptions{HeartbeatInterval: hb.Interval, HeartbeatTimeout: hb.Timeout}
+			jo.Proc = &campaign.ProcOptions{
+				HeartbeatInterval: hb.Interval,
+				HeartbeatTimeout:  hb.Timeout,
+				MaxDeliveries:     *procMaxDeliveries,
+				MaxRestarts:       *procMaxRestarts,
+			}
 		}
 		return campaign.JoinFabric(ctx, fab.Join, jo)
 	}
@@ -183,9 +198,16 @@ func run(args []string) error {
 	e.Ctx = ctx
 	e.UnitTimeout = *unitTimeout
 	e.Telemetry = tel
+	e.StorageChaos = storageChaos
 	if procIsolation {
 		e.Isolation = campaign.IsolationProc
-		e.Proc = &campaign.ProcOptions{HeartbeatInterval: hb.Interval, HeartbeatTimeout: hb.Timeout}
+		e.Proc = &campaign.ProcOptions{
+			HeartbeatInterval: hb.Interval,
+			HeartbeatTimeout:  hb.Timeout,
+			MaxDeliveries:     *procMaxDeliveries,
+			MaxRestarts:       *procMaxRestarts,
+			WrapPipes:         cliutil.PipeWrap(storageChaos),
+		}
 	}
 	if fab.Listen != "" {
 		e.Fabric = &campaign.FabricOptions{
@@ -209,10 +231,14 @@ func run(args []string) error {
 	if *journalPath != "" {
 		var j *journal.Journal
 		var err error
+		// Under disk chaos the journal's own file handle is wrapped: the
+		// WAL must survive the disk faults it exists to absorb (ENOSPC and
+		// friends degrade it to in-memory mode; the campaign continues).
+		wrap := cliutil.JournalWrap(storageChaos)
 		if *resume {
-			j, err = journal.Open(*journalPath)
+			j, err = journal.OpenWrapped(*journalPath, wrap)
 		} else {
-			j, err = journal.Create(*journalPath)
+			j, err = journal.CreateWrapped(*journalPath, wrap)
 		}
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fault"
 	"repro/internal/golden"
 	"repro/internal/injector"
@@ -121,6 +122,14 @@ type Config struct {
 	// and a live progress line on its surface while units execute. Purely
 	// passive — the Result is bit-identical with or without it.
 	Telemetry *telemetry.Telemetry
+	// StorageChaos, when non-nil, is the deterministic storage/IPC fault
+	// injector (swifi -chaos with disk.* / pipe.* keys): the journal and its
+	// fabric sidecar are opened through its WrapFile hook by the CLI, golden
+	// checkpoints are poisoned through PoisonCheckpoint, and proc-isolation
+	// pipes are mangled through Proc.WrapPipes. Like the network plane, it
+	// is a harness-abuse knob: the Result — and the canonicalized journal
+	// bytes — must stay bit-identical to a clean run.
+	StorageChaos *chaos.Chaos
 }
 
 func (c *Config) fill() {
@@ -241,11 +250,11 @@ func (e *InterruptedError) Unwrap() error { return e.Cause }
 // and their outcomes: the seed and, per unit in planning order, the program,
 // fault identity (ID, error type, trigger addresses, trigger policy), case
 // index, watchdog budget, injector mode and entry slot. Deliberately
-// excluded: Workers, NoFastForward, Ctx, UnitTimeout, Isolation, Proc and
-// Fabric — none of them changes any unit's outcome, so a journal written
+// excluded: Workers, NoFastForward, Ctx, UnitTimeout, Isolation, Proc,
+// Fabric, Telemetry and StorageChaos — none of them changes any unit's outcome, so a journal written
 // under one executor configuration resumes under any other (a proc campaign
-// resumes in-process, a distributed campaign resumes single-host, and vice
-// versa).
+// resumes in-process, a distributed campaign resumes single-host, a chaos
+// run resumes clean, and vice versa).
 func planFingerprint(cfg *Config, units []runUnit) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -448,6 +457,11 @@ func Run(cfg Config) (*Result, error) {
 	if met != nil && !cfg.NoFastForward {
 		golden.Shared.SetMetrics(newGoldenMetrics(cfg.Telemetry.Registry()))
 	}
+	// Storage chaos: arm (or, for a clean campaign, disarm — the store is
+	// process-wide) the checkpoint poisoner. Poisoned checkpoints fail their
+	// integrity check on restore and degrade to straight execution, so the
+	// Result is unchanged; only Exec.Degraded and the chaos counters move.
+	golden.Shared.SetPoison(poisonHook(cfg.StorageChaos))
 	if tracer != nil {
 		for i := range units {
 			tracer.Emit(traceUnit(telemetry.KindPlanned, i, &units[i], 0))
@@ -486,8 +500,29 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil, err
 	}
+	// A completed campaign's journal is canonicalized — rewritten in unit
+	// order — whatever executor produced it, so the bytes on disk are a pure
+	// function of the plan and its outcomes: independent of worker count,
+	// isolation mode, fleet size, interleaving, and any chaos absorbed along
+	// the way. On a journal degraded by storage faults this is also the
+	// recovery attempt (every outcome is in memory; transient pressure that
+	// lifted leaves a full journal after all).
+	if cfg.Journal != nil {
+		if cerr := cfg.Journal.Canonicalize(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	foldOutcomes(res, entryList, units, outcomes)
 	return res, nil
+}
+
+// poisonHook adapts a storage-chaos injector into the golden store's poison
+// hook; nil (hook disarmed) unless checkpoint poisoning is configured.
+func poisonHook(c *chaos.Chaos) func() bool {
+	if cc := c.Config(); cc.DiskPoison <= 0 {
+		return nil
+	}
+	return c.PoisonCheckpoint
 }
 
 // foldOutcomes aggregates per-unit outcome slots into the entries, in

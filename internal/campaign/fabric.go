@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/fabric"
+	"repro/internal/golden"
 	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
@@ -92,6 +94,21 @@ type JoinOptions struct {
 // flags of its own.
 func JoinFabric(ctx context.Context, addr string, opts JoinOptions) error {
 	workers := parallel.DefaultWorkers(opts.Workers)
+	// Executor-side storage/IPC chaos: the coordinator's disk is not the
+	// only one that can fail. Checkpoint poisoning hits this host's golden
+	// store; pipe faults hit its proc-isolation workers. (This host has no
+	// journal — the verdicts live on the coordinator — so no disk wrap.)
+	inj := storageInjector(opts.Chaos, opts.Registry)
+	golden.Shared.SetPoison(poisonHook(inj))
+	proc := opts.Proc
+	if w := pipeWrap(inj); w != nil {
+		p := ProcOptions{}
+		if proc != nil {
+			p = *proc
+		}
+		p.WrapPipes = w
+		proc = &p
+	}
 	return fabric.Join(ctx, addr, fabric.ExecutorOptions{
 		Name:            opts.Name,
 		Workers:         workers,
@@ -101,11 +118,12 @@ func JoinFabric(ctx context.Context, addr string, opts JoinOptions) error {
 		Metrics:         fabric.NewExecutorMetrics(opts.Registry),
 		Log:             opts.Log,
 		Batch: func(spec worker.Spec) (fabric.BatchRunner, error) {
-			b, err := newFabricBatchRunner(spec, workers, opts.Isolation, opts.Proc)
+			b, err := newFabricBatchRunner(spec, workers, opts.Isolation, proc)
 			if err != nil {
 				return nil, err
 			}
 			b.pace = opts.UnitPace
+			b.met = newWorkerMetrics(opts.Registry)
 			return b, nil
 		},
 	})
@@ -123,6 +141,7 @@ type fabricBatchRunner struct {
 	isolation Isolation
 	proc      *ProcOptions
 	pace      time.Duration
+	met       *telemetry.WorkerMetrics
 	ex        *unitExecutor
 }
 
@@ -222,6 +241,8 @@ func (b *fabricBatchRunner) runBatchProc(ctx context.Context, batch []int, skip 
 		BackoffMax:        po.BackoffMax,
 		MemQuota:          po.MemQuota,
 		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
+		WrapPipes:         po.WrapPipes,
+		Metrics:           b.met,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
 		},
@@ -277,7 +298,7 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 	// finds it and rebuilds the session table and outstanding ranges; a
 	// completed campaign removes it — only the canonical journal outlives
 	// the run.
-	side, err := openFabricSide(o.journal, fp)
+	side, err := openFabricSide(o.journal, fp, storageWrap(cfg.StorageChaos))
 	if err != nil {
 		return nil, err
 	}
@@ -331,11 +352,7 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 	})
 	switch {
 	case err == nil:
-		if o.journal != nil {
-			if cerr := o.journal.Canonicalize(); cerr != nil {
-				return nil, cerr
-			}
-		}
+		// The journal is canonicalized by Run, as on every executor path.
 		// Completed campaign: the scheduling state is spent; drop the
 		// sidecar so a later -resume replays only the verdict journal.
 		if side != nil {
@@ -361,8 +378,10 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 
 // openFabricSide opens (resume) or creates the coordinator's sidecar WAL
 // next to the verdict journal, bound to the plan fingerprint. Without a
-// journal there is nothing to recover into, so no sidecar is kept.
-func openFabricSide(j *journal.Journal, fp uint64) (*journal.SideLog, error) {
+// journal there is nothing to recover into, so no sidecar is kept. A
+// storage-chaos wrap applies to the sidecar exactly as the CLI applies it
+// to the journal: both files live on the same (possibly failing) disk.
+func openFabricSide(j *journal.Journal, fp uint64, wrap journal.Wrap) (*journal.SideLog, error) {
 	if j == nil {
 		return nil, nil
 	}
@@ -371,14 +390,14 @@ func openFabricSide(j *journal.Journal, fp uint64) (*journal.SideLog, error) {
 	var err error
 	if j.Resumed() {
 		if _, serr := os.Stat(path); serr == nil {
-			side, err = journal.OpenSide(path)
+			side, err = journal.OpenSideWrapped(path, wrap)
 		} else {
 			// The previous run completed its fabric bookkeeping (or ran
 			// pre-sidecar); start scheduling state fresh.
-			side, err = journal.CreateSide(path)
+			side, err = journal.CreateSideWrapped(path, wrap)
 		}
 	} else {
-		side, err = journal.CreateSide(path)
+		side, err = journal.CreateSideWrapped(path, wrap)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("campaign: fabric sidecar: %w", err)
@@ -397,6 +416,38 @@ func chaosWrap(cfg *chaos.Config, reg *telemetry.Registry) func(net.Conn) net.Co
 		return nil
 	}
 	return chaos.New(*cfg, chaos.NewMetrics(reg)).Wrap
+}
+
+// storageInjector builds the storage/IPC-plane injector for a chaos config;
+// nil when the config carries no disk, pipe or poison faults. It is a
+// separate instance from the connection wrapper's, which is harmless: each
+// plane's handle ordinals are counted independently, so the schedules are
+// identical either way.
+func storageInjector(cfg *chaos.Config, reg *telemetry.Registry) *chaos.Chaos {
+	if !cfg.DiskEnabled() && !cfg.PipeEnabled() && (cfg == nil || cfg.DiskPoison <= 0) {
+		return nil
+	}
+	return chaos.New(*cfg, chaos.NewMetrics(reg))
+}
+
+// storageWrap adapts a storage-chaos injector into the journal package's
+// File substitution hook; nil (no wrapping) unless disk faults are
+// configured.
+func storageWrap(c *chaos.Chaos) journal.Wrap {
+	if cc := c.Config(); !cc.DiskEnabled() {
+		return nil
+	}
+	return func(f *os.File) journal.File { return c.WrapFile(f) }
+}
+
+// pipeWrap adapts a storage-chaos injector into the worker supervisor's
+// pipe interposition hook; nil (no wrapping) unless pipe faults are
+// configured.
+func pipeWrap(c *chaos.Chaos) func(io.WriteCloser, io.Reader) (io.WriteCloser, io.Reader) {
+	if cc := c.Config(); !cc.PipeEnabled() {
+		return nil
+	}
+	return c.WrapPipes
 }
 
 // newFabricMetrics registers the coordinator's instruments on reg; nil

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"time"
@@ -68,6 +69,12 @@ type ProcOptions struct {
 	MemQuota          int64
 	BackoffBase       time.Duration
 	BackoffMax        time.Duration
+
+	// WrapPipes, when non-nil, interposes on every worker subprocess's
+	// stdin/stdout pair — the storage/IPC chaos plane's hook for corrupting,
+	// truncating or severing supervisor pipes (see worker.Options.WrapPipes).
+	// Production paths leave it nil.
+	WrapPipes func(w io.WriteCloser, r io.Reader) (io.WriteCloser, io.Reader)
 }
 
 // SpecKindCampaign is the worker.Spec kind for class campaigns (§6).
@@ -275,6 +282,7 @@ func executeUnitsProc(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]un
 		BackoffMax:        po.BackoffMax,
 		MemQuota:          po.MemQuota,
 		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
+		WrapPipes:         po.WrapPipes,
 		Metrics:           wm,
 		Tracer:            o.tracer,
 		Log: func(format string, args ...any) {

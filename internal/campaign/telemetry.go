@@ -163,6 +163,7 @@ func newJournalMetrics(reg *telemetry.Registry) telemetry.JournalMetrics {
 	return telemetry.JournalMetrics{
 		Appends:       reg.Counter("journal_appends_total"),
 		AppendLatency: reg.Histogram("journal_append_latency_us", telemetry.DefaultLatencyBuckets),
+		DegradedMode:  reg.Gauge("journal_degraded_mode"),
 	}
 }
 

@@ -1,9 +1,17 @@
-// Package chaos is the fabric's adversary: a deterministic, seeded
-// network-fault layer that wraps any net.Conn or net.Listener and injects
-// the failures a distributed campaign will actually face — added latency
-// and jitter, bandwidth caps, flipped bytes, truncated writes, silently
-// dropped writes, half-open "black-hole" partitions, and mid-stream
-// connection resets.
+// Package chaos is the harness's adversary: a deterministic, seeded
+// fault layer for the three planes a campaign's recovery paths depend on.
+// The network plane wraps any net.Conn or net.Listener and injects the
+// failures a distributed campaign will actually face — added latency and
+// jitter, bandwidth caps, flipped bytes, truncated writes, silently
+// dropped writes, half-open "black-hole" partitions (optionally healing,
+// for asymmetric outages), and mid-stream connection resets. The storage
+// plane (WrapFile, disk.go) injects the failures durable state suffers —
+// ENOSPC, short and torn writes, fsync failure and delay, read-back
+// corruption, poisoned checkpoints — into the journal WAL, its fabric
+// sidecar, and the golden checkpoint store. The pipe plane (WrapPipes)
+// corrupts, truncates or severs the proc-isolation worker pipes so the
+// CRC framing and the supervisor's restart machinery get exercised by the
+// byte-level failures they exist for.
 //
 // The package exists to turn the repository's own method on itself: the
 // fault-injection campaigns this system runs are only trustworthy if the
@@ -14,10 +22,11 @@
 // byte-identical journals and reports.
 //
 // Determinism: every fault decision comes from a splitmix64 stream derived
-// from (Config.Seed, connection ordinal), where the ordinal counts wrapped
-// connections in wrap order. A single connection's fault schedule is
-// therefore a pure function of the seed and its ordinal; rerunning a test
-// with the same seed replays the same corruption at the same byte offsets.
+// from (Config.Seed, handle ordinal), where each plane counts its wrapped
+// handles — connections, files, pipes — in wrap order, independently of the
+// other planes. A single handle's fault schedule is therefore a pure
+// function of the seed and its ordinal; rerunning a test with the same
+// seed replays the same corruption at the same byte offsets.
 // Campaign *results* never depend on the schedule — that is the whole
 // point — but reproducing a failure found under chaos needs only the seed.
 //
@@ -83,15 +92,70 @@ type Config struct {
 	// that only heartbeat timeouts can detect.
 	Partition    float64
 	PartitionFor time.Duration
+
+	// PartitionHeal makes partitions asymmetric and survivable: during the
+	// window the wrapped side's writes are swallowed (A→B blocked) but its
+	// reads pass through (B→A open), and when the window closes the link
+	// resumes instead of dying. Models a one-way outage that heals — the
+	// case session resume plus retransmit must ride out without a redial.
+	PartitionHeal bool
+
+	// Disk faults apply to handles wrapped with WrapFile, per Write /
+	// WriteAt / Read / Sync call. They model the storage failures the
+	// journal and checkpoint degradation contracts exist for.
+	DiskENOSPC      float64       // write fails with no bytes written (disk full)
+	DiskShortWrite  float64       // write persists only a prefix and reports it
+	DiskTornWrite   float64       // write persists only a prefix but reports success
+	DiskSyncFail    float64       // Sync reports failure (data may or may not be durable)
+	DiskSyncDelay   time.Duration // every Sync stalls this long (slow/contended disk)
+	DiskReadCorrupt float64       // read-back flips one byte of the returned data
+	DiskPoison      float64       // golden checkpoint built with a corrupted integrity sum
+
+	// Pipe faults apply to proc-isolation worker pipes wrapped with
+	// WrapPipes, per Write/Read. There is deliberately no silent drop: real
+	// pipes fail by termination (EPIPE, SIGKILL of the peer), not loss, and
+	// a silently dropped exec frame would stall an idle-but-heartbeating
+	// worker forever. Corrupt/truncate/reset cover the failure surface the
+	// CRC framing and the supervisor's restart machinery must absorb.
+	PipeCorrupt  float64 // one byte of the frame flipped in flight
+	PipeTruncate float64 // a prefix written, then the pipe severed
+	PipeReset    float64 // the pipe severed without writing
 }
 
-// Enabled reports whether the config injects any fault at all.
+// Enabled reports whether the config injects any fault at all, on any
+// plane.
 func (c *Config) Enabled() bool {
+	return c.NetEnabled() || c.DiskEnabled() || c.PipeEnabled()
+}
+
+// NetEnabled reports whether any network-plane fault is configured; Wrap
+// and Listener are pass-throughs otherwise.
+func (c *Config) NetEnabled() bool {
 	if c == nil {
 		return false
 	}
 	return c.Latency > 0 || c.Jitter > 0 || c.Bandwidth > 0 ||
 		c.Corrupt > 0 || c.Drop > 0 || c.Truncate > 0 || c.Reset > 0 || c.Partition > 0
+}
+
+// DiskEnabled reports whether any storage-plane fault is configured;
+// WrapFile is a pass-through otherwise. DiskPoison is excluded — it acts
+// on checkpoint construction, not on a wrapped handle.
+func (c *Config) DiskEnabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.DiskENOSPC > 0 || c.DiskShortWrite > 0 || c.DiskTornWrite > 0 ||
+		c.DiskSyncFail > 0 || c.DiskSyncDelay > 0 || c.DiskReadCorrupt > 0
+}
+
+// PipeEnabled reports whether any pipe-plane fault is configured; WrapPipes
+// is a pass-through otherwise.
+func (c *Config) PipeEnabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.PipeCorrupt > 0 || c.PipeTruncate > 0 || c.PipeReset > 0
 }
 
 // Metrics counts injected faults. All fields are optional; nil instruments
@@ -104,7 +168,15 @@ type Metrics struct {
 	Truncated  *telemetry.Counter // writes cut short, connection severed
 	Resets     *telemetry.Counter // connections severed mid-stream
 	Partitions *telemetry.Counter // black-hole partitions entered
+	Healed     *telemetry.Counter // asymmetric partitions that healed
 	Delayed    *telemetry.Counter // writes that paid latency/jitter/bandwidth sleep
+
+	DiskENOSPC      *telemetry.Counter // file writes failed with injected disk-full
+	DiskShortWrites *telemetry.Counter // file writes cut short, error reported
+	DiskTornWrites  *telemetry.Counter // file writes cut short, success reported
+	DiskSyncFails   *telemetry.Counter // Syncs failed
+	DiskReadCorrupt *telemetry.Counter // file reads with a flipped byte
+	DiskPoisoned    *telemetry.Counter // golden checkpoints built with a bad sum
 }
 
 // NewMetrics registers the chaos instruments on reg under the chaos_*
@@ -119,7 +191,15 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		Truncated:  reg.Counter("chaos_truncated_writes_total"),
 		Resets:     reg.Counter("chaos_resets_total"),
 		Partitions: reg.Counter("chaos_partitions_total"),
+		Healed:     reg.Counter("chaos_partitions_healed_total"),
 		Delayed:    reg.Counter("chaos_delayed_writes_total"),
+
+		DiskENOSPC:      reg.Counter("chaos_disk_enospc_total"),
+		DiskShortWrites: reg.Counter("chaos_disk_short_writes_total"),
+		DiskTornWrites:  reg.Counter("chaos_disk_torn_writes_total"),
+		DiskSyncFails:   reg.Counter("chaos_disk_sync_failures_total"),
+		DiskReadCorrupt: reg.Counter("chaos_disk_read_corruptions_total"),
+		DiskPoisoned:    reg.Counter("chaos_disk_checkpoints_poisoned_total"),
 	}
 }
 
@@ -148,41 +228,84 @@ func (r *splitmix64) intn(n int) int {
 	return int(r.next() % uint64(n))
 }
 
-// Chaos wraps connections with a shared config, metrics sink, and the
-// connection-ordinal counter that keeps schedules deterministic.
+// Chaos wraps connections, file handles and worker pipes with a shared
+// config and metrics sink. Each plane counts its own wrap ordinal, so the
+// fault schedule of a file handle is a pure function of (seed, file
+// ordinal) no matter how many connections were wrapped before it.
 type Chaos struct {
 	cfg     Config
 	metrics *Metrics
-	ordinal atomic.Uint64
+	ordinal atomic.Uint64 // net.Conn wrap order
+	fileOrd atomic.Uint64 // WrapFile wrap order
+	pipeOrd atomic.Uint64 // WrapPipes wrap order
+
+	poisonMu  sync.Mutex
+	poisonRng splitmix64
+	poisonOn  bool
 }
 
 // New builds a Chaos wrapper. A nil config (or one with no faults enabled)
 // yields a pass-through wrapper: Wrap returns its argument unchanged.
 func New(cfg Config, m *Metrics) *Chaos {
-	return &Chaos{cfg: cfg, metrics: m}
+	c := &Chaos{cfg: cfg, metrics: m}
+	c.poisonOn = cfg.DiskPoison > 0
+	// A stream of its own: checkpoint construction order must not perturb
+	// the file/conn schedules (or vice versa).
+	c.poisonRng.s = uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0xa0761d6478bd642f
+	return c
+}
+
+// Config returns a copy of the wrapper's configuration.
+func (c *Chaos) Config() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// seedFor derives the per-handle stream seed from the config seed and a
+// wrap ordinal. Each plane passes its own ordinal counter.
+func (c *Chaos) seedFor(ord uint64) uint64 {
+	return uint64(c.cfg.Seed)*0x9e3779b97f4a7c15 + ord*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
 }
 
 // Wrap returns conn with the configured fault injection on its write path
-// (and partition stalls on its read path). With no faults enabled it
-// returns conn itself.
+// (and partition stalls on its read path). With no network faults enabled
+// it returns conn itself.
 func (c *Chaos) Wrap(conn net.Conn) net.Conn {
-	if c == nil || !c.cfg.Enabled() {
+	if c == nil || !c.cfg.NetEnabled() {
 		return conn
 	}
 	ord := c.ordinal.Add(1) - 1
-	seed := uint64(c.cfg.Seed)*0x9e3779b97f4a7c15 + ord*0xd1342543de82ef95 + 0x2545f4914f6cdd1d
 	fc := &faultConn{Conn: conn, cfg: &c.cfg, m: c.metrics}
-	fc.rng.s = seed
+	fc.rng.s = c.seedFor(ord)
 	return fc
 }
 
 // Listener wraps ln so every accepted connection is chaos-wrapped. With no
-// faults enabled it returns ln itself.
+// network faults enabled it returns ln itself.
 func (c *Chaos) Listener(ln net.Listener) net.Listener {
-	if c == nil || !c.cfg.Enabled() {
+	if c == nil || !c.cfg.NetEnabled() {
 		return ln
 	}
 	return &faultListener{Listener: ln, chaos: c}
+}
+
+// PoisonCheckpoint draws from the dedicated poison stream and reports
+// whether the golden checkpoint being built should carry a corrupted
+// integrity sum. With DiskPoison off it returns false without consuming a
+// draw, so enabling other disk faults never shifts the poison schedule.
+func (c *Chaos) PoisonCheckpoint() bool {
+	if c == nil || !c.poisonOn {
+		return false
+	}
+	c.poisonMu.Lock()
+	hit := c.poisonRng.float() < c.cfg.DiskPoison
+	c.poisonMu.Unlock()
+	if hit && c.metrics != nil {
+		inc(c.metrics.DiskPoisoned)
+	}
+	return hit
 }
 
 type faultListener struct {
@@ -238,15 +361,24 @@ func (f *faultConn) Write(b []byte) (int, error) {
 	}
 	if f.parted {
 		// Black hole: swallow silently until the partition window closes,
-		// then report the connection dead.
+		// then either heal (asymmetric outage that passed) or report the
+		// connection dead.
 		if time.Now().Before(f.partEnd) {
 			f.mu.Unlock()
 			return len(b), nil
 		}
-		f.dead = true
-		f.mu.Unlock()
-		f.Conn.Close()
-		return 0, &errInjected{what: "partition expiry"}
+		if f.cfg.PartitionHeal {
+			f.parted = false
+			if f.m != nil {
+				inc(f.m.Healed)
+			}
+			// Fall through: this write goes out on the healed link.
+		} else {
+			f.dead = true
+			f.mu.Unlock()
+			f.Conn.Close()
+			return 0, &errInjected{what: "partition expiry"}
+		}
 	}
 
 	// Fault decisions in fixed order, one rng draw each, so the schedule
@@ -350,6 +482,12 @@ func (f *faultConn) Read(b []byte) (int, error) {
 		return 0, &errInjected{what: "reset (connection severed)"}
 	}
 	if f.parted {
+		if f.cfg.PartitionHeal {
+			// Asymmetric partition: our writes are black-holed but the
+			// peer's still reach us, so reads pass through.
+			f.mu.Unlock()
+			return f.Conn.Read(b)
+		}
 		end := f.partEnd
 		f.mu.Unlock()
 		// Stall like a silent link, then die. A read deadline set by the
@@ -371,15 +509,25 @@ func (f *faultConn) Read(b []byte) (int, error) {
 // ParseSpec parses the CLI chaos spec: comma-separated key=value pairs.
 //
 //	seed=7,corrupt=0.01,drop=0.005,truncate=0.002,reset=0.002,
-//	partition=0.001,partition-for=300ms,latency=2ms,jitter=1ms,bandwidth=1048576
+//	partition=0.001,partition-for=300ms,partition-heal=true,
+//	latency=2ms,jitter=1ms,bandwidth=1048576,
+//	disk.enospc=0.01,disk.short-write=0.005,disk.torn-write=0.005,
+//	disk.sync-fail=0.01,disk.sync-delay=2ms,disk.read-corrupt=0.005,
+//	disk.poison=0.02,pipe.corrupt=0.01,pipe.truncate=0.005,pipe.reset=0.005
 //
-// Unknown keys are rejected with the list of valid ones, so a typo cannot
-// silently run a clean campaign that claims to be a chaos run.
+// Unknown keys are rejected — all of them in one error, with the list of
+// valid ones — so a typo cannot silently run a clean campaign that claims
+// to be a chaos run, and a spec with three typos needs one round trip, not
+// three. Duplicate keys are rejected too: a spec where "corrupt" appears
+// twice has no single reading, and last-one-wins would hide the earlier
+// value the operator thought was in force.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	if strings.TrimSpace(spec) == "" {
 		return cfg, nil
 	}
+	seen := make(map[string]bool)
+	var unknown []string
 	for _, kv := range strings.Split(spec, ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -389,6 +537,10 @@ func ParseSpec(spec string) (Config, error) {
 		if !ok {
 			return cfg, fmt.Errorf("chaos: %q is not key=value", kv)
 		}
+		if seen[key] {
+			return cfg, fmt.Errorf("chaos: duplicate key %q", key)
+		}
+		seen[key] = true
 		var err error
 		switch key {
 		case "seed":
@@ -411,12 +563,43 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.Partition, err = parseProb(val)
 		case "partition-for":
 			cfg.PartitionFor, err = time.ParseDuration(val)
+		case "partition-heal":
+			cfg.PartitionHeal, err = strconv.ParseBool(val)
+		case "disk.enospc":
+			cfg.DiskENOSPC, err = parseProb(val)
+		case "disk.short-write":
+			cfg.DiskShortWrite, err = parseProb(val)
+		case "disk.torn-write":
+			cfg.DiskTornWrite, err = parseProb(val)
+		case "disk.sync-fail":
+			cfg.DiskSyncFail, err = parseProb(val)
+		case "disk.sync-delay":
+			cfg.DiskSyncDelay, err = time.ParseDuration(val)
+		case "disk.read-corrupt":
+			cfg.DiskReadCorrupt, err = parseProb(val)
+		case "disk.poison":
+			cfg.DiskPoison, err = parseProb(val)
+		case "pipe.corrupt":
+			cfg.PipeCorrupt, err = parseProb(val)
+		case "pipe.truncate":
+			cfg.PipeTruncate, err = parseProb(val)
+		case "pipe.reset":
+			cfg.PipeReset, err = parseProb(val)
 		default:
-			return cfg, fmt.Errorf("chaos: unknown key %q (valid: %s)", key, strings.Join(specKeys(), ", "))
+			unknown = append(unknown, strconv.Quote(key))
+			continue
 		}
 		if err != nil {
 			return cfg, fmt.Errorf("chaos: %s: %w", key, err)
 		}
+	}
+	if len(unknown) > 0 {
+		noun := "key"
+		if len(unknown) > 1 {
+			noun = "keys"
+		}
+		return cfg, fmt.Errorf("chaos: unknown %s %s (valid: %s)",
+			noun, strings.Join(unknown, ", "), strings.Join(specKeys(), ", "))
 	}
 	return cfg, nil
 }
@@ -433,7 +616,13 @@ func parseProb(s string) (float64, error) {
 }
 
 func specKeys() []string {
-	keys := []string{"seed", "latency", "jitter", "bandwidth", "corrupt", "drop", "truncate", "reset", "partition", "partition-for"}
+	keys := []string{
+		"seed", "latency", "jitter", "bandwidth", "corrupt", "drop",
+		"truncate", "reset", "partition", "partition-for", "partition-heal",
+		"disk.enospc", "disk.short-write", "disk.torn-write",
+		"disk.sync-fail", "disk.sync-delay", "disk.read-corrupt",
+		"disk.poison", "pipe.corrupt", "pipe.truncate", "pipe.reset",
+	}
 	sort.Strings(keys)
 	return keys
 }

@@ -1,0 +1,287 @@
+package chaos
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// File is the slice of *os.File the journal stack actually uses. WrapFile
+// returns this interface so the journal can hold either the raw file or
+// the fault-injecting wrapper behind one field.
+type File interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// WrapFile returns f with the configured disk faults injected on its
+// write, read and sync paths. With no disk faults enabled it returns f
+// itself. File handles draw their stream seeds from a wrap-ordinal counter
+// of their own, so the schedule of the Nth wrapped file never depends on
+// how many connections or pipes were wrapped before it.
+func (c *Chaos) WrapFile(f File) File {
+	if c == nil || !c.cfg.DiskEnabled() {
+		return f
+	}
+	ord := c.fileOrd.Add(1) - 1
+	ff := &faultFile{f: f, cfg: &c.cfg, m: c.metrics}
+	ff.rng.s = c.seedFor(ord)
+	return ff
+}
+
+// faultFile injects disk faults per call. The mutex serialises rng draws;
+// the journal locks its own writes anyway, but the wrapper must not depend
+// on that.
+type faultFile struct {
+	f   File
+	cfg *Config
+	m   *Metrics
+
+	mu  sync.Mutex
+	rng splitmix64
+}
+
+// writeFaults draws the write-path fault decisions for an n-byte write in
+// fixed order — ENOSPC, short, torn, cut offset — one draw each, so the
+// schedule is a pure function of the stream regardless of which faults are
+// enabled. The cut offset lands in [0,n), so a faulted write always loses
+// at least one byte.
+func (f *faultFile) writeFaults(n int) (enospc, short, torn bool, cut int) {
+	f.mu.Lock()
+	pENOSPC := f.rng.float()
+	pShort := f.rng.float()
+	pTorn := f.rng.float()
+	cut = f.rng.intn(n)
+	f.mu.Unlock()
+	return pENOSPC < f.cfg.DiskENOSPC, pShort < f.cfg.DiskShortWrite, pTorn < f.cfg.DiskTornWrite, cut
+}
+
+// write runs one faulted write through op (the sequential or positional
+// write of the underlying file, with the prefix length as argument).
+//
+//   - ENOSPC: nothing written, error returned. Not sticky — a later write
+//     may succeed, modelling space freed elsewhere; the journal's contract
+//     is to degrade on the first failure regardless.
+//   - Short write: a prefix persists and the error says so, like a write
+//     cut off by a quota or signal.
+//   - Torn write: a prefix persists but the call reports full success —
+//     the lying-disk case that only the next reader's CRCs can discover.
+func (f *faultFile) write(b []byte, op func(prefix []byte) (int, error)) (int, error) {
+	if len(b) == 0 {
+		return op(b)
+	}
+	enospc, short, torn, cut := f.writeFaults(len(b))
+	switch {
+	case enospc:
+		if f.m != nil {
+			inc(f.m.DiskENOSPC)
+		}
+		return 0, &errInjected{what: "disk full (ENOSPC)"}
+	case short:
+		if f.m != nil {
+			inc(f.m.DiskShortWrites)
+		}
+		n, err := op(b[:cut])
+		if err != nil {
+			return n, err
+		}
+		return n, &errInjected{what: "short write"}
+	case torn:
+		if f.m != nil {
+			inc(f.m.DiskTornWrites)
+		}
+		if _, err := op(b[:cut]); err != nil {
+			return 0, err
+		}
+		return len(b), nil
+	}
+	return op(b)
+}
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	return f.write(b, f.f.Write)
+}
+
+func (f *faultFile) WriteAt(b []byte, off int64) (int, error) {
+	return f.write(b, func(prefix []byte) (int, error) {
+		return f.f.WriteAt(prefix, off)
+	})
+}
+
+// Read corrupts one byte of the data actually read, per call — read-back
+// corruption, the fault the journal's per-record CRCs exist to catch. The
+// corruption is in the returned buffer only; the bytes on disk are intact,
+// like a bad DMA or a flaky controller.
+func (f *faultFile) Read(b []byte) (int, error) {
+	n, err := f.f.Read(b)
+	if n > 0 && f.cfg.DiskReadCorrupt > 0 {
+		f.mu.Lock()
+		hit := f.rng.float() < f.cfg.DiskReadCorrupt
+		at := f.rng.intn(n)
+		bit := byte(1 << f.rng.intn(8))
+		f.mu.Unlock()
+		if hit {
+			b[at] ^= bit
+			if f.m != nil {
+				inc(f.m.DiskReadCorrupt)
+			}
+		}
+	}
+	return n, err
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+// Sync stalls for DiskSyncDelay (a slow or contended disk) and then fails
+// with probability DiskSyncFail. An injected sync failure leaves the data
+// written — the ambiguity is the point: fsync reporting failure says
+// nothing about what reached the platter.
+func (f *faultFile) Sync() error {
+	if f.cfg.DiskSyncDelay > 0 {
+		time.Sleep(f.cfg.DiskSyncDelay)
+	}
+	if f.cfg.DiskSyncFail > 0 {
+		f.mu.Lock()
+		hit := f.rng.float() < f.cfg.DiskSyncFail
+		f.mu.Unlock()
+		if hit {
+			if f.m != nil {
+				inc(f.m.DiskSyncFails)
+			}
+			f.f.Sync()
+			return &errInjected{what: "sync failure"}
+		}
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Close() error { return f.f.Close() }
+
+// WrapPipes returns the supervisor's side of a worker's stdin/stdout with
+// the configured pipe faults injected. Each side gets its own stream from
+// the shared pipe-ordinal counter. With no pipe faults enabled both
+// arguments come back unchanged.
+func (c *Chaos) WrapPipes(w io.WriteCloser, r io.Reader) (io.WriteCloser, io.Reader) {
+	if c == nil || !c.cfg.PipeEnabled() {
+		return w, r
+	}
+	pw := &faultPipeWriter{w: w, cfg: &c.cfg, m: c.metrics}
+	pw.rng.s = c.seedFor(c.pipeOrd.Add(1) - 1)
+	pr := &faultPipeReader{r: r, cfg: &c.cfg, m: c.metrics}
+	pr.rng.s = c.seedFor(c.pipeOrd.Add(1) - 1)
+	return pw, pr
+}
+
+// faultPipeWriter mangles the supervisor→worker direction. Faults are
+// drawn per Write in fixed order (reset, truncate, corrupt), one draw
+// each plus the corruption position, mirroring faultConn.
+type faultPipeWriter struct {
+	w   io.WriteCloser
+	cfg *Config
+	m   *Metrics
+
+	mu   sync.Mutex
+	rng  splitmix64
+	dead bool
+}
+
+func (p *faultPipeWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return 0, &errInjected{what: "pipe reset (severed)"}
+	}
+	pReset := p.rng.float()
+	pTrunc := p.rng.float()
+	pCorrupt := p.rng.float()
+	corruptAt := p.rng.intn(len(b))
+	corruptBit := byte(1 << p.rng.intn(8))
+
+	switch {
+	case pReset < p.cfg.PipeReset:
+		p.dead = true
+		p.mu.Unlock()
+		if p.m != nil {
+			inc(p.m.Resets)
+		}
+		p.w.Close()
+		return 0, &errInjected{what: "pipe reset"}
+	case pTrunc < p.cfg.PipeTruncate && len(b) > 0:
+		cut := len(b) / 2
+		p.dead = true
+		p.mu.Unlock()
+		if p.m != nil {
+			inc(p.m.Truncated)
+		}
+		if cut > 0 {
+			p.w.Write(b[:cut]) // the torn prefix reaches the worker
+		}
+		p.w.Close()
+		return cut, &errInjected{what: "truncated pipe write"}
+	}
+
+	var sent []byte
+	if pCorrupt < p.cfg.PipeCorrupt && len(b) > 0 {
+		sent = append(sent, b...)
+		sent[corruptAt] ^= corruptBit
+		if p.m != nil {
+			inc(p.m.Corrupted)
+		}
+	}
+	p.mu.Unlock()
+	if sent != nil {
+		n, err := p.w.Write(sent)
+		if n > len(b) {
+			n = len(b)
+		}
+		return n, err
+	}
+	return p.w.Write(b)
+}
+
+func (p *faultPipeWriter) Close() error {
+	p.mu.Lock()
+	p.dead = true
+	p.mu.Unlock()
+	return p.w.Close()
+}
+
+// faultPipeReader mangles the worker→supervisor direction: corruption
+// only. Truncation/reset of what the worker sends manifests as the worker
+// dying, which the supervisor's liveness machinery already covers; a
+// flipped byte in a verdict frame is the case only the CRC can catch.
+type faultPipeReader struct {
+	r   io.Reader
+	cfg *Config
+	m   *Metrics
+
+	mu  sync.Mutex
+	rng splitmix64
+}
+
+func (p *faultPipeReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	if n > 0 && p.cfg.PipeCorrupt > 0 {
+		p.mu.Lock()
+		hit := p.rng.float() < p.cfg.PipeCorrupt
+		at := p.rng.intn(n)
+		bit := byte(1 << p.rng.intn(8))
+		p.mu.Unlock()
+		if hit {
+			b[at] ^= bit
+			if p.m != nil {
+				inc(p.m.Corrupted)
+			}
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,424 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// scratchFile returns a real file in the test's temp dir. The disk wrapper
+// is tested against *os.File, not a mock, because the contract under test
+// is "a prefix persists" — which only a real positional write can prove.
+func scratchFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "scratch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func diskBytes(t *testing.T, f *os.File) []byte {
+	t.Helper()
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWrapFilePassThroughWhenDisabled: with no disk faults configured (or a
+// nil Chaos) WrapFile must return the handle itself — clean runs pay no
+// interposition at all, not even a cheap one.
+func TestWrapFilePassThroughWhenDisabled(t *testing.T) {
+	f := scratchFile(t)
+	c := New(Config{Seed: 1, Corrupt: 0.5, PipeCorrupt: 0.5, DiskPoison: 0.5}, nil)
+	if got := c.WrapFile(f); got != File(f) {
+		t.Fatal("WrapFile interposed with no disk faults configured")
+	}
+	var nilC *Chaos
+	if got := nilC.WrapFile(f); got != File(f) {
+		t.Fatal("nil Chaos did not pass the file through")
+	}
+}
+
+// TestDiskENOSPC: a disk-full write persists nothing, reports zero bytes,
+// and is not sticky — the handle itself stays usable for the journal's
+// degraded-mode bookkeeping (truncate to the last whole record).
+func TestDiskENOSPC(t *testing.T) {
+	f := scratchFile(t)
+	reg := telemetry.NewRegistry()
+	c := New(Config{Seed: 3, DiskENOSPC: 1.0}, NewMetrics(reg))
+	w := c.WrapFile(f)
+	n, err := w.Write([]byte("doomed record"))
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("ENOSPC write returned %v, want an injected disk-full error", err)
+	}
+	if n != 0 {
+		t.Fatalf("ENOSPC write reported %d bytes", n)
+	}
+	if b := diskBytes(t, f); len(b) != 0 {
+		t.Fatalf("ENOSPC write persisted %d bytes", len(b))
+	}
+	if w.Truncate(0) != nil {
+		t.Fatal("Truncate failed on a handle that only saw injected ENOSPC")
+	}
+	if got := reg.Counters()["chaos_disk_enospc_total"]; got != 1 {
+		t.Fatalf("chaos_disk_enospc_total = %d, want 1", got)
+	}
+}
+
+// TestDiskShortWrite: a short write persists a strict prefix and says so in
+// the error — the honest-failure twin of the torn write.
+func TestDiskShortWrite(t *testing.T) {
+	f := scratchFile(t)
+	reg := telemetry.NewRegistry()
+	c := New(Config{Seed: 5, DiskShortWrite: 1.0}, NewMetrics(reg))
+	w := c.WrapFile(f)
+	msg := []byte("0123456789abcdef")
+	n, err := w.Write(msg)
+	if err == nil || !strings.Contains(err.Error(), "short write") {
+		t.Fatalf("short write returned %v, want an injected short-write error", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("short write reported %d of %d bytes", n, len(msg))
+	}
+	if b := diskBytes(t, f); !bytes.Equal(b, msg[:n]) {
+		t.Fatalf("disk holds %q, want the reported prefix %q", b, msg[:n])
+	}
+	if got := reg.Counters()["chaos_disk_short_writes_total"]; got != 1 {
+		t.Fatalf("chaos_disk_short_writes_total = %d, want 1", got)
+	}
+}
+
+// TestDiskTornWrite: the lying disk. The call reports full success but only
+// a prefix reaches the platter — the case per-record CRCs exist for.
+func TestDiskTornWrite(t *testing.T) {
+	f := scratchFile(t)
+	reg := telemetry.NewRegistry()
+	c := New(Config{Seed: 7, DiskTornWrite: 1.0}, NewMetrics(reg))
+	w := c.WrapFile(f)
+	msg := []byte("fsynced and certified, surely")
+	n, err := w.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("torn write returned (%d, %v), want full success (%d, nil)", n, err, len(msg))
+	}
+	b := diskBytes(t, f)
+	if len(b) >= len(msg) {
+		t.Fatalf("torn write persisted all %d bytes; nothing was torn", len(b))
+	}
+	if !bytes.Equal(b, msg[:len(b)]) {
+		t.Fatalf("disk holds %q, not a prefix of %q", b, msg)
+	}
+	if got := reg.Counters()["chaos_disk_torn_writes_total"]; got != 1 {
+		t.Fatalf("chaos_disk_torn_writes_total = %d, want 1", got)
+	}
+}
+
+// TestDiskWriteAtFaults: the positional write path shares the fault
+// machinery with the sequential one — a torn WriteAt leaves a prefix at the
+// given offset, not at the file cursor.
+func TestDiskWriteAtFaults(t *testing.T) {
+	f := scratchFile(t)
+	if _, err := f.Write(make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Seed: 9, DiskTornWrite: 1.0}, nil)
+	w := c.WrapFile(f)
+	msg := []byte("HEADERHEADER")
+	if n, err := w.WriteAt(msg, 4); err != nil || n != len(msg) {
+		t.Fatalf("torn WriteAt returned (%d, %v), want reported success", n, err)
+	}
+	b := diskBytes(t, f)
+	if len(b) != 32 {
+		t.Fatalf("WriteAt changed the file size to %d", len(b))
+	}
+	written := 0
+	for written < len(msg) && b[4+written] == msg[written] {
+		written++
+	}
+	if written == len(msg) {
+		t.Fatal("torn WriteAt persisted the whole payload")
+	}
+	for _, rest := range b[4+written : 4+len(msg)] {
+		if rest != 0 {
+			t.Fatal("torn WriteAt persisted bytes past the torn prefix")
+		}
+	}
+}
+
+// TestDiskReadCorruption: read-back corruption flips one bit in the
+// returned buffer while the bytes on disk stay intact — a flaky controller,
+// not silent media decay.
+func TestDiskReadCorruption(t *testing.T) {
+	f := scratchFile(t)
+	msg := bytes.Repeat([]byte{0x55}, 64)
+	if _, err := f.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c := New(Config{Seed: 11, DiskReadCorrupt: 1.0}, NewMetrics(reg))
+	w := c.WrapFile(f)
+	got := make([]byte, 64)
+	if _, err := io.ReadFull(w, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+			if x := got[i] ^ msg[i]; x&(x-1) != 0 {
+				t.Fatalf("byte %d differs by more than one bit: %02x vs %02x", i, got[i], msg[i])
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("read at probability 1.0 corrupted nothing")
+	}
+	if b := diskBytes(t, f); !bytes.Equal(b, msg) {
+		t.Fatal("read-back corruption altered the bytes on disk")
+	}
+	if got := reg.Counters()["chaos_disk_read_corruptions_total"]; got == 0 {
+		t.Fatal("chaos_disk_read_corruptions_total not incremented")
+	}
+}
+
+// TestDiskSyncFailAndDelay: Sync pays the configured stall and then fails,
+// while leaving the already-written data in place — fsync's ambiguity.
+func TestDiskSyncFailAndDelay(t *testing.T) {
+	f := scratchFile(t)
+	reg := telemetry.NewRegistry()
+	c := New(Config{Seed: 13, DiskSyncFail: 1.0, DiskSyncDelay: 30 * time.Millisecond}, NewMetrics(reg))
+	w := c.WrapFile(f)
+	if _, err := w.Write([]byte("durable?")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := w.Sync()
+	if err == nil || !strings.Contains(err.Error(), "sync failure") {
+		t.Fatalf("Sync returned %v, want an injected sync failure", err)
+	}
+	if took := time.Since(start); took < 20*time.Millisecond {
+		t.Fatalf("Sync returned after %v, want the 30ms contended-disk stall", took)
+	}
+	if b := diskBytes(t, f); !bytes.Equal(b, []byte("durable?")) {
+		t.Fatal("failed Sync lost the written data")
+	}
+	if got := reg.Counters()["chaos_disk_sync_failures_total"]; got != 1 {
+		t.Fatalf("chaos_disk_sync_failures_total = %d, want 1", got)
+	}
+}
+
+// TestDiskFaultsDeterministic: the whole point of the seeded streams — two
+// wrappers with the same seed replay the same faults at the same offsets,
+// and file ordinals keep handles distinct within one Chaos.
+func TestDiskFaultsDeterministic(t *testing.T) {
+	run := func(c *Chaos) (disk []byte, errs []string) {
+		f := scratchFile(t)
+		w := c.WrapFile(f)
+		for i := 0; i < 32; i++ {
+			_, err := w.Write(bytes.Repeat([]byte{byte(i)}, 24))
+			if err != nil {
+				errs = append(errs, err.Error())
+			} else {
+				errs = append(errs, "")
+			}
+		}
+		return diskBytes(t, f), errs
+	}
+	cfg := Config{Seed: 99, DiskENOSPC: 0.2, DiskShortWrite: 0.2, DiskTornWrite: 0.2}
+	a := New(cfg, nil)
+	disk1, errs1 := run(a)
+	disk2, errs2 := run(a)
+	if bytes.Equal(disk1, disk2) {
+		t.Fatal("two handles from one Chaos share one fault schedule")
+	}
+	b := New(cfg, nil)
+	disk3, errs3 := run(b)
+	if !bytes.Equal(disk1, disk3) {
+		t.Fatal("fresh Chaos with the same seed did not replay handle 0's disk bytes")
+	}
+	for i := range errs1 {
+		if errs1[i] != errs3[i] {
+			t.Fatalf("write %d: error %q on first run, %q on replay", i, errs1[i], errs3[i])
+		}
+	}
+	_ = errs2
+}
+
+// TestWrapPipesPassThroughWhenDisabled mirrors the file case for the pipe
+// plane.
+func TestWrapPipesPassThroughWhenDisabled(t *testing.T) {
+	pr, pw := io.Pipe()
+	c := New(Config{Seed: 1, DiskENOSPC: 0.5, Corrupt: 0.5}, nil)
+	w, r := c.WrapPipes(pw, pr)
+	if w != io.WriteCloser(pw) || r != io.Reader(pr) {
+		t.Fatal("WrapPipes interposed with no pipe faults configured")
+	}
+}
+
+// TestPipeReset: the supervisor's write fails without delivering anything
+// and the worker sees EOF — exactly what a SIGKILLed peer looks like.
+func TestPipeReset(t *testing.T) {
+	pr, pw := io.Pipe()
+	c := New(Config{Seed: 17, PipeReset: 1.0}, nil)
+	w, _ := c.WrapPipes(pw, io.MultiReader())
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(pr)
+		got <- b
+	}()
+	n, err := w.Write([]byte("exec unit 4"))
+	if err == nil || n != 0 {
+		t.Fatalf("reset write returned (%d, %v), want (0, injected reset)", n, err)
+	}
+	if b := <-got; len(b) != 0 {
+		t.Fatalf("worker received %d bytes through a reset pipe", len(b))
+	}
+	if _, err := w.Write([]byte("after death")); err == nil {
+		t.Fatal("write on a severed pipe succeeded")
+	}
+}
+
+// TestPipeTruncate: half the frame reaches the worker, then the pipe dies —
+// the torn-frame case the CRC reader rejects before decoding.
+func TestPipeTruncate(t *testing.T) {
+	pr, pw := io.Pipe()
+	c := New(Config{Seed: 19, PipeTruncate: 1.0}, nil)
+	w, _ := c.WrapPipes(pw, io.MultiReader())
+	msg := []byte("0123456789abcdef")
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(pr)
+		got <- b
+	}()
+	n, err := w.Write(msg)
+	if err == nil {
+		t.Fatal("truncated pipe write succeeded")
+	}
+	if n != len(msg)/2 {
+		t.Fatalf("truncated write reported %d bytes, want %d", n, len(msg)/2)
+	}
+	if b := <-got; !bytes.Equal(b, msg[:len(msg)/2]) {
+		t.Fatalf("worker received %q, want the torn prefix %q", b, msg[:len(msg)/2])
+	}
+}
+
+// TestPipeCorruptBothDirections: with corruption at probability 1 every
+// frame is mangled by exactly one flipped bit, in each direction, and the
+// counter accounts for both.
+func TestPipeCorruptBothDirections(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Config{Seed: 23, PipeCorrupt: 1.0}, NewMetrics(reg))
+
+	// Supervisor → worker: the wrapped writer mangles what it sends.
+	downR, downW := io.Pipe()
+	// Worker → supervisor: the wrapped reader mangles what it receives.
+	upR, upW := io.Pipe()
+	w, r := c.WrapPipes(downW, upR)
+
+	msg := bytes.Repeat([]byte{0xA5}, 48)
+	go w.Write(msg)
+	down := make([]byte, len(msg))
+	if _, err := io.ReadFull(downR, down); err != nil {
+		t.Fatal(err)
+	}
+	assertOneBitFlip(t, "downstream", down, msg)
+
+	go upW.Write(msg)
+	up := make([]byte, len(msg))
+	if _, err := io.ReadFull(r, up); err != nil {
+		t.Fatal(err)
+	}
+	assertOneBitFlip(t, "upstream", up, msg)
+
+	if got := reg.Counters()["chaos_corrupted_writes_total"]; got < 2 {
+		t.Fatalf("chaos_corrupted_writes_total = %d, want both directions counted", got)
+	}
+}
+
+func assertOneBitFlip(t *testing.T, dir string, got, want []byte) {
+	t.Helper()
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+			if x := got[i] ^ want[i]; x&(x-1) != 0 {
+				t.Fatalf("%s byte %d differs by more than one bit", dir, i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%s: %d bytes corrupted, want exactly 1", dir, diff)
+	}
+}
+
+// TestPoisonCheckpoint: the poison stream is deterministic, independent of
+// the other planes' wrap ordinals, off by default, and counted when it
+// fires.
+func TestPoisonCheckpoint(t *testing.T) {
+	draws := func(c *Chaos, n int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = c.PoisonCheckpoint()
+		}
+		return out
+	}
+	reg := telemetry.NewRegistry()
+	cfg := Config{Seed: 31, DiskPoison: 0.5}
+	a := draws(New(cfg, NewMetrics(reg)), 64)
+	b := draws(New(cfg, nil), 64)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: poison schedule not deterministic", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 64 {
+		t.Fatalf("%d/64 checkpoints poisoned at p=0.5; the stream is degenerate", hits)
+	}
+	if got := reg.Counters()["chaos_disk_checkpoints_poisoned_total"]; got != uint64(hits) {
+		t.Fatalf("chaos_disk_checkpoints_poisoned_total = %d, want %d", got, hits)
+	}
+
+	// Wrapping files first must not shift the poison schedule: the poison
+	// stream is its own, not a tap on the handle streams.
+	shifted := New(cfg, nil)
+	shifted.WrapFile(scratchFile(t))
+	if got := draws(shifted, 64); !boolsEqual(got, a) {
+		t.Fatal("wrapping a file perturbed the poison schedule")
+	}
+
+	var nilC *Chaos
+	if nilC.PoisonCheckpoint() {
+		t.Fatal("nil Chaos poisoned a checkpoint")
+	}
+	if New(Config{Seed: 31}, nil).PoisonCheckpoint() {
+		t.Fatal("poison fired with DiskPoison unset")
+	}
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseSpecDiskGrammar round-trips every storage- and pipe-plane key,
+// then table-drives the rejection cases for the new grammar: bad values,
+// duplicate keys, and unknown keys reported all at once.
+func TestParseSpecDiskGrammar(t *testing.T) {
+	cfg, err := ParseSpec("seed=9,disk.enospc=0.01,disk.short-write=0.02,disk.torn-write=0.03," +
+		"disk.sync-fail=0.04,disk.sync-delay=5ms,disk.read-corrupt=0.06,disk.poison=0.07," +
+		"pipe.corrupt=0.08,pipe.truncate=0.09,pipe.reset=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 9, DiskENOSPC: 0.01, DiskShortWrite: 0.02, DiskTornWrite: 0.03,
+		DiskSyncFail: 0.04, DiskSyncDelay: 5 * time.Millisecond,
+		DiskReadCorrupt: 0.06, DiskPoison: 0.07,
+		PipeCorrupt: 0.08, PipeTruncate: 0.09, PipeReset: 0.1,
+	}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if cfg.NetEnabled() {
+		t.Fatal("a storage-only spec reports network faults enabled")
+	}
+	if !cfg.DiskEnabled() || !cfg.PipeEnabled() || !cfg.Enabled() {
+		t.Fatal("parsed storage spec reports its planes disabled")
+	}
+
+	cases := []struct {
+		name, spec string
+		wantErr    []string // all substrings the error must contain
+	}{
+		{"duplicate disk key", "disk.enospc=0.1,disk.enospc=0.2",
+			[]string{"duplicate key", `"disk.enospc"`}},
+		{"duplicate across planes keeps first error", "corrupt=0.1,corrupt=0.1",
+			[]string{"duplicate key", `"corrupt"`}},
+		{"probability above 1", "disk.torn-write=1.5",
+			[]string{"disk.torn-write", "outside [0,1]"}},
+		{"negative probability", "pipe.reset=-0.1",
+			[]string{"pipe.reset", "outside [0,1]"}},
+		{"bad duration", "disk.sync-delay=fast",
+			[]string{"disk.sync-delay"}},
+		{"one unknown key", "disk.enospc=0.1,disk.ensopc=0.2",
+			[]string{"unknown key", `"disk.ensopc"`, "valid:", "disk.enospc"}},
+		{"all unknown keys in one error", "pipe.corupt=0.1,disc.enospc=0.2,seed=1",
+			[]string{"unknown keys", `"pipe.corupt"`, `"disc.enospc"`, "valid:"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted", tc.spec)
+			}
+			for _, sub := range tc.wantErr {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestParseSpecValidKeyListComplete: the unknown-key error's valid-key list
+// must track the switch — a key that parses but is missing from the list
+// (or listed but rejected) sends operators down a documentation dead end.
+func TestParseSpecValidKeyListComplete(t *testing.T) {
+	for _, key := range specKeys() {
+		val := "0.1"
+		switch key {
+		case "seed":
+			val = "7"
+		case "bandwidth":
+			val = "1024"
+		case "latency", "jitter", "partition-for", "disk.sync-delay":
+			val = "1ms"
+		case "partition-heal":
+			val = "true"
+		}
+		if _, err := ParseSpec(key + "=" + val); err != nil {
+			t.Errorf("listed key %q rejected: %v", key, err)
+		}
+	}
+}

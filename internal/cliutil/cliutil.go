@@ -10,10 +10,13 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -179,6 +182,43 @@ func (f *FabricFlags) ChaosWrap(reg *telemetry.Registry) (func(net.Conn) net.Con
 		return nil, err
 	}
 	return chaos.New(*cfg, chaos.NewMetrics(reg)).Wrap, nil
+}
+
+// StorageChaos builds the storage/IPC-plane injector for the -chaos spec:
+// the disk.* keys fault the journal and sidecar handles (JournalWrap), the
+// pipe.* keys fault proc-isolation worker pipes (PipeWrap), disk.poison
+// corrupts golden checkpoints. A spec with none of those returns nil —
+// network-only chaos keeps the storage stack entirely unwrapped.
+func (f *FabricFlags) StorageChaos(reg *telemetry.Registry) (*chaos.Chaos, error) {
+	cfg, err := f.ChaosConfig()
+	if err != nil || cfg == nil {
+		return nil, err
+	}
+	if !cfg.DiskEnabled() && !cfg.PipeEnabled() && cfg.DiskPoison <= 0 {
+		return nil, nil
+	}
+	return chaos.New(*cfg, chaos.NewMetrics(reg)), nil
+}
+
+// JournalWrap adapts a storage-chaos injector into the journal package's
+// File substitution hook (journal.CreateWrapped / OpenWrapped); nil unless
+// disk faults are configured, so clean runs take the unwrapped *os.File
+// path.
+func JournalWrap(c *chaos.Chaos) journal.Wrap {
+	if cc := c.Config(); !cc.DiskEnabled() {
+		return nil
+	}
+	return func(f *os.File) journal.File { return c.WrapFile(f) }
+}
+
+// PipeWrap adapts a storage-chaos injector into the worker supervisor's
+// pipe interposition hook (campaign.ProcOptions.WrapPipes); nil unless pipe
+// faults are configured.
+func PipeWrap(c *chaos.Chaos) func(io.WriteCloser, io.Reader) (io.WriteCloser, io.Reader) {
+	if cc := c.Config(); !cc.PipeEnabled() {
+		return nil
+	}
+	return c.WrapPipes
 }
 
 // ParseIsolation parses the -isolation flag shared by the CLIs, reporting

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
 	"repro/internal/fault"
 	"repro/internal/injector"
 	"repro/internal/journal"
@@ -81,6 +82,12 @@ type Engine struct {
 	// and the live progress surface (swifi -trace/-debug-addr/-progress).
 	// Strictly passive — results are bit-identical with or without it.
 	Telemetry *telemetry.Telemetry
+	// StorageChaos, when non-nil, is the deterministic storage/IPC fault
+	// injector built from the disk.*/pipe.* keys of swifi -chaos: checkpoint
+	// poisoning, proc-pipe corruption, and (via the CLI's wrapped journal
+	// handles) disk faults on the WAL. Results must stay bit-identical to a
+	// clean run; see campaign.Config.StorageChaos.
+	StorageChaos *chaos.Chaos
 
 	mu       sync.Mutex
 	campRes  *campaign.Result
@@ -247,6 +254,7 @@ func (e *Engine) CampaignConfig() campaign.Config {
 		Proc:          e.Proc,
 		Fabric:        e.Fabric,
 		Telemetry:     e.Telemetry,
+		StorageChaos:  e.StorageChaos,
 	}
 }
 

@@ -153,6 +153,7 @@ type Store struct {
 	entries map[storeKey]*storeEntry
 	pools   sync.Map // *cc.Compiled -> *sync.Pool of *vm.Machine
 	met     telemetry.GoldenMetrics
+	poison  func() bool // chaos hook: corrupt the next checkpoint's sum
 }
 
 // SetMetrics installs the store's instrument bundle: golden runs recorded,
@@ -169,6 +170,25 @@ func (s *Store) metrics() telemetry.GoldenMetrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.met
+}
+
+// SetPoison installs a hook consulted once per checkpoint as it is built:
+// when it returns true, the checkpoint's integrity sum is corrupted on
+// purpose. It is the chaos layer's handle on the store — a poisoned
+// checkpoint must fail Verify in the executor and send the unit down the
+// straight-execution path with an identical result, exactly as a
+// genuinely rotted snapshot would. A nil fn (the default) disables it.
+// Safe to call concurrently with Run.
+func (s *Store) SetPoison(fn func() bool) {
+	s.mu.Lock()
+	s.poison = fn
+	s.mu.Unlock()
+}
+
+func (s *Store) poisonFn() func() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poison
 }
 
 type storeKey struct {
@@ -230,10 +250,21 @@ func (s *Store) record(c *cc.Compiled, cs *workload.Case, budget uint64, marks [
 		First: make(map[uint32]uint64),
 		Count: make(map[uint32]uint64),
 	}
+	poison := s.poisonFn()
+	// checksum computes the integrity sum a checkpoint is stored with,
+	// flipping bits when the poison hook fires so the executor's Verify
+	// rejects the checkpoint later.
+	checksum := func(snap *vm.Snapshot) uint64 {
+		sum := snap.Checksum()
+		if poison != nil && poison() {
+			sum ^= 0xdead_beef_dead_beef
+		}
+		return sum
+	}
 	m.SetWatch(ws.addrs, marks, func(mm *vm.Machine, pc uint32, cycleMark bool) {
 		if cycleMark {
 			snap := mm.Snapshot()
-			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Cycles: mm.Cycles(), Snap: snap, Sum: snap.Checksum()})
+			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Cycles: mm.Cycles(), Snap: snap, Sum: checksum(snap)})
 			return
 		}
 		n := rec.Count[pc]
@@ -241,7 +272,7 @@ func (s *Store) record(c *cc.Compiled, cs *workload.Case, budget uint64, marks [
 		if n == 0 {
 			rec.First[pc] = mm.Cycles()
 			snap := mm.Snapshot()
-			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Addr: pc, Cycles: mm.Cycles(), Snap: snap, Sum: snap.Checksum()})
+			rec.Checkpoints = append(rec.Checkpoints, Checkpoint{Addr: pc, Cycles: mm.Cycles(), Snap: snap, Sum: checksum(snap)})
 		}
 	})
 	if _, err := m.Run(); err != nil {

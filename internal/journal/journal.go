@@ -20,6 +20,16 @@
 // being appended when the process died — is detected and truncated away on
 // open, and any corrupt record cuts the replay off at the last good one
 // (everything before it is still trusted; everything after is re-executed).
+//
+// Degradation contract: the journal is an aid, never a liability. The
+// first write failure — ENOSPC, a short write, a failed sync — flips the
+// journal into degraded mode: the file is truncated back to the last whole
+// record (so whatever was persisted stays resumable), every later Append
+// records the outcome in memory only, and the campaign carries on as if
+// -journal had not been given. Canonicalize makes one recovery attempt at
+// campaign completion: every outcome is still held in memory, so if the
+// pressure was transient (space freed, quota raised) the finished journal
+// is rewritten whole and is byte-identical to one from an undisturbed run.
 package journal
 
 import (
@@ -41,6 +51,25 @@ const (
 	headerSize = 20
 	recordSize = 12
 )
+
+// File is the slice of *os.File the journal uses. The wrapped constructors
+// (CreateWrapped, OpenWrapped) accept a hook that substitutes another
+// implementation — in practice the chaos package's disk-fault wrapper — so
+// the degradation contract above is testable against injected storage
+// failures without touching the filesystem layer.
+type File interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// Wrap substitutes a File implementation for the journal's raw file. A nil
+// Wrap (or one returning its argument) keeps the raw handle.
+type Wrap func(*os.File) File
 
 // Outcome flag bits.
 const (
@@ -104,12 +133,18 @@ type Journal struct {
 	Metrics telemetry.JournalMetrics
 
 	mu     sync.Mutex
-	f      *os.File
+	f      File
 	path   string
 	fp     uint64
 	bound  bool
 	resume bool
 	done   map[int]Outcome
+
+	// size is the file offset after the last whole record successfully
+	// written (header included) — the resume-safe truncation point when a
+	// write failure flips the journal into degraded mode.
+	size     int64
+	degraded bool
 }
 
 // Create opens a fresh journal at path, truncating any existing file. The
@@ -121,7 +156,12 @@ type Journal struct {
 // interleaving appends into one log. The truncation happens only after the
 // lock is held, so a Create losing the race cannot destroy the winner's
 // records.
-func Create(path string) (*Journal, error) {
+func Create(path string) (*Journal, error) { return CreateWrapped(path, nil) }
+
+// CreateWrapped is Create with a File substitution hook: the raw file is
+// opened, locked and truncated as usual, then every subsequent journal
+// operation goes through wrap's result.
+func CreateWrapped(path string, wrap Wrap) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -134,7 +174,14 @@ func Create(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal %s: %w", path, err)
 	}
-	return &Journal{f: f, path: path, done: make(map[int]Outcome)}, nil
+	return &Journal{f: wrapFile(f, wrap), path: path, done: make(map[int]Outcome)}, nil
+}
+
+func wrapFile(f *os.File, wrap Wrap) File {
+	if wrap == nil {
+		return f
+	}
+	return wrap(f)
 }
 
 // Open loads an existing journal for resumption: the header is read and
@@ -142,7 +189,13 @@ func Create(path string) (*Journal, error) {
 // torn or corrupt tail is truncated so subsequent appends extend the last
 // good record. Like Create, Open holds the journal's exclusive advisory
 // lock for the lifetime of the Journal.
-func Open(path string) (*Journal, error) {
+func Open(path string) (*Journal, error) { return OpenWrapped(path, nil) }
+
+// OpenWrapped is Open with a File substitution hook; the load pass (header
+// verification, record replay, tail truncation) runs through the wrapped
+// handle, so injected read-back corruption exercises the same CRC cutoffs
+// real corruption would.
+func OpenWrapped(path string, wrap Wrap) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -151,7 +204,7 @@ func Open(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal %s: %w", path, err)
 	}
-	j := &Journal{f: f, path: path, resume: true, done: make(map[int]Outcome)}
+	j := &Journal{f: wrapFile(f, wrap), path: path, resume: true, done: make(map[int]Outcome)}
 	if err := j.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -207,6 +260,7 @@ func (j *Journal) load() error {
 	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
 		return err
 	}
+	j.size = good
 	return nil
 }
 
@@ -229,17 +283,50 @@ func (j *Journal) Bind(fingerprint uint64) error {
 		j.bound = true
 		return nil
 	}
+	j.fp = fingerprint
+	j.bound = true
 	var hdr [headerSize]byte
 	copy(hdr[:4], magic)
 	binary.LittleEndian.PutUint16(hdr[4:6], version)
 	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
 	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
 	if _, err := j.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("journal %s: writing header: %w", j.path, err)
+		// A journal whose header cannot be written persists nothing; run
+		// the campaign journal-less rather than refusing to run it.
+		j.degrade(fmt.Errorf("writing header: %w", err))
+		return nil
 	}
-	j.fp = fingerprint
-	j.bound = true
+	j.size = headerSize
 	return nil
+}
+
+// degrade flips the journal into journal-disabled mode after a write
+// failure: the file is truncated back to the last whole record so the
+// persisted prefix stays resumable, and every later Append records in
+// memory only. Called with j.mu held.
+func (j *Journal) degrade(reason error) {
+	if j.degraded {
+		return
+	}
+	j.degraded = true
+	// Best effort: the disk that failed the write may refuse the truncate
+	// too, in which case the per-record CRCs truncate the partial tail on
+	// the next Open instead.
+	if err := j.f.Truncate(j.size); err == nil {
+		j.f.Seek(j.size, io.SeekStart)
+	}
+	if j.Metrics.DegradedMode != nil {
+		j.Metrics.DegradedMode.Set(1)
+	}
+	fmt.Fprintf(os.Stderr, "journal %s: write failed (%v); continuing without the journal — the %d units persisted so far stay resumable\n",
+		j.path, reason, len(j.done))
+}
+
+// Degraded reports whether a write failure disabled the journal.
+func (j *Journal) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
 }
 
 // Done returns the journaled outcome of a unit, if one exists.
@@ -277,6 +364,16 @@ func (j *Journal) Append(unit int, o Outcome) error {
 	if _, dup := j.done[unit]; dup {
 		return nil
 	}
+	if j.degraded {
+		// Journal-disabled mode: keep the outcome in memory so replay,
+		// progress and the completion-time recovery attempt still see it,
+		// but touch nothing on disk.
+		j.done[unit] = o
+		if j.OnAppend != nil {
+			j.OnAppend(len(j.done))
+		}
+		return nil
+	}
 	var start time.Time
 	if j.Metrics.AppendLatency != nil {
 		start = time.Now()
@@ -287,8 +384,14 @@ func (j *Journal) Append(unit int, o Outcome) error {
 	rec[5] = o.Flags()
 	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[:8]))
 	if _, err := j.f.Write(rec[:]); err != nil {
-		return fmt.Errorf("journal %s: %w", j.path, err)
+		j.degrade(err)
+		j.done[unit] = o
+		if j.OnAppend != nil {
+			j.OnAppend(len(j.done))
+		}
+		return nil
 	}
+	j.size += recordSize
 	j.done[unit] = o
 	j.Metrics.Appends.Inc()
 	if j.Metrics.AppendLatency != nil {
@@ -309,6 +412,14 @@ func (j *Journal) Append(unit int, o Outcome) error {
 // only after the campaign completes: a crash mid-rewrite loses the tail of
 // the record section (never the header), costing re-execution, not
 // correctness.
+//
+// On a degraded journal, Canonicalize is the recovery attempt: every
+// outcome is still in memory, so the whole file — header included, in case
+// degradation hit Bind — is rewritten from scratch. If the disk cooperates
+// the journal ends byte-identical to an undisturbed run's; if not, the
+// journal stays degraded and the campaign result is unaffected. A write
+// failure on a healthy journal degrades it rather than failing the
+// completed campaign.
 func (j *Journal) Canonicalize() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -330,30 +441,68 @@ func (j *Journal) Canonicalize() error {
 		binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[:8]))
 		buf = append(buf, rec[:]...)
 	}
+	wasDegraded := j.degraded
+	if wasDegraded {
+		var hdr [headerSize]byte
+		copy(hdr[:4], magic)
+		binary.LittleEndian.PutUint16(hdr[4:6], version)
+		binary.LittleEndian.PutUint64(hdr[8:16], j.fp)
+		binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+		if _, err := j.f.WriteAt(hdr[:], 0); err != nil {
+			return nil // still degraded; the persisted prefix stays resumable
+		}
+	}
 	if _, err := j.f.WriteAt(buf, headerSize); err != nil {
-		return fmt.Errorf("journal %s: canonicalize: %w", j.path, err)
+		j.degrade(fmt.Errorf("canonicalize: %w", err))
+		return nil
 	}
 	end := int64(headerSize + len(buf))
 	if err := j.f.Truncate(end); err != nil {
-		return fmt.Errorf("journal %s: canonicalize truncate: %w", j.path, err)
+		j.degrade(fmt.Errorf("canonicalize truncate: %w", err))
+		return nil
 	}
 	if _, err := j.f.Seek(end, io.SeekStart); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		j.degrade(fmt.Errorf("canonicalize sync: %w", err))
+		return nil
+	}
+	j.size = end
+	if wasDegraded {
+		j.degraded = false
+		if j.Metrics.DegradedMode != nil {
+			j.Metrics.DegradedMode.Set(0)
+		}
+		fmt.Fprintf(os.Stderr, "journal %s: recovered at completion; all %d outcomes rewritten\n", j.path, len(units))
+	}
+	return nil
 }
 
-// Sync flushes the journal to stable storage.
+// Sync flushes the journal to stable storage. A sync failure degrades the
+// journal (fsync reporting failure says nothing about what reached the
+// platter, so nothing later can be trusted to persist) and is not returned:
+// the campaign carries on journal-less.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Sync()
+	if j.degraded {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.degrade(err)
+	}
+	return nil
 }
 
 // Close syncs and closes the file. The Journal must not be used afterwards.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.degraded {
+		j.f.Close()
+		return nil
+	}
 	if err := j.f.Sync(); err != nil {
 		j.f.Close()
 		return err

@@ -43,19 +43,33 @@ type SideRecord struct {
 
 // SideLog is an open sidecar log. It is not safe for concurrent use; the
 // coordinator appends only from its event loop.
+//
+// Like the journal, the sidecar must never be a liability: its first write
+// failure truncates the file back to the last whole record and flips the
+// log into degraded mode — that Append returns the error (so the
+// coordinator can log that crash recovery is now partial), every later one
+// is a silent no-op. Scheduling state is reconstructible by redelivery, so
+// losing the tail costs duplicate work after a crash, never correctness.
 type SideLog struct {
-	f      *os.File
+	f      File
 	path   string
 	fp     uint64
 	bound  bool
 	resume bool
 	recs   []SideRecord
+
+	size     int64 // offset after the last whole record persisted
+	degraded bool
 }
 
 // CreateSide opens a fresh sidecar log at path, truncating any existing
 // file. Like the journal, the header is deferred to BindSide because the
 // plan fingerprint is not known at creation time.
-func CreateSide(path string) (*SideLog, error) {
+func CreateSide(path string) (*SideLog, error) { return CreateSideWrapped(path, nil) }
+
+// CreateSideWrapped is CreateSide with the journal's File substitution
+// hook.
+func CreateSideWrapped(path string, wrap Wrap) (*SideLog, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -68,13 +82,16 @@ func CreateSide(path string) (*SideLog, error) {
 		f.Close()
 		return nil, fmt.Errorf("sidelog %s: %w", path, err)
 	}
-	return &SideLog{f: f, path: path}, nil
+	return &SideLog{f: wrapFile(f, wrap), path: path}, nil
 }
 
 // OpenSide loads an existing sidecar log for crash recovery, truncating a
 // torn or corrupt tail. The loaded records are handed out by Replay after
 // Bind verifies the fingerprint.
-func OpenSide(path string) (*SideLog, error) {
+func OpenSide(path string) (*SideLog, error) { return OpenSideWrapped(path, nil) }
+
+// OpenSideWrapped is OpenSide with the journal's File substitution hook.
+func OpenSideWrapped(path string, wrap Wrap) (*SideLog, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -83,7 +100,7 @@ func OpenSide(path string) (*SideLog, error) {
 		f.Close()
 		return nil, fmt.Errorf("sidelog %s: %w", path, err)
 	}
-	s := &SideLog{f: f, path: path, resume: true}
+	s := &SideLog{f: wrapFile(f, wrap), path: path, resume: true}
 	if err := s.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -136,6 +153,7 @@ func (s *SideLog) load() error {
 	if _, err := s.f.Seek(good, io.SeekStart); err != nil {
 		return err
 	}
+	s.size = good
 	return nil
 }
 
@@ -163,19 +181,43 @@ func (s *SideLog) Bind(fingerprint uint64) error {
 	binary.LittleEndian.PutUint16(hdr[4:6], sideVersion)
 	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
 	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
-	if _, err := s.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("sidelog %s: writing header: %w", s.path, err)
-	}
 	s.fp = fingerprint
 	s.bound = true
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		s.degrade()
+		return fmt.Errorf("sidelog %s: writing header: %w", s.path, err)
+	}
+	s.size = headerSize
 	return nil
 }
 
+// degrade truncates back to the last whole record and disables further
+// appends. Best effort, like the journal's: a disk refusing the truncate
+// leaves a torn tail for the next OpenSide's CRC scan to cut away.
+func (s *SideLog) degrade() {
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	if err := s.f.Truncate(s.size); err == nil {
+		s.f.Seek(s.size, io.SeekStart)
+	}
+}
+
+// Degraded reports whether a write failure disabled the sidecar.
+func (s *SideLog) Degraded() bool { return s.degraded }
+
 // Append writes one record straight to the file. A crash loses at most the
-// record being written; the next OpenSide truncates it away.
+// record being written; the next OpenSide truncates it away. The first
+// write failure degrades the log and is returned; later appends on a
+// degraded log are silent no-ops — the coordinator must never wedge on its
+// recovery state, only lose some of it.
 func (s *SideLog) Append(kind uint8, payload []byte) error {
 	if !s.bound {
 		return fmt.Errorf("sidelog %s: Append before Bind", s.path)
+	}
+	if s.degraded {
+		return nil
 	}
 	if len(payload) > MaxSideRecord {
 		return fmt.Errorf("sidelog %s: %d-byte record exceeds the %d-byte bound", s.path, len(payload), MaxSideRecord)
@@ -186,8 +228,10 @@ func (s *SideLog) Append(kind uint8, payload []byte) error {
 	buf = append(buf, payload...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	if _, err := s.f.Write(buf); err != nil {
+		s.degrade()
 		return fmt.Errorf("sidelog %s: %w", s.path, err)
 	}
+	s.size += int64(len(buf))
 	return nil
 }
 
@@ -209,11 +253,25 @@ func (s *SideLog) Resumed() bool { return s.resume }
 // Path returns the sidecar's file path.
 func (s *SideLog) Path() string { return s.path }
 
-// Sync flushes the log to stable storage.
-func (s *SideLog) Sync() error { return s.f.Sync() }
+// Sync flushes the log to stable storage. A degraded log has nothing worth
+// syncing; a sync failure degrades it.
+func (s *SideLog) Sync() error {
+	if s.degraded {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		s.degrade()
+		return err
+	}
+	return nil
+}
 
 // Close syncs and closes the file. The SideLog must not be used afterwards.
 func (s *SideLog) Close() error {
+	if s.degraded {
+		s.f.Close()
+		return nil
+	}
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return err

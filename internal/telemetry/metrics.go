@@ -429,11 +429,14 @@ func (r *Registry) Histograms() []HistogramSnapshot {
 	return out
 }
 
-// JournalMetrics is the instrument bundle the journal accepts: append count
-// and append latency. The zero value (nil instruments) disables both.
+// JournalMetrics is the instrument bundle the journal accepts: append count,
+// append latency, and a gauge that latches to 1 when a write failure flips
+// the journal into degraded (journal-disabled) mode. The zero value (nil
+// instruments) disables all of it.
 type JournalMetrics struct {
 	Appends       *Counter
 	AppendLatency *Histogram
+	DegradedMode  *Gauge
 }
 
 // GoldenMetrics is the instrument bundle the golden-run store accepts:
@@ -454,6 +457,7 @@ type WorkerMetrics struct {
 	HeartbeatGap    *Histogram // µs between received heartbeats, per worker
 	DeliveryLatency *Histogram // µs from unit dispatch to verdict
 	BreakerOpen     *Gauge     // 1 once the restart circuit breaker tripped
+	FramesRejected  *Counter   // pipe frames dropped for a CRC mismatch
 }
 
 // NewWorkerMetrics registers the worker-supervisor instruments on reg under
@@ -472,6 +476,7 @@ func NewWorkerMetrics(reg *Registry) *WorkerMetrics {
 		HeartbeatGap:    reg.Histogram("worker_heartbeat_gap_us", DefaultLatencyBuckets),
 		DeliveryLatency: reg.Histogram("worker_delivery_latency_us", DefaultLatencyBuckets),
 		BreakerOpen:     reg.Gauge("worker_breaker_open"),
+		FramesRejected:  reg.Counter("worker_frames_rejected_total"),
 	}
 }
 

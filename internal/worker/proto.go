@@ -14,9 +14,10 @@
 // a unit is quarantined, and a circuit breaker that gives up on process
 // isolation when worker churn shows the host cannot sustain it.
 //
-// The wire protocol, version 1 (all integers little-endian):
+// The wire protocol, version 2 (all integers little-endian):
 //
-//	frame    length u32 | type u8 | payload (length counts type+payload)
+//	frame    length u32 | type u8 | payload | crc32 u32
+//	         (length counts type+payload+crc; crc32 is IEEE over type+payload)
 //
 //	hello    version u16 | heartbeat-ms u32 | mem-quota u64 |
 //	         fingerprint u64 | kind-len u16 | kind | spec-len u32 | spec
@@ -35,8 +36,14 @@
 // encoding, so a verdict appends to a campaign journal byte-for-byte. A
 // verdict with last set is the worker's final answer (it recycles itself —
 // e.g. its RSS crossed the memory quota) and the supervisor respawns it
-// without penalty. Frames above MaxFrame, unknown types, and short reads
-// are protocol errors: the supervisor kills the worker and redelivers.
+// without penalty. Frames above MaxFrame, unknown types, short reads, and
+// checksum mismatches are protocol errors: the supervisor kills the worker
+// and redelivers. Version 2 put the trailing CRC on the pipe frames too
+// (version 1 had it only on the fabric's TCP framing), so a corrupted or
+// torn frame severs and restarts the worker through the ordinary
+// redelivery machinery instead of desynchronizing the stream — stdin and
+// stdout are byte streams like any other, and the chaos plane now abuses
+// them like any other.
 package worker
 
 import (
@@ -67,10 +74,10 @@ func PayloadFingerprint(kind string, payload []byte) uint64 {
 
 const (
 	// ProtocolVersion is the frame-format version sent in hello and echoed
-	// in ready. There is exactly one version so far; the field exists so a
-	// mixed-build supervisor/worker pair fails the handshake instead of
-	// mis-parsing frames.
-	ProtocolVersion = 1
+	// in ready, so a mixed-build supervisor/worker pair fails the handshake
+	// instead of mis-parsing frames. Version 2 adopted the CRC-framed wire
+	// format on the pipes (the fabric already spoke it on TCP).
+	ProtocolVersion = 2
 
 	// MaxFrame bounds any frame's length prefix. A frame claiming more is
 	// garbage (a worker writing junk to stdout, a supervisor reading from
@@ -190,9 +197,10 @@ func ReadFrame(r io.Reader) (typ uint8, payload []byte, err error) {
 var ErrFrameCRC = errors.New("worker: frame checksum mismatch")
 
 // WriteFrameCRC emits one CRC-protected frame: the plain frame layout with
-// a trailing IEEE CRC32 over type+payload. The fabric speaks this framing
-// on TCP, where links corrupt; the pipe protocol keeps plain frames, where
-// they cannot.
+// a trailing IEEE CRC32 over type+payload. Both transports speak it — the
+// fabric on TCP since protocol v2 of the wire spec, the worker pipes since
+// ProtocolVersion 2 — so a flipped bit anywhere between the two processes
+// is detected at the frame boundary instead of mis-parsed downstream.
 //
 //	length u32 | type u8 | payload | crc32 u32   (length counts type+payload+crc)
 func WriteFrameCRC(w io.Writer, typ uint8, payload []byte) error {

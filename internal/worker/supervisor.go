@@ -84,6 +84,14 @@ type Options struct {
 	// death, redelivery, quarantine, breaker trip).
 	Log func(format string, args ...any)
 
+	// WrapPipes, when non-nil, intercepts the supervisor's side of each
+	// spawned worker's pipes (the stdin writer and the stdout reader)
+	// before any frame crosses them. It exists for the chaos layer: the
+	// wrapper corrupts, truncates or severs the byte streams, and the CRC
+	// framing plus the restart/redelivery machinery must absorb it. The
+	// wrapped writer's Close must close the underlying pipe.
+	WrapPipes func(w io.WriteCloser, r io.Reader) (io.WriteCloser, io.Reader)
+
 	// Metrics, when non-nil, counts supervision events (restarts,
 	// redeliveries, quarantines, breaker state) and observes the heartbeat
 	// gap and delivery latency. Tracer, when non-nil, receives the matching
@@ -525,6 +533,7 @@ type liveWorker struct {
 	stdin  io.WriteCloser
 	frames chan frame
 	units  int // unit count from the worker's ready frame
+	met    *telemetry.WorkerMetrics
 
 	mu   sync.Mutex
 	rerr error
@@ -549,14 +558,19 @@ func spawn(opts *Options) (*liveWorker, error) {
 		stdin.Close()
 		return nil, err
 	}
-	w := &liveWorker{cmd: cmd, stdin: stdin, frames: make(chan frame, 16)}
-	go w.pump(stdout)
+	var in io.WriteCloser = stdin
+	var out io.Reader = stdout
+	if opts.WrapPipes != nil {
+		in, out = opts.WrapPipes(stdin, stdout)
+	}
+	w := &liveWorker{cmd: cmd, stdin: in, frames: make(chan frame, 16), met: opts.Metrics}
+	go w.pump(out)
 
 	var memQuota uint64
 	if opts.MemQuota > 0 {
 		memQuota = uint64(opts.MemQuota)
 	}
-	if err := WriteFrame(stdin, msgHello, encodeHello(hello{
+	if err := WriteFrameCRC(in, msgHello, encodeHello(hello{
 		Version:           ProtocolVersion,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		MemQuota:          memQuota,
@@ -574,8 +588,11 @@ func spawn(opts *Options) (*liveWorker, error) {
 func (w *liveWorker) pump(r io.Reader) {
 	br := bufio.NewReader(r)
 	for {
-		typ, payload, err := ReadFrame(br)
+		typ, payload, err := ReadFrameCRC(br)
 		if err != nil {
+			if w.met != nil && errors.Is(err, ErrFrameCRC) {
+				w.met.FramesRejected.Inc()
+			}
 			w.mu.Lock()
 			w.rerr = err
 			w.mu.Unlock()
@@ -603,7 +620,7 @@ func (w *liveWorker) readErr() error {
 }
 
 func (w *liveWorker) send(typ uint8, payload []byte) error {
-	return WriteFrame(w.stdin, typ, payload)
+	return WriteFrameCRC(w.stdin, typ, payload)
 }
 
 // kill tears the worker down unconditionally and reaps it. Safe to call

@@ -114,7 +114,7 @@ func helperMain(behavior string) int {
 		os.Stdout.Write([]byte{msgReady, 1, 2, 3, 4})
 		return 0
 	case "badversion", "badfp":
-		typ, payload, err := ReadFrame(os.Stdin)
+		typ, payload, err := ReadFrameCRC(os.Stdin)
 		if err != nil || typ != msgHello {
 			return 1
 		}
@@ -130,9 +130,9 @@ func helperMain(behavior string) int {
 		} else {
 			rd.Fingerprint++
 		}
-		WriteFrame(os.Stdout, msgReady, encodeReady(rd))
+		WriteFrameCRC(os.Stdout, msgReady, encodeReady(rd))
 		// Hold the pipe open so the supervisor reacts to the frame, not EOF.
-		ReadFrame(os.Stdin)
+		ReadFrameCRC(os.Stdin)
 		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "unknown worker test behavior %q\n", behavior)

@@ -43,7 +43,7 @@ func Serve(r io.Reader, w io.Writer, f Factory) error {
 	br := bufio.NewReader(r)
 	ws := &syncWriter{w: w}
 
-	typ, payload, err := ReadFrame(br)
+	typ, payload, err := ReadFrameCRC(br)
 	if err != nil {
 		return fmt.Errorf("worker: reading hello: %w", err)
 	}
@@ -93,7 +93,7 @@ func Serve(r io.Reader, w io.Writer, f Factory) error {
 	}
 
 	for {
-		typ, payload, err := ReadFrame(br)
+		typ, payload, err := ReadFrameCRC(br)
 		if err != nil {
 			if err == io.EOF {
 				return nil // supervisor closed the pipe: clean shutdown
@@ -156,7 +156,7 @@ type syncWriter struct {
 func (s *syncWriter) send(typ uint8, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return WriteFrame(s.w, typ, payload)
+	return WriteFrameCRC(s.w, typ, payload)
 }
 
 // rssBytes reports the process's resident set size. On Linux it reads

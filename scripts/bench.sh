@@ -23,6 +23,16 @@
 # fixed per-unit service rate (see BenchmarkTable4Fabric), so the numbers
 # measure the fabric's scheduling and merge, not this machine's core count.
 #
+# The storage-chaos run (PR 9) is invoked as:
+#   BENCHTIME=3x scripts/bench.sh pr9 'Table4DiskChaos'
+# When the output holds the Table4DiskChaos/overhead result, the artifact
+# gains disk_chaos_disabled_overhead: the paired per-iteration wall-clock
+# ratio of a disabled-injector journaled campaign over a no-chaos one
+# (many short legs timed in alternating ABBA blocks inside the benchmark,
+# so machine drift cancels). DESIGN.md
+# §5j budgets it at ≤1.02 — a wired-but-idle chaos plane must cost nothing
+# measurable.
+#
 # The campaign pair runs the Table 4 benchmark twice in one binary:
 # "straight" replays every injection in full (the pre-checkpoint executor)
 # and "workers=1" goes through golden-run checkpointing; the ratio of their
@@ -57,10 +67,23 @@ SCALING="$(awk '
 	}
 ' "$RAW")"
 
+# Derive the disabled-chaos overhead when the disk-chaos benchmark ran.
+CHAOSOVER="$(awk '
+	$1 ~ /^BenchmarkTable4DiskChaos\/overhead(-[0-9]+)?$/ {
+		for (i = 2; i <= NF; i++)
+			if ($i == "overhead-ratio") v = $(i - 1)
+	}
+	END {
+		if (v > 0)
+			printf "-label disk_chaos_disabled_overhead=%.4f", v
+	}
+' "$RAW")"
+
 go run ./tools/benchjson \
 	-label "tag=$TAG" \
 	-label "commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	${SCALING:-} \
+	${CHAOSOVER:-} \
 	${EXTRA_LABELS:-} \
 	<"$RAW" >"$OUT"
 

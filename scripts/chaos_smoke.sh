@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Chaos smoke: the DESIGN.md §5i contract end to end through the real
-# binary, TCP, fault injection and the signal path. A journaled fig7
-# campaign is sharded over two executors with every fabric link running
-# under the deterministic chaos proxy; the coordinator is SIGKILLed
-# mid-campaign — no goodbye, no journal close, no sidecar cleanup — and
-# restarted with -resume. The merged output AND the canonical journal
-# bytes must be identical to a clean single-host run, and the scheduling
-# sidecar must be gone once the campaign completes.
+# Chaos smoke: the DESIGN.md §5i–5j contract end to end through the real
+# binary, TCP, fault injection and the signal path — all three chaos
+# planes combined. A journaled fig7 campaign is sharded over two
+# executors with every fabric link running under the deterministic chaos
+# proxy; the coordinator's journal disk injects ENOSPC/short/torn writes
+# (the journal degrades to in-memory mode mid-campaign); one executor
+# runs proc-isolation workers over corrupted pipes; and the coordinator
+# is SIGKILLed mid-campaign — no goodbye, no journal close, no sidecar
+# cleanup — and restarted with -resume. The merged output AND the
+# canonical journal bytes must be identical to a clean single-host run,
+# and the scheduling sidecar must be gone once the campaign completes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +22,19 @@ cd "$workdir"
 # Single-host golden: output and canonical journal bytes.
 ./swifi -scale 0.05 -seed 7 -journal golden.wal fig7 > fig7_golden.txt
 
-CHAOS='seed=7,corrupt=0.01,drop=0.01,truncate=0.005,reset=0.005'
+# Coordinator leg 1: network chaos on every link plus disk chaos on the
+# journal's own file handle. The chaos seed is pinned: the fault schedule
+# is a pure function of (seed, file ordinal, write index), and seed 53
+# lets the journal header persist (a resumable file), degrades the
+# journal within the first few merged verdicts, and leaves the fabric
+# sidecar (file ordinal 1) clean until well past the kill — so crash
+# recovery below is exercised from an intact session table.
+CHAOS='seed=53,corrupt=0.01,drop=0.01,truncate=0.005,reset=0.005'
+DISK='disk.enospc=0.08,disk.short-write=0.04,disk.torn-write=0.04'
+# Leg 2 resumes after the disk pressure has "lifted": network chaos only,
+# so completion-time recovery (journal.Canonicalize) runs on a healthy
+# disk and must reproduce the clean run's bytes exactly.
+CHAOS2='seed=7,corrupt=0.01,drop=0.01,truncate=0.005,reset=0.005'
 FLAGS='-scale 0.05 -seed 7 -heartbeat-interval 100ms -heartbeat-timeout 2s'
 
 # Coordinator 1: chaos on every accepted link, scheduling state journaled
@@ -30,7 +45,7 @@ FLAGS='-scale 0.05 -seed 7 -heartbeat-interval 100ms -heartbeat-timeout 2s'
 # shellcheck disable=SC2086
 ./swifi $FLAGS -journal chaos.wal \
   -fabric-listen 127.0.0.1:9372 -fabric-hosts 2 \
-  -fabric-session-timeout 15s -chaos "$CHAOS" \
+  -fabric-session-timeout 15s -chaos "$CHAOS,$DISK" \
   fig7 > fig7_chaos.txt 2> coord1.log &
 COORD=$!
 
@@ -41,14 +56,36 @@ COORD=$!
   -fabric-dial-timeout 60s -fabric-reconnect-window 120s \
   -chaos 'seed=8,corrupt=0.01,drop=0.01' 2> exec1.log &
 EXEC1=$!
+# Executor 2 (the survivor) additionally runs its units in supervised
+# worker subprocesses with pipe chaos: corrupted frames are rejected by
+# the CRC framing, the supervisor restarts the worker and redelivers.
+# Delivery/restart headroom keeps bad luck from quarantining a unit —
+# chaos must cost time, never verdicts. The pipe rates are an order of
+# magnitude below the single-host disk smoke's: every CRC sever here
+# costs a worker respawn AND rides on fabric link chaos, so ~10 expected
+# severs over the campaign's ~6.5k frames proves the restart/redeliver
+# path without grinding the pool into respawn churn (the asserted
+# 'redelivered' line below fails the drill if chaos never bites).
 ./swifi -fabric-join 127.0.0.1:9372 -workers 2 \
   -fabric-dial-timeout 60s -fabric-reconnect-window 120s \
-  -chaos 'seed=9,corrupt=0.01,drop=0.01' 2> exec2.log &
+  -isolation proc -proc-max-deliveries 10 -proc-max-restarts 10000 \
+  -chaos 'seed=9,corrupt=0.01,drop=0.01,pipe.corrupt=0.001,pipe.truncate=0.0005' 2> exec2.log &
 EXEC2=$!
 
-# SIGKILL the coordinator mid-campaign — the crash the recovery path
-# exists for.
-sleep 6
+# Wait for the disk chaos to bite the journal (seed 53 faults the fifth
+# journal write — within the first few merged verdicts), then SIGKILL
+# the coordinator while it is running degraded — the crash the recovery
+# path exists for. Polling for the degrade line rather than sleeping a
+# fixed interval keeps the kill behind the fault on any machine speed.
+for _ in $(seq 1 480); do
+  grep -q 'continuing without the journal' coord1.log 2>/dev/null && break
+  kill -0 "$COORD" 2>/dev/null || break
+  sleep 0.5
+done
+if ! grep -q 'continuing without the journal' coord1.log; then
+  echo "disk chaos never bit the coordinator journal" >&2
+  exit 1
+fi
 kill -9 "$COORD" 2>/dev/null || echo "coordinator already done; restart degenerates to a journal replay"
 wait "$COORD" || true
 
@@ -59,7 +96,7 @@ wait "$COORD" || true
 # shellcheck disable=SC2086
 ./swifi $FLAGS -journal chaos.wal -resume \
   -fabric-listen 127.0.0.1:9372 -fabric-hosts 1 \
-  -fabric-session-timeout 15s -chaos "$CHAOS" \
+  -fabric-session-timeout 15s -chaos "$CHAOS2" \
   -report report.json \
   fig7 > fig7_chaos.txt 2> coord2.log &
 COORD2=$!
@@ -79,6 +116,12 @@ diff fig7_golden.txt fig7_chaos.txt
 cmp golden.wal chaos.wal
 if [ -e chaos.wal.fabric ]; then
   echo "fabric sidecar survived a completed campaign" >&2
+  exit 1
+fi
+# The pipe chaos must have severed at least one proc worker (CRC reject →
+# restart → redeliver) and the pool must have absorbed it.
+if ! grep -q 'redelivered' exec2.log; then
+  echo "pipe chaos never severed a proc worker on executor 2" >&2
   exit 1
 fi
 # The absorbed abuse must be visible: at least one nonzero chaos_*
