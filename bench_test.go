@@ -412,6 +412,102 @@ func BenchmarkTable4DiskChaos(b *testing.B) {
 	})
 }
 
+// BenchmarkTable4Federation prices the fleet-telemetry federation plane on
+// a loopback fabric campaign: the same coordinator+executor run once with
+// federation on (the default — the executor pushes snapshot and trace
+// frames on every heartbeat and the coordinator republishes them as
+// host-labeled series) and once with JoinOptions.NoFederation. Both legs
+// produce bit-identical campaign Results (the federation plane never
+// touches the verdict path), so the paired wall-clock ratio is the whole
+// cost of the plane — frame encode, CRC, loopback write, coordinator
+// ingest. Legs are timed in mirrored ABBA blocks with alternating polarity,
+// exactly as BenchmarkTable4DiskChaos does, because the two legs are
+// near-identical code and separate sub-benchmarks would measure machine
+// drift instead. scripts/bench.sh turns the reported overhead-ratio into
+// the federation_disabled_overhead label in BENCH_<tag>.json; DESIGN.md
+// §5k budgets it at ≤2%. The 20ms heartbeat with a matching
+// FederationInterval is deliberately aggressive — ~50x the default 1s push
+// cadence — so the measured ratio is an upper bound.
+func BenchmarkTable4Federation(b *testing.B) {
+	cfg := campaignCfg([]fault.Class{fault.ClassAssignment}, "C.team1", "SOR")
+	// Warm the process-wide stores once so neither leg pays one-time costs.
+	if _, err := campaign.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	// The coordinator announces executor attach on stderr every leg, and
+	// `go test` interleaves stderr into the benchmark output, tearing the
+	// result line away from its numbers (the Table4DiskChaos/chaos problem);
+	// silence it for the artifact.
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = null
+	defer func() {
+		os.Stderr = old
+		null.Close()
+	}()
+	once := func(b *testing.B, noFed bool) time.Duration {
+		addr := benchLoopbackAddr(b)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The coordinator binds only after planning; retry until it is up.
+			for ctx.Err() == nil {
+				err := campaign.JoinFabric(ctx, addr, campaign.JoinOptions{
+					Name:               "bench-fed",
+					Workers:            1,
+					NoFederation:       noFed,
+					FederationInterval: 20 * time.Millisecond,
+				})
+				if err == nil {
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+		fcfg := cfg
+		fcfg.Fabric = &campaign.FabricOptions{
+			Listen:            addr,
+			MinHosts:          1,
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  10 * time.Second,
+		}
+		start := time.Now()
+		res, err := campaign.Run(fcfg)
+		elapsed := time.Since(start)
+		cancel()
+		wg.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Runs), "runs")
+		return elapsed
+	}
+	b.ReportAllocs()
+	var on, off time.Duration
+	for i := 0; i < b.N; i++ {
+		for blk := 0; blk < 4; blk++ {
+			if blk%2 == 0 {
+				on += once(b, false)
+				off += once(b, true)
+				off += once(b, true)
+				on += once(b, false)
+			} else {
+				off += once(b, true)
+				on += once(b, false)
+				on += once(b, false)
+				off += once(b, true)
+			}
+		}
+	}
+	b.ReportMetric(float64(on)/float64(off), "overhead-ratio")
+}
+
 // BenchmarkTable4Telemetry prices the observability layer on the Table 4
 // campaign (both classes, all eight programs, 4 workers): telemetry off
 // (the nil fast path every plane short-circuits on), the metric registry

@@ -86,6 +86,9 @@ func run(args []string) error {
 	if err := fab.Validate(); err != nil {
 		return err
 	}
+	if err := cliutil.ValidateFabricTelemetry(fab, tf); err != nil {
+		return err
+	}
 	stopProf, err := cliutil.StartProfiles("faultgen", *cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -96,14 +99,17 @@ func run(args []string) error {
 		return err
 	}
 	defer telCleanup()
-	chaosWrap, err := fab.ChaosWrap(tel.Registry())
-	if err != nil {
-		return err
-	}
 	rest := fs.Args()
 	if fab.Join != "" {
 		// Executor mode: the program list comes from the coordinator's
-		// spec, so no arguments are taken here.
+		// spec, so no arguments are taken here. Federation registers the
+		// executor-side instruments (chaos included) on its registry so
+		// they surface host-labelled on the coordinator.
+		fed := fabric.NewFederation(tel.Registry(), tel.Tracer())
+		fedWrap, err := fab.ChaosWrap(fed.Registry)
+		if err != nil {
+			return err
+		}
 		ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stopSignals()
 		return fabric.Join(ctx, fab.Join, fabric.ExecutorOptions{
@@ -111,8 +117,9 @@ func run(args []string) error {
 			Batch:           fabric.InProcBatch(planFactory, *workers),
 			DialTimeout:     fab.DialTimeout,
 			ReconnectWindow: fab.ReconnectWindow,
-			WrapConn:        chaosWrap,
-			Metrics:         fabric.NewExecutorMetrics(tel.Registry()),
+			WrapConn:        fedWrap,
+			Metrics:         fabric.NewExecutorMetrics(fed.Registry),
+			Federation:      fed,
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
 			},
@@ -299,6 +306,11 @@ func describeFabric(ctx context.Context, s planSpec, fab *cliutil.FabricFlags, h
 	if err != nil {
 		return nil, err
 	}
+	// Live fleet view: the tracker mirrors the coordinator's sessions for
+	// the -debug-addr server's /fleet endpoint.
+	fleet := fabric.NewFleetTracker(len(s.Programs), tel.Registry())
+	telemetry.SetFleetSource(fleet.Source())
+	defer telemetry.SetFleetSource(nil)
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
 		Addr:     fab.Listen,
 		MinHosts: fab.Hosts,
@@ -314,6 +326,8 @@ func describeFabric(ctx context.Context, s planSpec, fab *cliutil.FabricFlags, h
 		WrapConn:          chaosWrap,
 		Metrics:           fabric.NewMetrics(tel.Registry()),
 		Tracer:            tel.Tracer(),
+		Registry:          tel.Registry(),
+		Fleet:             fleet,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "faultgen: "+format+"\n", args...)
 		},

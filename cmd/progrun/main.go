@@ -118,7 +118,19 @@ func run(args []string) error {
 	if fab.Join != "" {
 		// Executor mode: the program, case count and seed come from the
 		// coordinator's spec; only local execution knobs apply here.
-		chaosWrap, err := fab.ChaosWrap(nil)
+		// Telemetry is set up before joining — historically this branch
+		// returned before tf.Setup ran, so -debug-addr on a progrun
+		// executor silently did nothing.
+		if err := cliutil.ValidateFabricTelemetry(fab, tf); err != nil {
+			return err
+		}
+		tel, telCleanup, err := tf.Setup("progrun")
+		if err != nil {
+			return err
+		}
+		defer telCleanup()
+		fed := fabric.NewFederation(tel.Registry(), tel.Tracer())
+		chaosWrap, err := fab.ChaosWrap(fed.Registry)
 		if err != nil {
 			return err
 		}
@@ -130,6 +142,8 @@ func run(args []string) error {
 			DialTimeout:     fab.DialTimeout,
 			ReconnectWindow: fab.ReconnectWindow,
 			WrapConn:        chaosWrap,
+			Metrics:         fabric.NewExecutorMetrics(fed.Registry),
+			Federation:      fed,
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
 			},
@@ -441,6 +455,11 @@ func selftestFabric(ctx context.Context, s selftestSpec, fab *cliutil.FabricFlag
 	if err != nil {
 		return nil, err
 	}
+	// Live fleet view: the tracker mirrors the coordinator's sessions for
+	// the -debug-addr server's /fleet endpoint.
+	fleet := fabric.NewFleetTracker(s.N, tel.Registry())
+	telemetry.SetFleetSource(fleet.Source())
+	defer telemetry.SetFleetSource(nil)
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
 		Addr:     fab.Listen,
 		MinHosts: fab.Hosts,
@@ -457,6 +476,8 @@ func selftestFabric(ctx context.Context, s selftestSpec, fab *cliutil.FabricFlag
 		Metrics:           fabric.NewMetrics(tel.Registry()),
 		Quarantine:        journal.Outcome{Mode: uint8(campaign.HostFault)},
 		Tracer:            tel.Tracer(),
+		Registry:          tel.Registry(),
+		Fleet:             fleet,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "progrun: "+format+"\n", args...)
 		},

@@ -121,6 +121,9 @@ func run(args []string) error {
 	if err := fab.Validate(); err != nil {
 		return err
 	}
+	if err := cliutil.ValidateFabricTelemetry(fab, tf); err != nil {
+		return err
+	}
 	stopProf, err := cliutil.StartProfiles("swifi", *cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -174,6 +177,7 @@ func run(args []string) error {
 			ReconnectWindow: fab.ReconnectWindow,
 			Chaos:           chaosCfg,
 			Registry:        tel.Registry(),
+			Tracer:          tel.Tracer(),
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "swifi: "+format+"\n", args...)
 			},

@@ -227,6 +227,12 @@ type Result struct {
 	// spirit — but not in value: the journal persists the degraded/retried
 	// flags per unit, so a resume reconstructs the same totals.
 	Exec ExecStats
+	// Hosts is the per-executor fleet breakdown of a fabric campaign, in
+	// join order; empty on single-host runs. Like Exec.Replayed it is
+	// provenance — which hosts obtained the outcomes — never part of the
+	// outcomes themselves, so the bit-identity contracts compare Entries
+	// and Exec, not this.
+	Hosts []telemetry.HostStats
 }
 
 // InterruptedError is returned by Run when its context is cancelled before
@@ -487,7 +493,7 @@ func Run(cfg Config) (*Result, error) {
 	var outcomes []unitOutcome
 	switch {
 	case cfg.Fabric != nil:
-		outcomes, err = executeUnitsFabric(&cfg, eo, units, pc.fp)
+		outcomes, res.Hosts, err = executeUnitsFabric(&cfg, eo, units, pc.fp)
 	case cfg.Isolation == IsolationProc:
 		outcomes, err = executeUnitsProc(&cfg, eo, units, pc.fp)
 	default:

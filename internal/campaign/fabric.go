@@ -83,6 +83,20 @@ type JoinOptions struct {
 	// Registry, when non-nil, receives the executor-side fabric and chaos
 	// instruments.
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, records this executor's unit lifecycle events
+	// (dispatched/executed); with federation on they are also pushed to the
+	// coordinator's merged trace. Nil with federation on creates a private
+	// tracer so the merged trace still has a source.
+	Tracer *telemetry.Tracer
+	// NoFederation disables the telemetry federation plane: no snapshot or
+	// trace frames are pushed to the coordinator. Federation is passive and
+	// best-effort, so this switches observability only — it is the
+	// benchmark's A/B control, not a production knob.
+	NoFederation bool
+	// FederationInterval floors the time between periodic federation pushes
+	// (zero keeps the fabric default of 1s). Tests and benchmarks lower it
+	// to exercise the push path at heartbeat speed.
+	FederationInterval time.Duration
 	// Log receives per-session fabric events; nil silences them.
 	Log func(format string, args ...any)
 }
@@ -94,11 +108,27 @@ type JoinOptions struct {
 // flags of its own.
 func JoinFabric(ctx context.Context, addr string, opts JoinOptions) error {
 	workers := parallel.DefaultWorkers(opts.Workers)
+	// Telemetry federation: unless disabled, every executor-side instrument
+	// registers on the federation's registry and every unit lifecycle event
+	// lands in its trace buffer, both pushed to the coordinator on the
+	// heartbeat cadence. The push is best-effort by construction, so the
+	// wiring here changes what the coordinator can observe, never what it
+	// merges.
+	reg := opts.Registry
+	tr := opts.Tracer
+	var fed *fabric.Federation
+	if !opts.NoFederation {
+		if tr == nil {
+			tr = telemetry.NewTracer(telemetry.DefaultTraceCap)
+		}
+		fed = fabric.NewFederation(reg, tr)
+		reg = fed.Registry
+	}
 	// Executor-side storage/IPC chaos: the coordinator's disk is not the
 	// only one that can fail. Checkpoint poisoning hits this host's golden
 	// store; pipe faults hit its proc-isolation workers. (This host has no
 	// journal — the verdicts live on the coordinator — so no disk wrap.)
-	inj := storageInjector(opts.Chaos, opts.Registry)
+	inj := storageInjector(opts.Chaos, reg)
 	golden.Shared.SetPoison(poisonHook(inj))
 	proc := opts.Proc
 	if w := pipeWrap(inj); w != nil {
@@ -110,20 +140,23 @@ func JoinFabric(ctx context.Context, addr string, opts JoinOptions) error {
 		proc = &p
 	}
 	return fabric.Join(ctx, addr, fabric.ExecutorOptions{
-		Name:            opts.Name,
-		Workers:         workers,
-		DialTimeout:     opts.DialTimeout,
-		ReconnectWindow: opts.ReconnectWindow,
-		WrapConn:        chaosWrap(opts.Chaos, opts.Registry),
-		Metrics:         fabric.NewExecutorMetrics(opts.Registry),
-		Log:             opts.Log,
+		Name:               opts.Name,
+		Workers:            workers,
+		DialTimeout:        opts.DialTimeout,
+		ReconnectWindow:    opts.ReconnectWindow,
+		WrapConn:           chaosWrap(opts.Chaos, reg),
+		Metrics:            fabric.NewExecutorMetrics(reg),
+		Federation:         fed,
+		FederationInterval: opts.FederationInterval,
+		Log:                opts.Log,
 		Batch: func(spec worker.Spec) (fabric.BatchRunner, error) {
 			b, err := newFabricBatchRunner(spec, workers, opts.Isolation, proc)
 			if err != nil {
 				return nil, err
 			}
 			b.pace = opts.UnitPace
-			b.met = newWorkerMetrics(opts.Registry)
+			b.met = newWorkerMetrics(reg)
+			b.tracer = tr
 			return b, nil
 		},
 	})
@@ -142,6 +175,7 @@ type fabricBatchRunner struct {
 	proc      *ProcOptions
 	pace      time.Duration
 	met       *telemetry.WorkerMetrics
+	tracer    *telemetry.Tracer
 	ex        *unitExecutor
 }
 
@@ -187,10 +221,18 @@ func (b *fabricBatchRunner) RunBatch(ctx context.Context, batch []int, skip func
 		if skip(u) {
 			return nil
 		}
+		if b.tracer != nil {
+			b.tracer.Emit(traceUnit(telemetry.KindDispatched, u, &b.units[u], w))
+		}
 		start := time.Now()
 		o, err := b.ex.runIsolated(w, &b.units[u])
 		if err != nil {
 			return fmt.Errorf("%s %s case %d: %w", b.units[u].program, b.units[u].f.ID, b.units[u].caseIx, err)
+		}
+		if b.tracer != nil {
+			e := traceUnit(telemetry.KindExecuted, u, &b.units[u], w)
+			e.DurUS = time.Since(start).Microseconds()
+			b.tracer.Emit(e)
 		}
 		if b.pace > 0 {
 			if d := b.pace - time.Since(start); d > 0 {
@@ -243,6 +285,7 @@ func (b *fabricBatchRunner) runBatchProc(ctx context.Context, batch []int, skip 
 		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
 		WrapPipes:         po.WrapPipes,
 		Metrics:           b.met,
+		Tracer:            b.tracer,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
 		},
@@ -261,7 +304,7 @@ func (b *fabricBatchRunner) runBatchProc(ctx context.Context, batch []int, skip 
 // journaled as it arrives. On completion the journal is canonicalized —
 // rewritten in unit order — so its bytes are independent of which host
 // finished which unit when.
-func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]unitOutcome, error) {
+func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]unitOutcome, []telemetry.HostStats, error) {
 	ctx := o.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -285,12 +328,12 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 		todo = append(todo, i)
 	}
 	if len(todo) == 0 {
-		return out, nil
+		return out, nil, nil
 	}
 
 	spec, err := procSpecFromConfig(cfg, fp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fo := cfg.Fabric
 	// The sidecar WAL journals the coordinator's scheduling state next to
@@ -300,8 +343,17 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 	// the run.
 	side, err := openFabricSide(o.journal, fp, storageWrap(cfg.StorageChaos))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// The fleet tracker mirrors the coordinator's session table for the
+	// /fleet endpoint, the TTY note and the report's hosts section. Its
+	// total is the distributed portion only (replayed units never cross the
+	// wire). SetFleetSource late-binds it to a -debug-addr server that
+	// started before planning.
+	reg := cfg.Telemetry.Registry()
+	fleet := fabric.NewFleetTracker(len(todo), reg)
+	telemetry.SetFleetSource(fleet.Source())
+	defer telemetry.SetFleetSource(nil)
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
 		Addr:              fo.Listen,
 		MinHosts:          fo.MinHosts,
@@ -313,9 +365,11 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 		MaxDeliveries:     fo.MaxDeliveries,
 		Quarantine:        journal.Outcome{Mode: uint8(HostFault)},
 		Side:              side,
-		WrapConn:          chaosWrap(fo.Chaos, cfg.Telemetry.Registry()),
-		Metrics:           newFabricMetrics(cfg.Telemetry.Registry()),
+		WrapConn:          chaosWrap(fo.Chaos, reg),
+		Metrics:           newFabricMetrics(reg),
 		Tracer:            o.tracer,
+		Registry:          reg,
+		Fleet:             fleet,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
 		},
@@ -324,7 +378,7 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 		if side != nil {
 			side.Close()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	// onResult runs on the coordinator's event-loop goroutine, so the slot
@@ -360,19 +414,19 @@ func executeUnitsFabric(cfg *Config, o execOpts, units []runUnit, fp uint64) ([]
 				fmt.Fprintf(os.Stderr, "campaign: removing fabric sidecar: %v\n", rerr)
 			}
 		}
-		return out, nil
+		return out, fleet.HostStats(), nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Interrupted: keep the sidecar on disk — it is exactly what a
 		// restarted coordinator needs to recover its sessions.
 		if side != nil {
 			side.Close()
 		}
-		return out, err
+		return out, fleet.HostStats(), err
 	default:
 		if side != nil {
 			side.Close()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 }
 

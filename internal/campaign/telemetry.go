@@ -47,6 +47,13 @@ type campMetrics struct {
 	// fleet size and losses. Both stay zero on single-host runs.
 	fabricHosts  *telemetry.Gauge
 	fabricDeaths *telemetry.Counter
+
+	// reg is kept so the progress note can sum the federated per-host
+	// executed gauges (fabric_units_executed_total{host=...}) — the
+	// fleet-wide view on the coordinator's TTY line. Single-host runs have
+	// no host-labeled series, so the scan costs one map walk per tick and
+	// contributes nothing.
+	reg *telemetry.Registry
 }
 
 // newCampMetrics registers the campaign instruments on reg; a nil registry
@@ -72,6 +79,7 @@ func newCampMetrics(reg *telemetry.Registry) *campMetrics {
 		restarts:      reg.Counter("worker_restarts_total"),
 		fabricHosts:   reg.Gauge("fabric_hosts"),
 		fabricDeaths:  reg.Counter("fabric_host_deaths_total"),
+		reg:           reg,
 	}
 	for _, mode := range tallyModes() {
 		m.verdicts[mode] = reg.Counter(fmt.Sprintf(`campaign_verdicts_total{mode=%q}`, mode))
@@ -139,6 +147,19 @@ func (m *campMetrics) snapshot() telemetry.ProgressSnap {
 		note := fmt.Sprintf("%d hosts", n)
 		if d := m.fabricDeaths.Value(); d > 0 {
 			note += fmt.Sprintf(" (%d lost)", d)
+		}
+		// Fleet-wide executed total from the federated per-host gauges:
+		// what the whole fleet has run, as opposed to Done (what the
+		// coordinator has merged). The two differ by in-flight verdicts
+		// and steal duplicates.
+		var fleetExec uint64
+		for name, v := range m.reg.Counters() {
+			if strings.HasPrefix(name, `fabric_units_executed_total{host=`) {
+				fleetExec += v
+			}
+		}
+		if fleetExec > 0 {
+			note += fmt.Sprintf(", fleet executed %d", fleetExec)
 		}
 		notes = append(notes, note)
 	}
@@ -273,4 +294,10 @@ func FillReport(r *telemetry.Report, res *Result) {
 		r.Resilience["hostfaults"] += res.Exec.HostFaults
 		r.Resilience["replayed"] += res.Exec.Replayed
 	}
+
+	// Fabric campaigns: the per-host fleet breakdown. Sequential campaigns
+	// (fig7 runs one per class) each contribute their hosts; the fleet is
+	// usually the same, so the rows repeat per campaign by design — the
+	// report is a log of what ran, not a deduplicated inventory.
+	r.Hosts = append(r.Hosts, res.Hosts...)
 }

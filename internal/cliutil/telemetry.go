@@ -34,6 +34,26 @@ func AddTelemetryFlags(fs *flag.FlagSet) *TelemetryFlags {
 	return tf
 }
 
+// ValidateFabricTelemetry rejects observability flags that silently do
+// nothing on a fabric executor. An executor merges no verdicts, so -report
+// would write an empty shell, and it has no campaign totals for -progress
+// to draw — both are almost certainly a flag set meant for the coordinator.
+// -debug-addr and -trace stay allowed: an executor serves its own local
+// pprof/metrics and can stream its own lifecycle events, independent of
+// what federation pushes to the coordinator.
+func ValidateFabricTelemetry(fab *FabricFlags, tf *TelemetryFlags) error {
+	if fab == nil || tf == nil || fab.Join == "" {
+		return nil
+	}
+	if tf.ReportPath != "" {
+		return fmt.Errorf("-report is a coordinator flag: an executor merges no verdicts, so its report would be empty (pass it to the -fabric-listen process)")
+	}
+	if tf.Progress == "on" {
+		return fmt.Errorf("-progress on is a coordinator flag: an executor has no campaign totals to draw (watch the coordinator's progress line or /fleet endpoint instead)")
+	}
+	return nil
+}
+
 // Setup builds the telemetry handle the flags ask for and returns it with a
 // cleanup function (always non-nil) that flushes the trace sink and shuts
 // the debug server down. When no plane is enabled — no flag given and

@@ -98,9 +98,23 @@ type CoordinatorOptions struct {
 	// the chaos proxy plugs into.
 	WrapConn func(net.Conn) net.Conn
 
-	// Metrics/Tracer observe scheduling; both are passive.
+	// Metrics/Tracer observe scheduling; both are passive. Trace events
+	// ingested from executors' trace frames are re-emitted on Tracer with
+	// the session's host name and the clock-offset-corrected timestamp —
+	// the merged fleet trace.
 	Metrics *Metrics
 	Tracer  *telemetry.Tracer
+
+	// Registry, when non-nil, receives the federated executor metrics:
+	// every series in an ingested telemetry frame is republished here as a
+	// gauge under a host label (the /metrics `host` plane). Nil drops the
+	// metric half of federation; frames are still consumed.
+	Registry *telemetry.Registry
+
+	// Fleet, when non-nil, is kept current with per-host scheduling and
+	// federation state — the live view behind /fleet and the report's
+	// hosts section.
+	Fleet *FleetTracker
 
 	// Log, when non-nil, receives one line per fabric event (join, loss,
 	// steal, quarantine).
@@ -441,6 +455,9 @@ func (r *coordRun) recover() error {
 			delete(stillPending, u)
 		}
 		r.sessions[token] = s
+		r.opts.Fleet.Joined(token, s.name, s.workers)
+		r.opts.Fleet.Detached(token)
+		r.fleetAssigned(s)
 	}
 	pending := r.pending[:0]
 	for _, u := range r.pending {
@@ -685,6 +702,7 @@ func (r *coordRun) register(x *executorConn, rd ready) {
 	if m := r.opts.Metrics; m != nil && m.HostUnits != nil {
 		s.done = m.HostUnits(s.name)
 	}
+	r.opts.Fleet.Joined(s.token, s.name, s.workers)
 	r.hostsGauge()
 	if err := x.send(msgWelcome, encodeWelcome(welcome{Token: s.token})); err != nil {
 		r.detach(x, fmt.Errorf("welcome write: %w", err))
@@ -713,6 +731,8 @@ func (r *coordRun) reattach(x *executorConn, s *session) {
 	if m := r.opts.Metrics; m != nil && m.Resumed != nil {
 		m.Resumed.Inc()
 	}
+	r.opts.Fleet.Joined(s.token, s.name, s.workers)
+	r.fleetAssigned(s)
 	r.hostsGauge()
 	if err := x.send(msgWelcome, encodeWelcome(welcome{Token: s.token, Resumed: true, Acked: s.seq})); err != nil {
 		r.detach(x, fmt.Errorf("welcome write: %w", err))
@@ -750,6 +770,7 @@ func (r *coordRun) detach(x *executorConn, err error) {
 	}
 	s.conn = nil
 	s.detachedAt = time.Now()
+	r.opts.Fleet.Detached(s.token)
 	r.hostsGauge()
 	r.opts.Tracer.Emit(telemetry.Event{Kind: telemetry.KindHostDetached,
 		Detail: fmt.Sprintf("%s: %v (session %d; %v grace)", s.name, err, s.token, r.opts.SessionTimeout)})
@@ -776,6 +797,7 @@ func (r *coordRun) expireDetached() {
 func (r *coordRun) expire(s *session) {
 	delete(r.sessions, s.token)
 	r.side(sideExpire, encodeSideExpire(s.token))
+	r.opts.Fleet.Expired(s.token)
 	var lost []int
 	for u, o := range r.owner {
 		if o == s {
@@ -842,8 +864,25 @@ func (r *coordRun) frame(x *executorConn, typ uint8, payload []byte) error {
 		x.conn.Close() // stale conn replaced by a reconnect; drop its frames
 		return r.fatalErr()
 	}
+	r.opts.Fleet.Seen(s.token)
 	switch typ {
 	case msgHeartbeat:
+		return r.fatalErr()
+	case msgTelemetry:
+		sentUS, entries, err := decodeSnapshot(payload, maxSnapEntries)
+		if err != nil {
+			r.detach(x, err)
+			return r.fatalErr()
+		}
+		r.ingestSnapshot(s, sentUS, entries)
+		return r.fatalErr()
+	case msgTrace:
+		sentUS, evs, err := decodeTraceEvents(payload, maxTraceEvents)
+		if err != nil {
+			r.detach(x, err)
+			return r.fatalErr()
+		}
+		r.ingestTrace(s, sentUS, evs)
 		return r.fatalErr()
 	case msgError:
 		return fmt.Errorf("fabric: executor %s: %s", s.name, payload)
@@ -890,6 +929,7 @@ func (r *coordRun) frame(x *executorConn, typ uint8, payload []byte) error {
 		if s.done != nil {
 			s.done.Inc()
 		}
+		r.opts.Fleet.Merged(s.token, r.doneN)
 		r.deliver(worker.Result{Index: u, Outcome: v.Outcome, Payload: v.Payload})
 		if err := r.fatalErr(); err != nil {
 			return err
@@ -975,6 +1015,8 @@ func (r *coordRun) schedule() {
 		thief.assigned += len(stolen)
 		r.side(sideRevoke, encodeSideUnits(victim.token, stolen))
 		r.side(sideAssign, encodeSideUnits(thief.token, stolen))
+		r.fleetAssigned(victim)
+		r.fleetAssigned(thief)
 		if m := r.opts.Metrics; m != nil && m.Steals != nil {
 			m.Steals.Inc()
 		}
@@ -1014,6 +1056,7 @@ func (r *coordRun) distribute(xs []*session, units []int) {
 		}
 		s.assigned += len(slice)
 		r.side(sideAssign, encodeSideUnits(s.token, slice))
+		r.fleetAssigned(s)
 		r.assign(s, slice)
 	}
 }

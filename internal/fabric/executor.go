@@ -75,6 +75,20 @@ type ExecutorOptions struct {
 	WrapConn func(net.Conn) net.Conn
 	// Metrics observes reconnects and session resumes; passive.
 	Metrics *ExecutorMetrics
+	// Federation, when non-nil, enables the telemetry federation plane:
+	// registry snapshots and drained trace events are pushed to the
+	// coordinator on the heartbeat tick, strictly best-effort (dropped
+	// under backpressure, never blocking the verdict path, never
+	// retransmitted). Results are bit-identical with or without it.
+	Federation *Federation
+	// FederationInterval floors the time between periodic federation
+	// pushes (default 1s). Pushes piggyback on heartbeat ticks but must
+	// not amplify the wire's write rate: under chaos every write is a
+	// sever lottery, and a per-tick push at an aggressive heartbeat can
+	// turn a survivable link into a reconnect storm. Counters are
+	// cumulative, so a slower cadence costs staleness only; the final
+	// flush on shutdown ignores the floor.
+	FederationInterval time.Duration
 	// Log, when non-nil, receives one line per session event.
 	Log func(format string, args ...any)
 }
@@ -248,6 +262,8 @@ type executor struct {
 	runErr       chan error
 
 	hb hello // negotiated timings
+
+	lastFedPush time.Time // heartbeat-goroutine only; floors the push cadence
 }
 
 // sever closes the current connection (context cancellation path).
@@ -394,6 +410,7 @@ func (x *executor) session(ctx context.Context, conn net.Conn) error {
 					return // reader sees the dead conn too
 				}
 				x.maybeRetransmit(conn)
+				x.pushTelemetry(conn, false)
 			}
 		}
 	}()
@@ -636,6 +653,10 @@ func (x *executor) readLoop(conn net.Conn) error {
 			x.qmu.Lock()
 			x.shutdown = true
 			x.qmu.Unlock()
+			// Final federation flush: the coordinator lingers after the
+			// goodbye precisely so these late frames are ingested, and a
+			// campaign shorter than one heartbeat interval still reports.
+			x.pushTelemetry(conn, true)
 			return nil
 		case msgError:
 			return fatalError{fmt.Errorf("fabric: coordinator aborted: %s", payload)}
@@ -650,6 +671,9 @@ func (x *executor) readLoop(conn net.Conn) error {
 // not an error: the verdict stays buffered, the dead connection is severed
 // so the read loop notices, and the reconnect path retransmits.
 func (x *executor) emit(unit int, o journal.Outcome, payload []byte) error {
+	if fed := x.opts.Federation; fed != nil {
+		fed.Executed.Inc()
+	}
 	x.smu.Lock()
 	defer x.smu.Unlock()
 	x.seq++
@@ -692,6 +716,66 @@ func (x *executor) maybeRetransmit(conn net.Conn) {
 			x.conn.Close()
 			x.conn = nil
 			return
+		}
+	}
+}
+
+// pushTelemetry ships one federation push — a registry snapshot frame plus
+// whatever the trace buffer holds — strictly best-effort. Periodic pushes
+// (final=false) only try-lock the write mutex: if the verdict path holds the
+// wire the push is dropped and counted, never queued, so federation can't
+// add latency to a verdict — and they are floored to FederationInterval so
+// an aggressive heartbeat never multiplies the wire's write rate (under
+// chaos, every extra write is another chance to sever the link). The final
+// push (on shutdown receipt) takes the lock for real and skips the floor so
+// short campaigns that finish before the first tick still report. Pushes
+// before the welcome completes are skipped — the coordinator's handshake
+// would reject the frames.
+func (x *executor) pushTelemetry(conn net.Conn, final bool) {
+	fed := x.opts.Federation
+	if fed == nil {
+		return
+	}
+	if !final {
+		interval := x.opts.FederationInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		if time.Since(x.lastFedPush) < interval {
+			return
+		}
+		x.lastFedPush = time.Now()
+	}
+	x.smu.Lock()
+	live := x.conn == conn
+	x.smu.Unlock()
+	if !live {
+		return
+	}
+	if final {
+		x.wmu.Lock()
+	} else if !x.wmu.TryLock() {
+		fed.Dropped.Inc()
+		return
+	}
+	defer x.wmu.Unlock()
+	timeout := x.hb.HeartbeatTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	if entries := fed.snapshot(); len(entries) > 0 {
+		if worker.WriteFrameCRC(conn, msgTelemetry, encodeSnapshot(time.Now().UnixMicro(), entries)) != nil {
+			return // dead wire; counters are cumulative, the next push heals
+		}
+	}
+	for {
+		evs := fed.Trace.Drain(maxTraceEvents)
+		if len(evs) == 0 {
+			return
+		}
+		if worker.WriteFrameCRC(conn, msgTrace, encodeTraceEvents(time.Now().UnixMicro(), evs)) != nil {
+			return // drained events are lost — the documented drop contract
 		}
 	}
 }

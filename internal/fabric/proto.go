@@ -44,6 +44,13 @@
 //	error     message (UTF-8; either side aborts the campaign)
 //	welcome   token u64 | resumed u8 | acked u32
 //	ack       seq u32
+//	telemetry sent-us i64 | count u32 |
+//	          (name-len u16 | name | value u64)*
+//	trace     sent-us i64 | count u32 |
+//	          (t-us i64 | dur-us i64 | unit u32 | case u32 | worker u32 |
+//	           kind-len u16 | kind | program-len u16 | program |
+//	           fault-len u16 | fault | mode-len u16 | mode |
+//	           detail-len u16 | detail)*
 //
 // The coordinator opens with hello; the executor answers ready after
 // re-planning, echoing the negotiated version and the plan fingerprint it
@@ -63,6 +70,17 @@
 // the verdict is durably journaled; unacknowledged verdicts are buffered by
 // the executor and retransmitted on re-attach, where the sequence number
 // (and, behind it, the done-set) makes duplicate delivery idempotent.
+//
+// Telemetry and trace frames are the federation plane (DESIGN.md §5k):
+// executors push them to the coordinator on the heartbeat cadence, strictly
+// best-effort — unacknowledged, never retransmitted, dropped whenever
+// sending would contend with the verdict path. Telemetry frames carry
+// absolute (cumulative) counter values, so a dropped frame is healed by the
+// next one; trace frames carry batched executor-local events, host
+// attribution is stamped by the coordinator from the authenticated session
+// (never trusted from the wire), and sent-us — the executor's wall clock at
+// send time — is the per-frame clock-offset sample used to map executor
+// timestamps onto the coordinator's clock in the merged trace.
 package fabric
 
 import (
@@ -72,6 +90,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -93,6 +112,8 @@ const (
 	msgError
 	msgWelcome
 	msgAck
+	msgTelemetry
+	msgTrace
 )
 
 // hello is the coordinator's opening frame.
@@ -315,4 +336,163 @@ func decodeRuns(b []byte, maxUnits int) ([]int, error) {
 		return nil, fmt.Errorf("fabric: run-set is not sorted")
 	}
 	return units, nil
+}
+
+// Federation frame bounds: how many entries a single telemetry frame and
+// how many events a single trace frame may claim. Well past anything the
+// executor sends (it caps its own batches at these sizes), tight enough
+// that a hostile frame cannot make the coordinator allocate unboundedly.
+const (
+	maxSnapEntries = 4096
+	maxTraceEvents = 4096
+)
+
+// snapEntry is one metric in a telemetry snapshot frame: a registry name
+// (possibly label-suffixed) and its absolute cumulative value.
+type snapEntry struct {
+	Name  string
+	Value uint64
+}
+
+// appendString appends a u16-length-prefixed string (federation frames'
+// string form). Strings past the u16 range are truncated — observation
+// data, never correctness data.
+func appendString(buf []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// takeString consumes a u16-length-prefixed string from b.
+func takeString(b []byte, what string) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("fabric: %s frame truncated in string length", what)
+	}
+	n := int(binary.LittleEndian.Uint16(b[0:2]))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("fabric: %s frame truncated in string body", what)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// encodeSnapshot builds a telemetry frame: the sender's wall clock in unix
+// microseconds (the clock-offset sample) plus absolute counter values.
+func encodeSnapshot(sentUS int64, entries []snapEntry) []byte {
+	if len(entries) > maxSnapEntries {
+		entries = entries[:maxSnapEntries]
+	}
+	buf := make([]byte, 0, 12+len(entries)*40)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sentUS))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendString(buf, e.Name)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Value)
+	}
+	return buf
+}
+
+// decodeSnapshot parses a telemetry frame. maxEntries bounds what the frame
+// may claim.
+func decodeSnapshot(b []byte, maxEntries int) (int64, []snapEntry, error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("fabric: telemetry frame too short (%d bytes)", len(b))
+	}
+	sentUS := int64(binary.LittleEndian.Uint64(b[0:8]))
+	count := int(binary.LittleEndian.Uint32(b[8:12]))
+	b = b[12:]
+	if count > maxEntries {
+		return 0, nil, fmt.Errorf("fabric: telemetry frame claims %d entries, max %d", count, maxEntries)
+	}
+	entries := make([]snapEntry, 0, count)
+	for i := 0; i < count; i++ {
+		var e snapEntry
+		var err error
+		e.Name, b, err = takeString(b, "telemetry")
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(b) < 8 {
+			return 0, nil, fmt.Errorf("fabric: telemetry frame truncated in value")
+		}
+		e.Value = binary.LittleEndian.Uint64(b[0:8])
+		b = b[8:]
+		entries = append(entries, e)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("fabric: telemetry frame has %d trailing bytes", len(b))
+	}
+	return sentUS, entries, nil
+}
+
+// encodeTraceEvents builds a trace frame: the sender's wall clock plus a
+// batch of executor-local events. Host is deliberately not on the wire —
+// the coordinator stamps it from the authenticated session name.
+func encodeTraceEvents(sentUS int64, evs []telemetry.Event) []byte {
+	if len(evs) > maxTraceEvents {
+		evs = evs[:maxTraceEvents]
+	}
+	buf := make([]byte, 0, 12+len(evs)*64)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sentUS))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(evs)))
+	for _, e := range evs {
+		var tus int64
+		if !e.T.IsZero() {
+			tus = e.T.UnixMicro()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(tus))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.DurUS))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Unit))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Case))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Worker))
+		buf = appendString(buf, e.Kind)
+		buf = appendString(buf, e.Program)
+		buf = appendString(buf, e.Fault)
+		buf = appendString(buf, e.Mode)
+		buf = appendString(buf, e.Detail)
+	}
+	return buf
+}
+
+// decodeTraceEvents parses a trace frame. maxEvents bounds what the frame
+// may claim.
+func decodeTraceEvents(b []byte, maxEvents int) (int64, []telemetry.Event, error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("fabric: trace frame too short (%d bytes)", len(b))
+	}
+	sentUS := int64(binary.LittleEndian.Uint64(b[0:8]))
+	count := int(binary.LittleEndian.Uint32(b[8:12]))
+	b = b[12:]
+	if count > maxEvents {
+		return 0, nil, fmt.Errorf("fabric: trace frame claims %d events, max %d", count, maxEvents)
+	}
+	evs := make([]telemetry.Event, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 28 {
+			return 0, nil, fmt.Errorf("fabric: trace frame truncated in event header")
+		}
+		var e telemetry.Event
+		if tus := int64(binary.LittleEndian.Uint64(b[0:8])); tus != 0 {
+			e.T = time.UnixMicro(tus).UTC()
+		}
+		e.DurUS = int64(binary.LittleEndian.Uint64(b[8:16]))
+		e.Unit = int(binary.LittleEndian.Uint32(b[16:20]))
+		e.Case = int(binary.LittleEndian.Uint32(b[20:24]))
+		e.Worker = int(binary.LittleEndian.Uint32(b[24:28]))
+		b = b[28:]
+		var err error
+		for _, dst := range []*string{&e.Kind, &e.Program, &e.Fault, &e.Mode, &e.Detail} {
+			*dst, b, err = takeString(b, "trace")
+			if err != nil {
+				return 0, nil, err
+			}
+		}
+		evs = append(evs, e)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("fabric: trace frame has %d trailing bytes", len(b))
+	}
+	return sentUS, evs, nil
 }

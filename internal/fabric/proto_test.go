@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -161,6 +162,13 @@ func FuzzDecoders(f *testing.F) {
 	f.Add(encodeSideSession(3, 2, "host"))
 	f.Add(encodeSideUnits(3, []int{0, 1, 2, 9, 10}))
 	f.Add(encodeRuns([]int{0, 1, 2, 9, 10}))
+	f.Add(encodeSnapshot(1722000000000000, []snapEntry{
+		{Name: "fabric_units_executed_total", Value: 31},
+		{Name: "chaos_conn_drops_total", Value: 2},
+	}))
+	f.Add(encodeTraceEvents(1722000000000000, []telemetry.Event{
+		{T: time.UnixMicro(1722000000000001), Kind: "executed", Unit: 5, Case: 2, Worker: 1, DurUS: 99, Program: "tritype", Fault: "MFC-1", Mode: "crash"},
+	}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeHello(data)
@@ -177,6 +185,13 @@ func FuzzDecoders(f *testing.F) {
 		const maxUnits = 128
 		if units, err := decodeRuns(data, maxUnits); err == nil && len(units) > maxUnits {
 			t.Fatalf("decodeRuns returned %d units past the %d bound", len(units), maxUnits)
+		}
+		const maxFed = 16
+		if _, entries, err := decodeSnapshot(data, maxFed); err == nil && len(entries) > maxFed {
+			t.Fatalf("decodeSnapshot returned %d entries past the %d bound", len(entries), maxFed)
+		}
+		if _, evs, err := decodeTraceEvents(data, maxFed); err == nil && len(evs) > maxFed {
+			t.Fatalf("decodeTraceEvents returned %d events past the %d bound", len(evs), maxFed)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -19,6 +20,23 @@ var (
 	expvarOnce sync.Once
 )
 
+// fleetSource feeds /fleet. It is process-wide like the expvar registry:
+// the debug server starts before the campaign (and so before any fabric
+// coordinator) exists, so the coordinator installs its live view late via
+// SetFleetSource. Nil means no fleet is running.
+var fleetSource atomic.Pointer[func() any]
+
+// SetFleetSource installs (or, with nil, removes) the process-wide /fleet
+// snapshot source. The function must be safe to call from any goroutine;
+// its return value is rendered as JSON.
+func SetFleetSource(fn func() any) {
+	if fn == nil {
+		fleetSource.Store(nil)
+		return
+	}
+	fleetSource.Store(&fn)
+}
+
 // DebugServer is a running debug HTTP endpoint. Close stops it.
 type DebugServer struct {
 	Addr string // actual listen address (useful with ":0")
@@ -29,7 +47,11 @@ type DebugServer struct {
 // StartDebugServer serves the observability surfaces on addr (host:port;
 // port 0 picks a free one):
 //
-//	/metrics     Prometheus text exposition of the registry
+//	/metrics     Prometheus text exposition of the registry (on a fabric
+//	             coordinator this includes the host-labelled federated series)
+//	/fleet       live fleet view as JSON (per-host ranges, throughput,
+//	             heartbeat lag); {"hosts":null} when no fleet is running
+//	/healthz     liveness probe: always 200 "ok"
 //	/debug/vars  expvar (Go runtime memstats plus the registry snapshot)
 //	/debug/pprof net/http/pprof profiles (heap, goroutine, profile, trace…)
 //
@@ -50,6 +72,24 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap any
+		if fn := fleetSource.Load(); fn != nil {
+			snap = (*fn)()
+		}
+		if snap == nil {
+			snap = map[string]any{"hosts": nil}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -61,7 +101,7 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "endpoints: /metrics /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "endpoints: /metrics /fleet /healthz /debug/vars /debug/pprof/")
 	})
 
 	ln, err := net.Listen("tcp", addr)

@@ -131,7 +131,7 @@ var DefaultLatencyBuckets = []uint64{
 // this repository use microseconds. A nil *Histogram is a no-op.
 type Histogram struct {
 	name   string
-	uppers []uint64       // sorted bucket upper bounds
+	uppers []uint64        // sorted bucket upper bounds
 	counts []atomic.Uint64 // len(uppers)+1; last is +Inf
 	sum    atomic.Uint64
 }
@@ -184,10 +184,10 @@ func (h *Histogram) Sum() uint64 {
 
 // HistogramSnapshot is a point-in-time copy of a histogram, used by reports.
 type HistogramSnapshot struct {
-	Name    string          `json:"name"`
-	Count   uint64          `json:"count"`
-	Sum     uint64          `json:"sum"`
-	Buckets []BucketCount   `json:"buckets,omitempty"`
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // BucketCount is one non-empty histogram bucket: the cumulative count of
@@ -317,6 +317,11 @@ func withLabel(name, label string) string {
 	}
 	return name + "{" + label + "}"
 }
+
+// WithLabel is withLabel for other packages — the fabric coordinator uses
+// it to re-register federated executor series under a host label, keeping
+// the label-in-name convention in one place.
+func WithLabel(name, label string) string { return withLabel(name, label) }
 
 // WritePrometheus renders every registered instrument in Prometheus text
 // exposition format, sorted by name so scrapes are diffable. Histogram

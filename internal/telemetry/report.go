@@ -86,25 +86,42 @@ type UnitStats struct {
 	Quarantined int `json:"quarantined,omitempty"` // host faults among them
 }
 
+// HostStats summarises one executor host of a distributed (fabric)
+// campaign, as the coordinator saw it. Merged counts verdicts the
+// coordinator folded into the result (the authoritative number); Executed
+// is the host's own federated counter, which can exceed Merged by verdicts
+// that were still unacked when the snapshot was taken.
+type HostStats struct {
+	Name          string `json:"name"`
+	Workers       int    `json:"workers"`
+	Merged        int    `json:"merged"`
+	Executed      uint64 `json:"executed,omitempty"`
+	Reconnects    int    `json:"reconnects,omitempty"`
+	Expired       bool   `json:"expired,omitempty"`
+	ClockOffsetUS int64  `json:"clock_offset_us,omitempty"`
+}
+
 // Report is the machine-readable end-of-run artifact behind -report <file>:
 // what ran, which binary ran it, the failure-mode tallies of the paper's
-// figures, the resilience counters, the latency histograms, and a trace
-// summary. It is deliberately free of this repository's internal types so
-// external tooling can consume it with nothing but a JSON parser.
+// figures, the resilience counters, the latency histograms, a trace
+// summary, and (for fabric runs) the per-host fleet breakdown. It is
+// deliberately free of this repository's internal types so external
+// tooling can consume it with nothing but a JSON parser.
 type Report struct {
-	Tool       string                      `json:"tool"`
-	Version    Version                     `json:"version"`
-	StartedAt  time.Time                   `json:"started_at"`
-	ElapsedMS  int64                       `json:"elapsed_ms"`
-	Params     map[string]string           `json:"params,omitempty"`
-	Units      UnitStats                   `json:"units"`
-	Tallies    Tally                       `json:"tallies,omitempty"`
-	Groups     map[string]map[string]Tally `json:"groups,omitempty"`
-	Resilience map[string]int              `json:"resilience,omitempty"`
-	Counters   map[string]uint64           `json:"counters,omitempty"`
-	Histograms []HistogramSnapshot         `json:"histograms,omitempty"`
-	Trace      map[string]int              `json:"trace,omitempty"`
-	Interrupted bool                       `json:"interrupted,omitempty"`
+	Tool        string                      `json:"tool"`
+	Version     Version                     `json:"version"`
+	StartedAt   time.Time                   `json:"started_at"`
+	ElapsedMS   int64                       `json:"elapsed_ms"`
+	Params      map[string]string           `json:"params,omitempty"`
+	Units       UnitStats                   `json:"units"`
+	Tallies     Tally                       `json:"tallies,omitempty"`
+	Groups      map[string]map[string]Tally `json:"groups,omitempty"`
+	Resilience  map[string]int              `json:"resilience,omitempty"`
+	Counters    map[string]uint64           `json:"counters,omitempty"`
+	Histograms  []HistogramSnapshot         `json:"histograms,omitempty"`
+	Trace       map[string]int              `json:"trace,omitempty"`
+	Hosts       []HostStats                 `json:"hosts,omitempty"`
+	Interrupted bool                        `json:"interrupted,omitempty"`
 }
 
 // NewReport starts a report for the named tool, stamped with the binary's

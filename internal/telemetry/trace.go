@@ -36,10 +36,13 @@ const (
 )
 
 // Event is one structured trace event. Zero-valued fields are omitted from
-// the JSONL form; T is stamped by Emit when left zero.
+// the JSONL form; T is stamped by Emit when left zero. Host names the
+// executor the event happened on in a merged fleet trace; empty means the
+// local process (on a coordinator: the coordinator itself).
 type Event struct {
 	T       time.Time `json:"t"`
 	Kind    string    `json:"kind"`
+	Host    string    `json:"host,omitempty"`
 	Unit    int       `json:"unit,omitempty"`
 	Program string    `json:"program,omitempty"`
 	Fault   string    `json:"fault,omitempty"`
@@ -65,6 +68,8 @@ type Tracer struct {
 	sink   *bufio.Writer
 	closer io.Closer
 	err    error // first sink write error; reported by Close
+
+	mirror func(Event) // federation tee; see Mirror
 }
 
 // DefaultTraceCap is the ring capacity CLIs use when none is configured.
@@ -122,6 +127,22 @@ func (t *Tracer) Emit(e Event) {
 			t.err = err
 		}
 	}
+	if t.mirror != nil {
+		t.mirror(e)
+	}
+}
+
+// Mirror tees every subsequently emitted event into fn, in emission order
+// (fn runs under the tracer's lock, so it must be non-blocking and must not
+// call back into the tracer — a TraceBuffer's Add qualifies). The fabric
+// executor uses this to forward the local trace stream to the coordinator.
+func (t *Tracer) Mirror(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mirror = fn
 }
 
 // Events returns the ring's contents, oldest first.
@@ -194,6 +215,83 @@ func (t *Tracer) Close() error {
 		}
 	}
 	return err
+}
+
+// TraceBuffer is a bounded FIFO of events awaiting forwarding — the
+// executor side of fleet telemetry federation. Add never blocks: when the
+// buffer is full the oldest event is dropped and counted, which is the
+// federation drop contract (observation is best-effort; the verdict path
+// must never wait on it). A nil *TraceBuffer is a no-op.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	buf     []Event
+	cap     int
+	dropped uint64
+}
+
+// NewTraceBuffer returns a forwarding buffer holding at most capacity
+// events (minimum 1).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceBuffer{cap: capacity}
+}
+
+// Add appends one event, dropping the oldest buffered event when full.
+func (b *TraceBuffer) Add(e Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.buf) >= b.cap {
+		b.buf = b.buf[1:]
+		b.dropped++
+	}
+	b.buf = append(b.buf, e)
+}
+
+// Drain removes and returns up to max buffered events, oldest first
+// (max <= 0 drains everything).
+func (b *TraceBuffer) Drain(max int) []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.buf)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Event, n)
+	copy(out, b.buf)
+	b.buf = append(b.buf[:0], b.buf[n:]...)
+	return out
+}
+
+// Len returns the number of buffered events.
+func (b *TraceBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Dropped returns how many events were discarded because the buffer was
+// full when they arrived.
+func (b *TraceBuffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
 }
 
 // ReadJSONL parses a JSONL trace stream back into events — the inverse of

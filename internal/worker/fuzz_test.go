@@ -75,6 +75,35 @@ func FuzzReadFrameCRC(f *testing.F) {
 	short := make([]byte, 4+3)                     // body shorter than a checksum
 	binary.LittleEndian.PutUint32(short, 3)
 	f.Add(short)
+	// Federation-plane frames (the fabric's telemetry snapshot and trace
+	// types, 11 and 12) ride this framing too; their payload layouts are
+	// hand-rolled here because the fabric package sits above this one.
+	snap := binary.LittleEndian.AppendUint64(nil, 1722000000000000) // sent-us
+	snap = binary.LittleEndian.AppendUint32(snap, 1)                // entry count
+	snap = binary.LittleEndian.AppendUint16(snap, 5)                // name length
+	snap = append(snap, "units"...)
+	snap = binary.LittleEndian.AppendUint64(snap, 42) // value
+	var fedSnap bytes.Buffer
+	if err := WriteFrameCRC(&fedSnap, 11, snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fedSnap.Bytes())
+	ev := binary.LittleEndian.AppendUint64(nil, 1722000000000000) // sent-us
+	ev = binary.LittleEndian.AppendUint32(ev, 1)                  // event count
+	ev = binary.LittleEndian.AppendUint64(ev, 1722000000000001)   // t-us
+	ev = binary.LittleEndian.AppendUint64(ev, 99)                 // dur-us
+	ev = binary.LittleEndian.AppendUint32(ev, 5)                  // unit
+	ev = binary.LittleEndian.AppendUint32(ev, 2)                  // case
+	ev = binary.LittleEndian.AppendUint32(ev, 1)                  // worker
+	for _, s := range []string{"executed", "tritype", "MFC-1", "crash", ""} {
+		ev = binary.LittleEndian.AppendUint16(ev, uint16(len(s)))
+		ev = append(ev, s...)
+	}
+	var fedTrace bytes.Buffer
+	if err := WriteFrameCRC(&fedTrace, 12, ev); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fedTrace.Bytes())
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

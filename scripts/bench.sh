@@ -33,6 +33,14 @@
 # §5j budgets it at ≤1.02 — a wired-but-idle chaos plane must cost nothing
 # measurable.
 #
+# The federation run (PR 10) is invoked as:
+#   BENCHTIME=3x scripts/bench.sh pr10 'Table4Federation'
+# When the output holds the Table4Federation result, the artifact gains
+# federation_disabled_overhead: the paired wall-clock ratio of a
+# federation-on fabric campaign over a NoFederation one (ABBA-paired legs
+# inside the benchmark, 20ms heartbeat + push interval so the push path
+# fires ~50x the default 1s cadence). DESIGN.md §5k budgets it at ≤1.02.
+#
 # The campaign pair runs the Table 4 benchmark twice in one binary:
 # "straight" replays every injection in full (the pre-checkpoint executor)
 # and "workers=1" goes through golden-run checkpointing; the ratio of their
@@ -79,11 +87,24 @@ CHAOSOVER="$(awk '
 	}
 ' "$RAW")"
 
+# Derive the federation overhead when the federation benchmark ran.
+FEDOVER="$(awk '
+	$1 ~ /^BenchmarkTable4Federation(-[0-9]+)?$/ {
+		for (i = 2; i <= NF; i++)
+			if ($i == "overhead-ratio") v = $(i - 1)
+	}
+	END {
+		if (v > 0)
+			printf "-label federation_disabled_overhead=%.4f", v
+	}
+' "$RAW")"
+
 go run ./tools/benchjson \
 	-label "tag=$TAG" \
 	-label "commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	${SCALING:-} \
 	${CHAOSOVER:-} \
+	${FEDOVER:-} \
 	${EXTRA_LABELS:-} \
 	<"$RAW" >"$OUT"
 

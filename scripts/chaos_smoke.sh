@@ -92,19 +92,53 @@ wait "$COORD" || true
 # Restart: -resume replays finished units from the journal, the sidecar
 # rebuilds the session table and outstanding ranges, and the executors
 # re-attach with their session tokens mid-flight. The report carries the
-# injected-fault counts.
+# injected-fault counts, and -debug-addr exposes the federated fleet view
+# scraped below while the campaign is still running.
 # shellcheck disable=SC2086
 ./swifi $FLAGS -journal chaos.wal -resume \
   -fabric-listen 127.0.0.1:9372 -fabric-hosts 1 \
   -fabric-session-timeout 15s -chaos "$CHAOS2" \
-  -report report.json \
+  -report report.json -debug-addr 127.0.0.1:9373 \
   fig7 > fig7_chaos.txt 2> coord2.log &
 COORD2=$!
+
+fetch() {
+  curl -sf --max-time 5 "$1" 2>/dev/null || wget -qO- -T 5 "$1" 2>/dev/null
+}
 
 # Once the recovered campaign is back underway, SIGKILL an executor too:
 # its session expires and its units redeliver to the survivor.
 sleep 4
 kill -9 "$EXEC1" 2>/dev/null || echo "executor 1 already done; campaign must still finish clean"
+
+# Mid-campaign, the coordinator's debug endpoints must already show the
+# federated fleet: host-labeled executor counters on /metrics (pushed over
+# the same chaos-ridden links as the verdicts) and the live roster on
+# /fleet. Polling covers the push latency (one heartbeat) without racing
+# campaign completion — past the first heartbeat the series can only grow.
+fleet_seen=
+for _ in $(seq 1 240); do
+  if fetch http://127.0.0.1:9373/metrics | grep -q 'fabric_units_executed_total{host="'; then
+    fleet_seen=1
+    break
+  fi
+  kill -0 "$COORD2" 2>/dev/null || break
+  sleep 0.5
+done
+if [ -z "$fleet_seen" ]; then
+  echo "no host-labeled federated series ever appeared on /metrics" >&2
+  exit 1
+fi
+fetch http://127.0.0.1:9373/healthz | grep -q ok || {
+  echo "/healthz not ok mid-campaign" >&2
+  exit 1
+}
+# The JSON is indented; assert on host-row fields, not layout.
+fetch http://127.0.0.1:9373/fleet > fleet.json
+grep -q '"name"' fleet.json && grep -q '"attached"' fleet.json || {
+  echo "/fleet returned no live host rows: $(cat fleet.json)" >&2
+  exit 1
+}
 
 wait "$COORD2"
 wait "$EXEC1" || true
